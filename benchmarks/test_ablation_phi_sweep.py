@@ -1,0 +1,64 @@
+"""Ablation: the LIMBO phi knob -- summary size vs. information retained.
+
+Section 8 ("Parameters"): "larger values for phi (around 1.0) delay
+leaf-node splits and create a smaller tree with a coarse representation of
+the data set ... smaller phi values incur more splits but preserve a more
+detailed summary.  The value phi = 0.0 makes our method equivalent to the
+AIB."
+
+Measured here on the DB2 tuple view: the number of Phase-1 summaries falls
+monotonically with phi, the retained information I(C_leaves; V) falls
+monotonically too, and phi = 0 retains exactly I(T;V) (the AIB
+equivalence).
+"""
+
+import pytest
+
+from conftest import format_table
+
+from repro.clustering import Limbo
+from repro.infotheory import mutual_information_rows
+from repro.relation import build_tuple_view
+
+PHI_VALUES = (0.0, 0.25, 0.5, 1.0, 2.0)
+
+
+def test_ablation_phi_sweep(benchmark, reporter, db2):
+    view = build_tuple_view(db2.relation)
+    total = view.mutual_information()
+
+    def sweep():
+        rows = []
+        for phi in PHI_VALUES:
+            limbo = Limbo(phi=phi).fit(
+                view.rows, view.priors, mutual_information=total
+            )
+            summaries = limbo.summaries
+            retained = mutual_information_rows(
+                [s.conditional for s in summaries],
+                [s.weight for s in summaries],
+            )
+            rows.append([phi, len(summaries), retained])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    body = (
+        f"I(T;V) of the DB2 tuple view: {total:.4f} bits\n\n"
+        + format_table(
+            ["phi", "Phase-1 summaries", "I(C_leaves;V) bits"],
+            [[phi, count, f"{info:.4f}"] for phi, count, info in rows],
+        )
+        + "\n\nClaims: summaries shrink and information degrades"
+        "\nmonotonically with phi; phi = 0 is exact (AIB equivalence)."
+    )
+    reporter("ablation_phi_sweep", "Ablation -- LIMBO phi sweep", body)
+
+    counts = [count for _, count, _ in rows]
+    infos = [info for _, _, info in rows]
+    assert counts == sorted(counts, reverse=True)
+    assert all(a >= b - 1e-9 for a, b in zip(infos, infos[1:]))
+    # phi = 0: identical tuples only -> exact information.
+    assert infos[0] == pytest.approx(total, abs=1e-9)
+    # The coarse end really is coarse.
+    assert counts[-1] < counts[0]

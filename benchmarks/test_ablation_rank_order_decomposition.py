@@ -1,0 +1,78 @@
+"""Ablation: does FD-RANK order actually predict decomposition quality?
+
+The motivation for FD-RANK (Section 7): "decompositions over dependencies
+with a high rank produce better designs than other decompositions" and
+Proposition 1 ties low merge loss to high duplication.  This ablation
+measures it directly on the DB2 sample: decompose once by each ranked
+dependency and record the storage cells saved.  The rank order should
+correlate with the realized savings, and the FD-RANK-driven multi-step
+redesign should save substantially more than a redesign driven by the
+worst-ranked dependencies.
+"""
+
+from conftest import format_table
+
+from repro.core import (
+    decompose_by_fd,
+    fd_rank,
+    group_attributes,
+    vertical_redesign,
+)
+from repro.fd import fdep, minimum_cover
+
+
+def _cells(relation) -> int:
+    return len(relation) * relation.arity
+
+
+def test_ablation_rank_order_decomposition(benchmark, reporter, db2):
+    relation = db2.relation
+    grouping = group_attributes(relation, phi_v=0.0)
+    cover = minimum_cover(fdep(relation), group_rhs=True)
+    ranked = [
+        entry for entry in fd_rank(cover, grouping, psi=1.0) if entry.fd.lhs
+    ]
+
+    def measure():
+        rows = []
+        for entry in ranked:
+            decomposition = decompose_by_fd(relation, entry.fd)
+            saved = _cells(relation) - _cells(decomposition.s1) - _cells(
+                decomposition.s2
+            )
+            rows.append((entry.rank, str(entry.fd), saved))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    best_quartile = rows[: max(1, len(rows) // 4)]
+    worst_quartile = rows[-max(1, len(rows) // 4):]
+    mean_best = sum(r[2] for r in best_quartile) / len(best_quartile)
+    mean_worst = sum(r[2] for r in worst_quartile) / len(worst_quartile)
+
+    full = vertical_redesign(relation, max_fragments=4)
+
+    display = [
+        [f"{rank:.4f}", fd, saved] for rank, fd, saved in rows[:6]
+    ] + [["...", "...", "..."]] + [
+        [f"{rank:.4f}", fd, saved] for rank, fd, saved in rows[-3:]
+    ]
+    body = (
+        format_table(["rank", "FD", "cells saved by one split"], display)
+        + f"\n\nmean cells saved, best-ranked quartile:  {mean_best:.1f}"
+        + f"\nmean cells saved, worst-ranked quartile: {mean_worst:.1f}"
+        + f"\n\nFD-RANK-driven multi-step redesign: "
+        + f"{full.cells_saved_fraction:.1%} of {full.cells_before} cells saved "
+        + f"across {len(full.fragments)} fragments"
+    )
+    reporter(
+        "ablation_rank_order_decomposition",
+        "Ablation -- rank order vs. decomposition quality",
+        body,
+    )
+
+    # High rank (low loss) -> more redundancy removed, on average.
+    assert mean_best > mean_worst
+    # The driven redesign removes a substantial share of storage (the DB2
+    # join is narrow -- 1710 cells -- so ~10% is a meaningful reduction).
+    assert full.cells_saved_fraction >= 0.10

@@ -1,0 +1,57 @@
+"""Figure 10: attribute-cluster dendrogram of the running example.
+
+The paper's Figure 4 relation (A/B/C) must produce the merge order
+B+C (small loss) then A, with a maximum information loss of ~0.52, and
+FD-RANK must rank C->B above A->B with psi=0.5 (Section 7's worked
+example).
+"""
+
+import pytest
+
+from conftest import format_table
+
+from repro.core import fd_rank, group_attributes
+from repro.fd import FD
+from repro.relation import Relation
+
+PAPER_MAX_LOSS = 0.52
+
+
+@pytest.fixture(scope="module")
+def figure4():
+    return Relation(
+        ["A", "B", "C"],
+        [
+            ("a", "1", "p"),
+            ("a", "1", "r"),
+            ("w", "2", "x"),
+            ("y", "2", "x"),
+            ("z", "2", "x"),
+        ],
+    )
+
+
+def test_fig10_example_dendrogram(benchmark, reporter, figure4):
+    grouping = benchmark(group_attributes, figure4, 0.0)
+
+    dendrogram = grouping.dendrogram
+    names = grouping.attribute_names
+    first = dendrogram.merges[0]
+    first_pair = {names[first.left], names[first.right]}
+
+    ranked = fd_rank([FD("A", "B"), FD("C", "B")], grouping, psi=0.5)
+
+    body = format_table(
+        ["quantity", "paper", "measured"],
+        [
+            ["first merge", "{B, C}", "{" + ", ".join(sorted(first_pair)) + "}"],
+            ["max information loss", f"~{PAPER_MAX_LOSS}", f"{dendrogram.max_loss:.4f}"],
+            ["top-ranked FD (psi=0.5)", "[C] -> [B]", str(ranked[0].fd)],
+        ],
+    )
+    body += "\n\nDendrogram:\n" + grouping.render()
+    reporter("fig10_example_dendrogram", "Figure 10 -- example dendrogram", body)
+
+    assert first_pair == {"B", "C"}
+    assert dendrogram.max_loss == pytest.approx(PAPER_MAX_LOSS, abs=0.02)
+    assert str(ranked[0].fd) == "[C] -> [B]"

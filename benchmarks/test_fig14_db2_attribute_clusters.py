@@ -1,0 +1,80 @@
+"""Figure 14: attribute-cluster dendrogram of the DB2 sample relation.
+
+The paper's claims: attribute grouping separates the attributes of the
+three source tables (EMPLOYEE / DEPARTMENT / PROJECT) that were joined into
+the single relation; the tightest pairs are join-key-determined pairs such
+as (DeptNo, MgrNo) and (ProjNo, ProjName); the maximum information loss on
+their instance was ~0.922.
+"""
+
+import pytest
+
+from conftest import format_table
+
+from repro.core import group_attributes
+
+#: Attribute -> source table, for the separation check.
+EMPLOYEE = {"EmpNo", "FirstName", "LastName", "PhoneNo", "HireYear",
+            "EduLevel", "BirthYear", "Job", "Sex"}
+DEPARTMENT = {"DeptNo", "DeptName", "MgrNo", "AdminDepNo"}
+PROJECT = {"ProjNo", "ProjName", "RespEmpNo", "StartDate", "EndDate",
+           "MajorProjNo"}
+
+PAPER_MAX_LOSS = 0.922
+PAPER_TIGHT_PAIRS = [("DeptNo", "MgrNo"), ("ProjNo", "ProjName"),
+                     ("DeptName", "MgrNo"), ("FirstName", "LastName")]
+
+
+def test_fig14_db2_attribute_clusters(benchmark, reporter, db2):
+    grouping = benchmark.pedantic(
+        group_attributes, args=(db2.relation,), kwargs={"phi_v": 0.0},
+        rounds=1, iterations=1,
+    )
+    dendrogram = grouping.dendrogram
+    max_loss = dendrogram.max_loss
+
+    pair_rows = []
+    for a, b in PAPER_TIGHT_PAIRS:
+        loss = grouping.merge_loss([a, b])
+        pair_rows.append(
+            [f"({a}, {b})", "tight (low loss)",
+             f"{loss:.4f}" if loss is not None else "outside A^D"]
+        )
+
+    # Cross-table pairs should gather only late (high loss).
+    cross = grouping.merge_loss(["DeptName", "ProjName"])
+    pair_rows.append(
+        ["(DeptName, ProjName)", "separated (high loss)",
+         f"{cross:.4f}" if cross is not None else "never gathered"]
+    )
+
+    body = (
+        format_table(
+            ["quantity", "paper", "measured"],
+            [["max information loss", f"~{PAPER_MAX_LOSS}", f"{max_loss:.4f}"]],
+        )
+        + "\n\n"
+        + format_table(["attribute pair", "paper", "measured gather loss"], pair_rows)
+        + "\n\nDendrogram:\n"
+        + grouping.render()
+    )
+    reporter(
+        "fig14_db2_attribute_clusters",
+        "Figure 14 -- DB2 sample attribute clusters",
+        body,
+    )
+
+    # Tight join-key pairs gather cheaply (under 20% of the max loss).
+    for a, b in PAPER_TIGHT_PAIRS:
+        loss = grouping.merge_loss([a, b])
+        assert loss is not None and loss <= 0.2 * max_loss, (a, b, loss)
+
+    # Source-table separation: within-table pairs gather more cheaply than
+    # the cross-table pair used by the paper's boxes.
+    dept_loss = grouping.merge_loss(["DeptNo", "DeptName", "MgrNo"])
+    emp_loss = grouping.merge_loss(["FirstName", "LastName", "PhoneNo"])
+    proj_loss = grouping.merge_loss(["ProjNo", "ProjName"])
+    assert cross is None or all(
+        loss < cross for loss in (dept_loss, emp_loss, proj_loss)
+    )
+    assert max_loss == pytest.approx(PAPER_MAX_LOSS, abs=0.35)

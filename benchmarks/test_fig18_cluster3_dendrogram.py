@@ -1,0 +1,64 @@
+"""Figure 18: attribute clusters of DBLP cluster 3 (miscellaneous).
+
+The paper's cluster 3 is tiny (129 of 50,000 tuples: tech reports, theses,
+plus a few single-author conference/journal papers); its attribute
+associations are "rather random", it contains no functional dependencies
+beyond chance, and the paper concludes the partition "does not have
+internal structure".
+
+Our instance recovers the misc slice by its all-NULL venue signature (see
+the Table 4 deviation note).  Verified shape: the slice is ~0.3% of the
+data; its dendrogram shows no near-zero-loss structure beyond the shared
+NULL columns; relative to cluster 2 it supports far fewer (or no)
+dependencies among the informative attributes.
+"""
+
+from conftest import format_table
+
+from repro.core import cluster_values, group_attributes
+from repro.fd import tane
+
+PHI_T = 0.5
+PHI_V = 1.0
+
+
+def test_fig18_cluster3_dendrogram(benchmark, reporter, dblp_partitions):
+    misc = dblp_partitions.misc
+    informative = misc.project(["Author", "Year", "Pages"])
+
+    def pipeline():
+        values = cluster_values(misc, phi_v=PHI_V, phi_t=PHI_T)
+        return group_attributes(value_clustering=values)
+
+    grouping = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+
+    # Dependencies among the attributes that actually vary in this slice.
+    fds = tane(informative)
+    fraction = len(misc) / len(dblp_partitions.projected)
+
+    rows = [
+        ["cluster size", "129 / 50000 (0.26%)",
+         f"{len(misc)} / {len(dblp_partitions.projected)} ({fraction:.2%})"],
+        ["FDs among informative attributes", "none found", f"{len(fds)}"],
+        ["max information loss", "(axis tops ~1.0)",
+         f"{grouping.dendrogram.max_loss:.4f}"],
+    ]
+    body = (
+        format_table(["quantity", "paper", "measured"], rows)
+        + "\n\nDendrogram:\n"
+        + grouping.render()
+        + "\n\nNote: tiny random slices can support chance dependencies; the"
+        "\nclaim is the *absence of structure* relative to clusters 1-2,"
+        "\nwhere the venue attributes are functionally tied."
+    )
+    reporter(
+        "fig18_cluster3_dendrogram",
+        "Figure 18 -- DBLP cluster 3 attribute clusters",
+        body,
+    )
+
+    # The slice is tiny, as in the paper.
+    assert fraction <= 0.01
+    # No deterministic structure among Author/Year/Pages beyond chance:
+    # at most a handful of accidental minimal FDs on a tiny sample.
+    assert len(fds) <= 6

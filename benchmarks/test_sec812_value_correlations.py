@@ -1,0 +1,74 @@
+"""Section 8.1.2 (text): perfect value correlations at phi_V = 0.
+
+The paper: "Using phi_T = 0.0 ... and phi_V = 0.0 we first looked for
+perfect correlations among the values, that is, groups of attribute values
+that appear exclusively together in the tuples.  Our clustering method
+successfully discovered such groups of values that make up the set C_V^D."
+It also notes this aligns the method with frequent-itemset counting.
+
+On the DB2 sample join the ground-truth perfect co-occurrences are known by
+construction: each department's (DeptNo, DeptName, manager's EmpNo) values
+appear in exactly the same tuples, and each project's (ProjNo, ProjName)
+pair likewise.
+"""
+
+from conftest import format_table
+
+from repro.core import cluster_values
+
+
+def test_sec812_value_correlations(benchmark, reporter, db2):
+    result = benchmark.pedantic(
+        cluster_values, args=(db2.relation,), kwargs={"phi_v": 0.0},
+        rounds=1, iterations=1,
+    )
+
+    groups_by_labelset = [set(g.labels) for g in result.multi_value_groups()]
+
+    found_rows = []
+    missing = []
+    # Department ground truth: DeptName + manager EmpNo literals co-occur
+    # exactly; the DeptNo literal joins them except for "A00", which also
+    # fills AdminDepNo of every tuple and so co-occurs with nothing.
+    for dep_row in db2.department.rows:
+        dep_no, dep_name, mgr_no, admin = dep_row
+        expected = {repr(dep_name), repr(mgr_no)}
+        if dep_no != admin:
+            expected.add(repr(dep_no))
+        hit = any(expected <= labels for labels in groups_by_labelset)
+        found_rows.append([f"dept {dep_no}", "yes", "yes" if hit else "NO"])
+        if not hit:
+            missing.append(expected)
+    # Project ground truth: ProjNo + ProjName literals -- except each
+    # department's first project, whose ProjNo also appears in the
+    # MajorProjNo column of its sibling projects.
+    for proj_row in db2.project.rows[:12]:
+        proj_no, proj_name, major = proj_row[0], proj_row[1], proj_row[5]
+        if major is None or not major:  # first project (MajorProjNo NULL)
+            continue
+        expected = {repr(proj_no), repr(proj_name)}
+        hit = any(expected <= labels for labels in groups_by_labelset)
+        found_rows.append([f"project {proj_no}", "yes", "yes" if hit else "NO"])
+        if not hit:
+            missing.append(expected)
+
+    body = (
+        f"Perfectly co-occurring groups found (|group| > 1): "
+        f"{len(groups_by_labelset)}\n"
+        f"Duplicate groups (C_V^D): {len(result.duplicate_groups)}\n\n"
+        + format_table(["ground-truth correlation", "paper", "measured"], found_rows)
+    )
+    reporter(
+        "sec812_value_correlations",
+        "Section 8.1.2 -- perfect value correlations (phi_V = 0)",
+        body,
+    )
+
+    assert not missing, missing
+    # Every reported group at phi_V = 0 is a *perfect* co-occurrence: all
+    # member values appear in exactly the same tuples.
+    for group in result.multi_value_groups():
+        supports = [
+            frozenset(result.view.rows[value_id]) for value_id in group.value_ids
+        ]
+        assert all(s == supports[0] for s in supports), group.labels

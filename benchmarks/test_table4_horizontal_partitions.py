@@ -1,0 +1,96 @@
+"""Table 4: horizontal partitioning of the DBLP relation.
+
+The paper projects the relation onto {Author, Pages, BookTitle, Year,
+Volume, Journal, Number} (setting the six NULL-heavy attributes aside per
+Figure 15), picks k = 3 with the rate-of-change heuristic, and reports
+partitions of 35,892 (conference), 13,979 (journal) and 129 (misc) tuples
+with a 9.45% loss of the initial information after Phase 3.
+
+Shape claims verified here: the heuristic proposes k = 3; journal and
+conference publications separate almost perfectly.  Documented deviation:
+the 0.3%-weight misc slice is absorbed into the big partitions -- greedy
+minimum-loss agglomeration merges a cluster that tiny almost for free, so
+it cannot survive to k = 3 on our instance (the per-cluster analyses carve
+it back out by its all-NULL venue signature).
+"""
+
+from conftest import format_table
+
+from repro.relation import NULL
+
+#: Paper partition sizes as fractions of 50,000.
+PAPER_FRACTIONS = (35892 / 50000, 13979 / 50000, 129 / 50000)
+PAPER_LOSS = 0.0945
+
+
+def test_table4_horizontal_partitions(benchmark, reporter, dblp_partitions):
+    result = dblp_partitions.result
+    n = len(dblp_partitions.projected)
+
+    def describe():
+        rows = []
+        for partition in sorted(result.partitions, key=len, reverse=True):
+            conference = sum(
+                1 for row in partition.records() if row["BookTitle"] is not NULL
+            )
+            journal = sum(
+                1 for row in partition.records() if row["Journal"] is not NULL
+            )
+            misc = len(partition) - conference - journal
+            majority = max(
+                (conference, "conference"), (journal, "journal"), (misc, "misc")
+            )[1]
+            rows.append(
+                [len(partition), majority, conference, journal, misc,
+                 f"{max(conference, journal, misc) / len(partition):.3f}"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(describe, rounds=1, iterations=1)
+
+    paper_rows = [
+        [35892, "conference (c1)"], [13979, "journal (c2)"], [129, "misc (c3)"],
+    ]
+    body = (
+        f"k: paper 3 / pinned 3; knee proposals "
+        f"{[(s.k, round(s.score, 2)) for s in result.suggestions[:3]]}\n"
+        f"Relative information loss after Phase 3: paper {PAPER_LOSS:.2%} / "
+        f"measured {result.relative_information_loss:.2%}\n"
+        f"(measured at n = {n}; the loss measure counts the unique-valued\n"
+        " Author/Pages information that no 3-way clustering can retain)\n\n"
+        "Paper partitions:\n"
+        + format_table(["tuples", "content"], paper_rows)
+        + "\n\nMeasured partitions:\n"
+        + format_table(
+            ["tuples", "majority", "conference", "journal", "misc", "purity"], rows
+        )
+        + "\n\nDeviation: the 0.3% misc slice cannot survive minimum-loss"
+        "\nagglomeration to k=3 (merging it costs ~w*log(1/w) ~ 0 bits); the"
+        "\nper-cluster experiments recover it by its all-NULL venue signature."
+    )
+    reporter(
+        "table4_horizontal_partitions",
+        "Table 4 -- DBLP horizontal partitioning",
+        body,
+    )
+
+    # The knee heuristic ranks the paper's k = 3 among its top proposals
+    # (at full scale the conference-vs-journal split alone can edge it to
+    # k = 2; both cuts separate the types).
+    assert 3 in [s.k for s in result.suggestions[:2]]
+    assert result.k == 3
+    # Journal tuples separate almost perfectly from conference tuples.
+    journal_partition = dblp_partitions.journal
+    journal_total = sum(
+        1 for row in dblp_partitions.projected.records() if row["Journal"] is not NULL
+    )
+    journal_inside = sum(
+        1 for row in journal_partition.records() if row["Journal"] is not NULL
+    )
+    assert journal_inside >= 0.95 * journal_total
+    # Every measured partition is dominated by a single publication type.
+    for row in rows:
+        assert float(row[5]) >= 0.95
+    # The two big type unions cover nearly everything (misc is tiny).
+    covered = len(dblp_partitions.conference) + len(dblp_partitions.journal)
+    assert covered >= 0.99 * n

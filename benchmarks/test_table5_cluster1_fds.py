@@ -1,0 +1,75 @@
+"""Table 5: top-ranked functional dependencies of DBLP cluster 1.
+
+On the conference partition the journal attributes are exclusively NULL, so
+dependencies like [Volume] -> [Journal] and [Number] -> [Journal] hold
+trivially and remove maximal redundancy: the paper reports RAD = RTR = 1.0
+for both.  (Their FDEP run found 12 dependencies, minimum cover 11, and no
+dependency among Author, Pages and BookTitle.)
+"""
+
+from conftest import format_table
+
+from repro.core import fd_rank, cluster_values, group_attributes, redundancy_report
+from repro.fd import FD, holds, minimum_cover, tane
+
+PHI_T = 0.5
+PHI_V = 1.0
+
+PAPER_ROWS = [
+    ["[Volume] -> [Journal]", 1.0, 1.0],
+    ["[Number] -> [Journal]", 1.0, 1.0],
+]
+
+
+def test_table5_cluster1_fds(benchmark, reporter, dblp_partitions):
+    conference = dblp_partitions.conference
+
+    def mine():
+        fds = tane(conference, max_lhs_size=3)
+        return fds, minimum_cover(fds, group_rhs=True)
+
+    fds, cover = benchmark.pedantic(mine, rounds=1, iterations=1)
+
+    values = cluster_values(conference, phi_v=PHI_V, phi_t=PHI_T)
+    grouping = group_attributes(value_clustering=values)
+    ranked = fd_rank(cover, grouping, psi=0.5)
+
+    measured_rows = []
+    for entry in ranked[:5]:
+        report = redundancy_report(conference, entry.fd)
+        measured_rows.append(
+            [str(entry.fd), f"{entry.rank:.4f}",
+             f"{report['rad']:.3f}", f"{report['rtr']:.3f}"]
+        )
+
+    body = (
+        f"Dependencies: paper 12 (cover 11) / measured {len(fds)} "
+        f"(cover {len(cover)})\n\n"
+        "Paper's top-ranked dependencies:\n"
+        + format_table(["FD", "RAD", "RTR"], PAPER_ROWS)
+        + "\n\nMeasured top-5 (psi = 0.5):\n"
+        + format_table(["FD", "rank", "RAD", "RTR"], measured_rows)
+    )
+    reporter("table5_cluster1_fds", "Table 5 -- cluster 1 ranked FDs", body)
+
+    # The paper's trivial NULL dependencies hold on the partition.
+    assert holds(conference, FD("Volume", "Journal"))
+    assert holds(conference, FD("Number", "Journal"))
+
+    # The top-ranked dependency removes (essentially) all redundancy in its
+    # attributes: RAD = RTR = 1.0 up to the odd stray tuple.
+    top = ranked[0]
+    report = redundancy_report(conference, top.fd)
+    assert report["rad"] >= 0.99
+    assert report["rtr"] >= 0.99
+    # And it covers all-NULL attributes, as in the paper.
+    null_attrs = {"Volume", "Journal", "Number"}
+    assert top.fd.attributes <= null_attrs
+
+    # The large-domain content attributes do not determine each other in the
+    # directions the paper highlights.  (Our generator does admit
+    # [Pages] -> [BookTitle], since each paper's page range is unique --
+    # a data artifact, noted in the report.)
+    assert not holds(conference, FD("Author", "BookTitle"))
+    assert not holds(conference, FD("BookTitle", "Author"))
+    assert not holds(conference, FD("BookTitle", "Pages"))

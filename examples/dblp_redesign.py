@@ -1,0 +1,75 @@
+"""Redesigning an overloaded integrated relation (Section 8.2).
+
+Scenario: publications from heterogeneous sources were forced into a single
+13-attribute relation; most attributes are NULL for most tuples.  The
+redesign workflow the paper demonstrates on DBLP:
+
+1. group attributes -> the six >98%-NULL attributes collapse at ~zero
+   information loss and are set aside;
+2. partition the remaining relation horizontally -> the publication types
+   (conference vs. journal) separate;
+3. per partition, mine + rank dependencies -> each type's natural schema.
+
+Run:  python examples/dblp_redesign.py  [n_tuples]
+"""
+
+import sys
+
+from repro import (
+    NULL,
+    cluster_values,
+    fd_rank,
+    group_attributes,
+    horizontal_partition,
+    minimum_cover,
+    redundancy_report,
+    tane,
+)
+from repro.datasets import NULL_HEAVY_ATTRIBUTES, dblp
+
+
+def main(n_tuples: int = 6000) -> None:
+    relation = dblp(n_tuples=n_tuples, seed=7)
+    print(f"Integrated relation: {len(relation)} tuples x {relation.arity} attributes")
+    print(f"Distinct values: {relation.value_count()}\n")
+
+    print("Step 1 -- attribute grouping on the full relation:")
+    values = cluster_values(relation, phi_v=0.5, phi_t=0.5)
+    grouping = group_attributes(value_clustering=values)
+    print(grouping.render())
+    sparse = [
+        name for name in grouping.attribute_names
+        if relation.null_fraction(name) > 0.95
+    ]
+    print(f"\n  >95%-NULL attributes to store separately: {sparse}\n")
+
+    projected = relation.drop(sparse)
+    print(f"Step 2 -- horizontal partitioning of {tuple(projected.attributes)}:")
+    partitioned = horizontal_partition(projected, phi_t=0.5, max_summaries=100)
+    print(f"  natural k suggested by the information-loss knee: {partitioned.k}")
+    for partition in sorted(partitioned.partitions, key=len, reverse=True):
+        conference = sum(1 for r in partition.records() if r["BookTitle"] is not NULL)
+        journal = sum(1 for r in partition.records() if r["Journal"] is not NULL)
+        kind = "conference" if conference >= journal else "journal"
+        print(f"  partition: {len(partition)} tuples, mostly {kind}")
+    print()
+
+    print("Step 3 -- per-partition dependency ranking:")
+    for partition in sorted(partitioned.partitions, key=len, reverse=True)[:2]:
+        journal_rows = sum(1 for r in partition.records() if r["Journal"] is not NULL)
+        kind = "journal" if journal_rows > len(partition) / 2 else "conference"
+        print(f"\n  [{kind} partition, {len(partition)} tuples]")
+        fds = tane(partition, max_lhs_size=3)
+        cover = minimum_cover(fds, group_rhs=True)
+        part_values = cluster_values(partition, phi_v=1.0, phi_t=0.5)
+        part_grouping = group_attributes(value_clustering=part_values)
+        for entry in fd_rank(cover, part_grouping, psi=0.5)[:3]:
+            report = redundancy_report(partition, entry.fd)
+            print(f"    {entry.fd}  rank={entry.rank:.4f} "
+                  f"RAD={report['rad']:.3f} RTR={report['rtr']:.3f}")
+    print("\nHigh-RAD/RTR dependencies are the decomposition candidates: each"
+          "\nremoves the most redundant repetition from its partition.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 6000)

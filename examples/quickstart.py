@@ -1,0 +1,55 @@
+"""Quickstart: the paper's running example, end to end.
+
+Builds the Figure 4 relation, runs the full structure-discovery pipeline
+(tuple clustering, value clustering, attribute grouping, FD mining and
+FD-RANK), and prints the worked-example results of Sections 6-7:
+
+* the perfectly co-occurring value groups {a, 1} and {2, x};
+* the Figure 10 dendrogram (B and C merge first, then A, max loss ~0.52);
+* C -> B ranked above A -> B, with the RAD/RTR evidence.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Relation, StructureDiscovery, decompose_by_fd
+
+
+def main() -> None:
+    relation = Relation(
+        ["A", "B", "C"],
+        [
+            ("a", "1", "p"),
+            ("a", "1", "r"),
+            ("w", "2", "x"),
+            ("y", "2", "x"),
+            ("z", "2", "x"),
+        ],
+    )
+    print("Input relation (the paper's Figure 4):")
+    print(relation.head())
+    print()
+
+    report = StructureDiscovery().run(relation)
+    print(report.render())
+    print()
+
+    print("Duplicate value groups (C_V^D):")
+    for group in report.value_clustering.duplicate_groups:
+        print(f"  {{{', '.join(group.labels)}}}  O-row: {group.support}")
+    print()
+
+    best = report.ranked[0].fd
+    decomposition = decompose_by_fd(relation, best)
+    print(f"Decomposing by the top-ranked dependency {best}:")
+    print(f"  S1 = {decomposition.s1.attributes}: {len(decomposition.s1)} tuples")
+    print(decomposition.s1.head())
+    print(f"  S2 = {decomposition.s2.attributes}: {len(decomposition.s2)} tuples")
+    print(decomposition.s2.head())
+    print(
+        f"  tuple reduction realized: {decomposition.tuple_reduction:.0%} "
+        "(the redundancy the dependency removes)"
+    )
+
+
+if __name__ == "__main__":
+    main()

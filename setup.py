@@ -1,0 +1,12 @@
+"""Thin setup.py shim.
+
+The environment this reproduction targets has no network access and no
+``wheel`` package, so PEP 660 editable installs (``pip install -e .``) cannot
+build the editable wheel.  This shim lets ``python setup.py develop`` (and
+pip's legacy editable path) work offline; all real metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

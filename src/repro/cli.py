@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Five commands cover the analyst workflow the paper describes:
+
+* ``discover``   -- full structure-discovery report for a CSV relation;
+* ``rank``       -- mine dependencies and print the FD-RANK order with
+                    RAD/RTR for each;
+* ``partition``  -- horizontal partitioning with the natural-k heuristic;
+* ``redesign``   -- propose a lossless vertical decomposition;
+* ``dataset``    -- emit the synthetic DB2-sample / DBLP relations as CSV.
+
+CSV conventions follow :mod:`repro.relation.io`: a header row, empty fields
+are NULLs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import (
+    StructureDiscovery,
+    fd_rank,
+    group_attributes,
+    horizontal_partition,
+    redundancy_report,
+)
+from repro.core.redesign import vertical_redesign
+from repro.datasets import db2_sample, dblp
+from repro.fd import fdep, minimum_cover, tane
+from repro.relation import read_csv, write_csv
+
+
+def _add_csv_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("csv", help="input relation (headered CSV; empty field = NULL)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Information-theoretic database structure mining "
+        "(Andritsos, Miller & Tsaparas, SIGMOD 2004).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    discover = commands.add_parser("discover", help="full structure report")
+    _add_csv_argument(discover)
+    discover.add_argument("--phi-t", type=float, default=0.0)
+    discover.add_argument("--phi-v", type=float, default=0.0)
+    discover.add_argument("--psi", type=float, default=0.5)
+    discover.add_argument("--top", type=int, default=5)
+
+    rank = commands.add_parser("rank", help="rank mined dependencies")
+    _add_csv_argument(rank)
+    rank.add_argument("--psi", type=float, default=0.5)
+    rank.add_argument("--phi-v", type=float, default=0.0)
+    rank.add_argument(
+        "--miner", choices=("auto", "fdep", "tane"), default="auto"
+    )
+    rank.add_argument("--top", type=int, default=10)
+
+    partition = commands.add_parser("partition", help="horizontal partitioning")
+    _add_csv_argument(partition)
+    partition.add_argument("--k", type=int, default=None,
+                           help="cluster count (default: knee heuristic)")
+    partition.add_argument("--phi-t", type=float, default=1.0)
+    partition.add_argument("--out", default=None,
+                           help="prefix to write one CSV per partition")
+
+    redesign = commands.add_parser("redesign", help="vertical decomposition")
+    _add_csv_argument(redesign)
+    redesign.add_argument("--max-fragments", type=int, default=4)
+    redesign.add_argument("--psi", type=float, default=0.5)
+    redesign.add_argument("--min-rtr", type=float, default=0.2)
+    redesign.add_argument("--out", default=None,
+                          help="prefix to write one CSV per fragment")
+
+    profile = commands.add_parser("profile", help="per-attribute statistics")
+    _add_csv_argument(profile)
+    profile.add_argument("--top", type=int, default=3,
+                         help="top values shown per attribute")
+
+    dataset = commands.add_parser("dataset", help="emit a synthetic data set")
+    dataset.add_argument("name", choices=("db2", "dblp"))
+    dataset.add_argument("--out", required=True, help="output CSV path")
+    dataset.add_argument("--n", type=int, default=8000,
+                         help="DBLP tuple count (ignored for db2)")
+    dataset.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _cmd_discover(args) -> int:
+    relation = read_csv(args.csv)
+    report = StructureDiscovery(
+        phi_t=args.phi_t, phi_v=args.phi_v, psi=args.psi
+    ).run(relation)
+    print(report.render(top=args.top))
+    return 0
+
+
+def _cmd_rank(args) -> int:
+    relation = read_csv(args.csv)
+    miner = args.miner
+    if miner == "auto":
+        miner = "fdep" if len(relation) <= 2000 else "tane"
+    fds = fdep(relation) if miner == "fdep" else tane(relation, max_lhs_size=3)
+    cover = minimum_cover(fds, group_rhs=True)
+    print(f"{len(fds)} dependencies mined ({miner}); cover of {len(cover)}")
+    grouping = group_attributes(relation, phi_v=args.phi_v)
+    for entry in fd_rank(cover, grouping, psi=args.psi)[: args.top]:
+        report = redundancy_report(relation, entry.fd)
+        print(
+            f"  {entry.fd}  rank={entry.rank:.4f} "
+            f"RAD={report['rad']:.3f} RTR={report['rtr']:.3f}"
+        )
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    relation = read_csv(args.csv)
+    result = horizontal_partition(relation, k=args.k, phi_t=args.phi_t)
+    print(f"k = {result.k} "
+          f"(relative information loss {result.relative_information_loss:.2%})")
+    for index, part in enumerate(
+        sorted(result.partitions, key=len, reverse=True), start=1
+    ):
+        print(f"  partition {index}: {len(part)} tuples")
+        if args.out:
+            path = f"{args.out}.part{index}.csv"
+            write_csv(part, path)
+            print(f"    written to {path}")
+    return 0
+
+
+def _cmd_redesign(args) -> int:
+    relation = read_csv(args.csv)
+    result = vertical_redesign(
+        relation,
+        max_fragments=args.max_fragments,
+        psi=args.psi,
+        min_rtr=args.min_rtr,
+    )
+    print(result.render())
+    if args.out:
+        for name, fragment in result.fragments.items():
+            path = f"{args.out}.{name}.csv"
+            write_csv(fragment, path)
+            print(f"  written {path}")
+        if result.remainder is not None:
+            path = f"{args.out}.remainder.csv"
+            write_csv(result.remainder, path)
+            print(f"  written {path}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.core import profile_relation
+
+    relation = read_csv(args.csv)
+    profile = profile_relation(relation)
+    print(profile.render(top=args.top))
+    null_heavy = profile.null_heavy()
+    if null_heavy:
+        print(f"\nmostly-NULL attributes (store separately?): {null_heavy}")
+    keys = profile.key_candidates()
+    if keys:
+        print(f"key candidates: {keys}")
+    return 0
+
+
+def _cmd_dataset(args) -> int:
+    if args.name == "db2":
+        relation = db2_sample(seed=args.seed).relation
+    else:
+        relation = dblp(n_tuples=args.n, seed=args.seed)
+    write_csv(relation, args.out)
+    print(f"wrote {len(relation)} tuples x {relation.arity} attributes to {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "discover": _cmd_discover,
+    "rank": _cmd_rank,
+    "partition": _cmd_partition,
+    "redesign": _cmd_redesign,
+    "profile": _cmd_profile,
+    "dataset": _cmd_dataset,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point (returns a process exit code)."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

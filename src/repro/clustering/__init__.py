@@ -1,0 +1,28 @@
+"""Information-bottleneck clustering engine (paper Section 5).
+
+``DCF``/``merge``/``merge_cost`` implement the distributional cluster
+features and Equations 1-3; ``aib`` is the Agglomerative Information
+Bottleneck; ``DCFTree`` is the Phase-1 summarization structure; ``Limbo``
+drives the three phases; ``Dendrogram`` records merge sequences for the
+figures and for FD-RANK.
+"""
+
+from repro.clustering.aib import AIBResult, aib
+from repro.clustering.dcf import DCF, merge, merge_all, merge_cost
+from repro.clustering.dcf_tree import DCFTree
+from repro.clustering.dendrogram import Dendrogram, Merge
+from repro.clustering.limbo import Limbo, clustering_information
+
+__all__ = [
+    "AIBResult",
+    "DCF",
+    "DCFTree",
+    "Dendrogram",
+    "Limbo",
+    "Merge",
+    "aib",
+    "clustering_information",
+    "merge",
+    "merge_all",
+    "merge_cost",
+]

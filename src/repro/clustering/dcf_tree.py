@@ -1,0 +1,173 @@
+"""The DCF-tree: LIMBO's Phase-1 summarization structure (Section 5.2).
+
+A height-balanced tree in the style of BIRCH.  Leaf nodes hold DCF entries
+that summarize groups of inserted objects; internal nodes hold the merged
+DCFs of their children and route insertions.  An object descends to the
+closest child at each level (distance = information loss ``delta_I``); at a
+leaf it merges into the closest entry if the loss stays within the threshold
+``phi * I(V;T) / |V|``, otherwise it becomes a new entry, splitting the leaf
+(and, recursively, ancestors) when the branching factor is exceeded.
+
+With ``phi = 0`` only identical objects merge, and LIMBO degenerates to AIB
+over the distinct objects -- the equivalence Section 5.2 notes.
+"""
+
+from __future__ import annotations
+
+from repro.clustering.dcf import DCF, merge_cost
+
+#: Numeric slack so that delta_I of *identical* objects (which is zero up to
+#: floating-point noise) always passes a phi=0 threshold.
+_MERGE_EPSILON = 1e-12
+
+
+class _Node:
+    """A tree node: parallel lists of entry DCFs and child nodes (leaves have
+    no children)."""
+
+    __slots__ = ("entries", "children")
+
+    def __init__(self, entries=None, children=None):
+        self.entries: list[DCF] = entries or []
+        self.children: list["_Node"] | None = children
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class DCFTree:
+    """Incremental DCF summarization with bounded branching.
+
+    Parameters
+    ----------
+    threshold:
+        Maximum information loss allowed when absorbing an object into an
+        existing leaf entry (``phi * I(V;T) / |V|``).
+    branching:
+        Maximum entries per node (the paper's ``B``; default 4 as in
+        Section 8).
+    """
+
+    def __init__(self, threshold: float, branching: int = 4):
+        if threshold < 0.0:
+            raise ValueError("threshold must be non-negative")
+        if branching < 2:
+            raise ValueError("branching factor must be at least 2")
+        self.threshold = float(threshold)
+        self.branching = int(branching)
+        self._root = _Node()
+        self.n_inserted = 0
+        self.n_absorbed = 0  # objects merged into an existing entry
+
+    # -- public API -------------------------------------------------------------
+
+    def insert(self, dcf: DCF) -> None:
+        """Insert one object's singleton DCF."""
+        self.n_inserted += 1
+        overflow = self._insert_into(self._root, dcf)
+        if overflow is not None:
+            # Root split: grow the tree by one level.
+            left, right = overflow
+            self._root = _Node(
+                entries=[self._summary(left), self._summary(right)],
+                children=[left, right],
+            )
+
+    def leaves(self) -> list[DCF]:
+        """All leaf entries, left to right -- the Phase-1 summaries."""
+        result: list[DCF] = []
+        self._collect(self._root, result)
+        return result
+
+    @property
+    def height(self) -> int:
+        """Tree height (a single leaf node has height 1)."""
+        node, h = self._root, 1
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    # -- internals -----------------------------------------------------------------
+
+    @staticmethod
+    def _summary(node: _Node) -> DCF:
+        """The merged DCF of all entries of a node (always a fresh object)."""
+        summary = node.entries[0].copy()
+        for entry in node.entries[1:]:
+            summary.absorb(entry)
+        return summary
+
+    def _closest(self, entries: list[DCF], dcf: DCF) -> tuple[int, float]:
+        best_index, best_cost = 0, merge_cost(entries[0], dcf)
+        for index in range(1, len(entries)):
+            cost = merge_cost(entries[index], dcf)
+            if cost < best_cost:
+                best_index, best_cost = index, cost
+        return best_index, best_cost
+
+    def _insert_into(self, node: _Node, dcf: DCF):
+        """Insert recursively; returns a (left, right) pair if ``node`` split."""
+        if node.is_leaf:
+            if node.entries:
+                index, cost = self._closest(node.entries, dcf)
+                if cost <= self.threshold + _MERGE_EPSILON:
+                    node.entries[index].absorb(dcf)
+                    self.n_absorbed += 1
+                    return None
+            node.entries.append(dcf)
+            if len(node.entries) > self.branching:
+                return self._split(node)
+            return None
+
+        index, _ = self._closest(node.entries, dcf)
+        # Absorb into the routing summary first: the child will consume dcf.
+        routing_copy = dcf.copy()
+        overflow = self._insert_into(node.children[index], dcf)
+        if overflow is None:
+            node.entries[index].absorb(routing_copy)
+            return None
+        left, right = overflow
+        node.entries[index] = self._summary(left)
+        node.children[index] = left
+        node.entries.insert(index + 1, self._summary(right))
+        node.children.insert(index + 1, right)
+        if len(node.entries) > self.branching:
+            return self._split(node)
+        return None
+
+    def _split(self, node: _Node):
+        """Split an overflowing node around its two farthest entries."""
+        entries = node.entries
+        seed_a, seed_b, worst = 0, 1, -1.0
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                cost = merge_cost(entries[i], entries[j])
+                if cost > worst:
+                    seed_a, seed_b, worst = i, j, cost
+
+        group_a, group_b = [seed_a], [seed_b]
+        for index in range(len(entries)):
+            if index in (seed_a, seed_b):
+                continue
+            cost_a = merge_cost(entries[index], entries[seed_a])
+            cost_b = merge_cost(entries[index], entries[seed_b])
+            (group_a if cost_a <= cost_b else group_b).append(index)
+
+        def build(group: list[int]) -> _Node:
+            if node.is_leaf:
+                return _Node(entries=[entries[i] for i in group])
+            return _Node(
+                entries=[entries[i] for i in group],
+                children=[node.children[i] for i in group],
+            )
+
+        return build(group_a), build(group_b)
+
+    def _collect(self, node: _Node, out: list[DCF]) -> None:
+        if node.is_leaf:
+            out.extend(node.entries)
+            return
+        for child in node.children:
+            self._collect(child, out)

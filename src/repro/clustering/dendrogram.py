@@ -1,0 +1,188 @@
+"""Merge sequences and dendrograms.
+
+Agglomerative clustering produces a sequence ``Q`` of merges, each with its
+information loss.  ``FD-RANK`` (Section 7) consumes exactly this sequence,
+and the paper's Figures 10 and 14-18 are its dendrograms.  This module holds
+the data structure plus cutting, querying and ASCII rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomerative step: nodes ``left`` and ``right`` become ``parent``.
+
+    Node ids ``0..n_leaves-1`` are leaves; merge ``i`` creates node
+    ``n_leaves + i``.  ``loss`` is the information loss ``delta_I`` of the
+    step, in bits.
+    """
+
+    left: int
+    right: int
+    parent: int
+    loss: float
+
+
+class Dendrogram:
+    """A full merge sequence over ``n_leaves`` objects.
+
+    The sequence may stop early (a partial clustering); a complete
+    agglomeration has ``n_leaves - 1`` merges.
+    """
+
+    def __init__(self, n_leaves: int, merges, labels=None):
+        if n_leaves < 1:
+            raise ValueError("a dendrogram needs at least one leaf")
+        self.n_leaves = n_leaves
+        self.merges: list[Merge] = list(merges)
+        if len(self.merges) > n_leaves - 1:
+            raise ValueError("more merges than an agglomeration can contain")
+        if labels is not None and len(labels) != n_leaves:
+            raise ValueError("need exactly one label per leaf")
+        self.labels = list(labels) if labels is not None else [str(i) for i in range(n_leaves)]
+
+    # -- basic queries -----------------------------------------------------------
+
+    @property
+    def losses(self) -> list[float]:
+        """The information loss of each merge, in sequence order."""
+        return [m.loss for m in self.merges]
+
+    @property
+    def max_loss(self) -> float:
+        """``max(Q)`` -- the largest single-merge loss (0 if no merges)."""
+        return max((m.loss for m in self.merges), default=0.0)
+
+    def is_complete(self) -> bool:
+        """Whether the sequence agglomerates all the way to one cluster."""
+        return len(self.merges) == self.n_leaves - 1
+
+    # -- cluster reconstruction --------------------------------------------------
+
+    def _clusters_after(self, n_merges: int) -> dict:
+        """Map from live node id to its leaf members after ``n_merges`` steps."""
+        clusters = {i: [i] for i in range(self.n_leaves)}
+        for m in self.merges[:n_merges]:
+            clusters[m.parent] = clusters.pop(m.left) + clusters.pop(m.right)
+        return clusters
+
+    def cut(self, k: int) -> list[list[int]]:
+        """The clustering with ``k`` clusters (lists of leaf indices).
+
+        Applies the first ``n_leaves - k`` merges.  Requires the sequence to
+        be long enough to reach ``k`` clusters.
+        """
+        if not 1 <= k <= self.n_leaves:
+            raise ValueError(f"k must be in [1, {self.n_leaves}], got {k}")
+        needed = self.n_leaves - k
+        if needed > len(self.merges):
+            raise ValueError(
+                f"sequence has only {len(self.merges)} merges; cannot reach k={k}"
+            )
+        clusters = self._clusters_after(needed)
+        return [sorted(members) for members in clusters.values()]
+
+    def cut_at_loss(self, threshold: float) -> list[list[int]]:
+        """Clusters formed by applying merges while ``loss <= threshold``."""
+        n_merges = 0
+        for m in self.merges:
+            if m.loss > threshold:
+                break
+            n_merges += 1
+        return [sorted(v) for v in self._clusters_after(n_merges).values()]
+
+    def assignment(self, k: int) -> list[int]:
+        """Cluster index (0-based, in cut order) for each leaf."""
+        result = [0] * self.n_leaves
+        for cluster_index, members in enumerate(self.cut(k)):
+            for leaf in members:
+                result[leaf] = cluster_index
+        return result
+
+    # -- FD-RANK support ----------------------------------------------------------
+
+    def merge_gathering(self, leaves) -> Merge | None:
+        """The first merge after which all ``leaves`` lie in one cluster.
+
+        Returns ``None`` if the (possibly partial) sequence never gathers
+        them.  A single leaf is gathered from the start; by convention the
+        answer is then ``None`` as no merge was required.
+        """
+        target = set(leaves)
+        unknown = target - set(range(self.n_leaves))
+        if unknown:
+            raise ValueError(f"unknown leaf indices: {sorted(unknown)}")
+        if len(target) <= 1:
+            return None
+        member_of = {i: i for i in target}  # leaf -> current node id
+        node_counts = {i: 1 for i in target}
+        for m in self.merges:
+            touched_left = [leaf for leaf, node in member_of.items() if node == m.left]
+            touched_right = [leaf for leaf, node in member_of.items() if node == m.right]
+            if not touched_left and not touched_right:
+                continue
+            for leaf in touched_left + touched_right:
+                member_of[leaf] = m.parent
+            node_counts[m.parent] = len(touched_left) + len(touched_right)
+            if node_counts[m.parent] == len(target):
+                return m
+        return None
+
+    def merge_index(self, merge: Merge) -> int:
+        """Position of a merge within the sequence."""
+        return self.merges.index(merge)
+
+    # -- rendering ------------------------------------------------------------------
+
+    def _children(self) -> dict:
+        return {m.parent: (m.left, m.right, m.loss) for m in self.merges}
+
+    def render(self, max_label: int = 24) -> str:
+        """An indented ASCII rendering of the (possibly partial) forest.
+
+        Roots are the clusters left at the end of the sequence; each internal
+        node prints the information loss at which it formed, mirroring the
+        loss axis of the paper's dendrogram figures.
+        """
+        children = self._children()
+        live = set(range(self.n_leaves))
+        for m in self.merges:
+            live.discard(m.left)
+            live.discard(m.right)
+            live.add(m.parent)
+
+        lines: list[str] = []
+
+        def walk(node: int, prefix: str, connector: str, child_prefix: str) -> None:
+            if node < self.n_leaves:
+                label = self.labels[node][:max_label]
+                lines.append(f"{prefix}{connector}{label}")
+                return
+            left, right, loss = children[node]
+            lines.append(f"{prefix}{connector}(loss={loss:.4f})")
+            walk(left, child_prefix, "├─ ", child_prefix + "│  ")
+            walk(right, child_prefix, "└─ ", child_prefix + "   ")
+
+        for root in sorted(live):
+            walk(root, "", "", "")
+        return "\n".join(lines)
+
+    def merge_table(self) -> str:
+        """A numbered table of merges with member labels -- the sequence Q."""
+        clusters = {i: [i] for i in range(self.n_leaves)}
+        lines = ["step  loss      merged cluster"]
+        for step, m in enumerate(self.merges, start=1):
+            merged = clusters.pop(m.left) + clusters.pop(m.right)
+            clusters[m.parent] = merged
+            names = ", ".join(self.labels[i] for i in sorted(merged))
+            lines.append(f"{step:<5d} {m.loss:<9.4f} {{{names}}}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Dendrogram({self.n_leaves} leaves, {len(self.merges)} merges, "
+            f"max_loss={self.max_loss:.4f})"
+        )

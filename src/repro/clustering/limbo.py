@@ -1,0 +1,218 @@
+"""LIMBO: scaLable InforMation BOttleneck clustering (paper Section 5.2).
+
+Three phases:
+
+1. **Summarize** -- stream the objects into a :class:`DCFTree` whose merge
+   threshold is ``phi * I(V;T) / |V|``; the leaf entries summarize the data.
+2. **Cluster** -- run AIB over the leaf summaries, producing the full merge
+   sequence (dendrogram).
+3. **Associate** -- scan the objects again and assign each to the closest of
+   the ``k`` representative DCFs (minimum information loss).
+
+The exact ``I(V;T)`` needed by the threshold is available because the matrix
+builders make a first pass over the data (Section 6.2's "three passes").
+"""
+
+from __future__ import annotations
+
+from repro.clustering.aib import AIBResult, aib
+from repro.clustering.dcf import DCF, merge, merge_cost
+from repro.clustering.dcf_tree import DCFTree
+from repro.infotheory.entropy import mutual_information_rows
+
+#: When Phase 1 must be re-run to respect ``max_summaries``, the threshold is
+#: scaled by this factor per rebuild (BIRCH-style threshold escalation).
+_REBUILD_FACTOR = 2.0
+
+
+class Limbo:
+    """The LIMBO clustering driver.
+
+    Parameters
+    ----------
+    phi:
+        Summary accuracy knob (``phi = 0`` merges only identical objects and
+        makes LIMBO equivalent to AIB; larger values give coarser, smaller
+        summaries).
+    branching:
+        DCF-tree branching factor ``B`` (default 4, as in Section 8).
+    max_summaries:
+        Optional cap on the number of Phase-1 summaries.  When the tree
+        yields more leaves than this, Phase 1 is re-run over the leaf DCFs
+        with an escalated threshold until the cap is met -- the paper's
+        "pick a number of leaves that is sufficiently large" device for
+        horizontal partitioning.
+    """
+
+    def __init__(self, phi: float = 0.0, branching: int = 4, max_summaries: int | None = None):
+        if phi < 0.0:
+            raise ValueError("phi must be non-negative")
+        if max_summaries is not None and max_summaries < 1:
+            raise ValueError("max_summaries must be positive")
+        self.phi = float(phi)
+        self.branching = int(branching)
+        self.max_summaries = max_summaries
+        self._rows: list | None = None
+        self._priors: list | None = None
+        self._supports: list | None = None
+        self._summaries: list[DCF] | None = None
+        self._total_information: float | None = None
+        self._threshold: float | None = None
+
+    # -- Phase 1 -----------------------------------------------------------------
+
+    def fit(self, rows, priors, supports=None, mutual_information: float | None = None) -> "Limbo":
+        """Phase 1: summarize the objects into leaf DCFs.
+
+        Parameters
+        ----------
+        rows:
+            Sparse conditional distributions ``p(T|v)``, one per object.
+        priors:
+            Object priors ``p(v)`` (must sum to one).
+        supports:
+            Optional per-object ``O``-matrix rows; when given, leaf entries
+            are ADCFs that accumulate the counts (Section 6.2).
+        mutual_information:
+            The exact ``I(V;T)`` if already known (saves a pass).
+        """
+        rows = list(rows)
+        priors = [float(p) for p in priors]
+        if len(rows) != len(priors):
+            raise ValueError("rows and priors must have the same length")
+        if not rows:
+            raise ValueError("cannot fit on zero objects")
+        if supports is not None:
+            supports = list(supports)
+            if len(supports) != len(rows):
+                raise ValueError("supports must have the same length as rows")
+
+        if mutual_information is None:
+            mutual_information = mutual_information_rows(rows, priors)
+        self._total_information = mutual_information
+        self._threshold = self.phi * mutual_information / len(rows)
+
+        tree = DCFTree(self._threshold, branching=self.branching)
+        for index, (row, prior) in enumerate(zip(rows, priors)):
+            support = supports[index] if supports is not None else None
+            tree.insert(DCF.singleton(index, prior, row, support=support))
+        summaries = tree.leaves()
+
+        threshold = self._threshold
+        while self.max_summaries is not None and len(summaries) > self.max_summaries:
+            threshold = max(threshold * _REBUILD_FACTOR, mutual_information / len(rows) / 64.0)
+            tree = DCFTree(threshold, branching=self.branching)
+            for dcf in summaries:
+                tree.insert(dcf)
+            summaries = tree.leaves()
+
+        self._rows, self._priors, self._supports = rows, priors, supports
+        self._summaries = summaries
+        return self
+
+    @property
+    def summaries(self) -> list[DCF]:
+        """The Phase-1 leaf DCFs."""
+        self._require_fitted()
+        return list(self._summaries)
+
+    @property
+    def total_information(self) -> float:
+        """``I(V;T)`` of the fitted data, in bits."""
+        self._require_fitted()
+        return self._total_information
+
+    @property
+    def threshold(self) -> float:
+        """The Phase-1 merge threshold ``phi * I(V;T) / |V|``."""
+        self._require_fitted()
+        return self._threshold
+
+    # -- Phase 2 -----------------------------------------------------------------
+
+    def merge_sequence(self, labels=None) -> AIBResult:
+        """Phase 2: full AIB over the leaf summaries.
+
+        The result's ``initial_information`` is ``I(C_leaves; T)`` so that
+        ``information_at(k)`` reflects the summarized data exactly.
+        """
+        self._require_fitted()
+        leaf_information = mutual_information_rows(
+            [s.conditional for s in self._summaries],
+            [s.weight for s in self._summaries],
+        )
+        return aib(self._summaries, labels=labels, initial_information=leaf_information)
+
+    def representatives(self, k: int) -> list[DCF]:
+        """The ``k`` cluster-representative DCFs from Phases 1+2."""
+        return self.merge_sequence().clusters(k)
+
+    # -- Phase 3 -----------------------------------------------------------------
+
+    def assign(self, representatives, rows=None, priors=None) -> list[int]:
+        """Phase 3: associate each object with its closest representative.
+
+        Proximity is the information loss of merging the object's singleton
+        DCF into the representative.  Defaults to the fitted objects; pass
+        ``rows``/``priors`` to associate a different (e.g. unsummarized or
+        held-out) object set.
+        """
+        self._require_fitted()
+        if rows is None:
+            rows = self._rows
+            priors = self._priors
+        elif priors is None:
+            priors = [1.0 / len(rows)] * len(rows)
+        reps = list(representatives)
+        if not reps:
+            raise ValueError("need at least one representative")
+        assignment = []
+        for row, prior in zip(rows, priors):
+            singleton = DCF(prior, row)
+            best_index, best_cost = 0, merge_cost(reps[0], singleton)
+            for index in range(1, len(reps)):
+                cost = merge_cost(reps[index], singleton)
+                if cost < best_cost:
+                    best_index, best_cost = index, cost
+            assignment.append(best_index)
+        return assignment
+
+    def cluster(self, k: int) -> list[int]:
+        """Run Phases 2+3 and return a cluster index per fitted object."""
+        return self.assign(self.representatives(k))
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    def relative_information_loss(self, assignment) -> float:
+        """Fraction of ``I(V;T)`` lost by a (Phase 3) hard clustering.
+
+        Section 8.2 reports this as, e.g., "the loss of initial information
+        after Phase 3 was 9.45%".
+        """
+        self._require_fitted()
+        clustered = clustering_information(self._rows, self._priors, assignment)
+        if self._total_information <= 0.0:
+            return 0.0
+        return max(0.0, 1.0 - clustered / self._total_information)
+
+    def _require_fitted(self) -> None:
+        if self._summaries is None:
+            raise RuntimeError("call fit() first")
+
+
+def clustering_information(rows, priors, assignment) -> float:
+    """``I(C; T)`` of a hard clustering of the objects, in bits."""
+    rows = list(rows)
+    if len(assignment) != len(rows):
+        raise ValueError("assignment must cover every object")
+    clusters: dict = {}
+    for row, prior, cluster in zip(rows, priors, assignment):
+        entry = clusters.get(cluster)
+        if entry is None:
+            clusters[cluster] = DCF(prior, row)
+        else:
+            clusters[cluster] = merge(entry, DCF(prior, row))
+    return mutual_information_rows(
+        [dcf.conditional for dcf in clusters.values()],
+        [dcf.weight for dcf in clusters.values()],
+    )

@@ -1,0 +1,72 @@
+"""The paper's primary contribution: duplication summaries and FD ranking.
+
+Tuple clustering (Section 6.1), attribute-value clustering (Section 6.2),
+attribute grouping (Section 6.3), horizontal partitioning (Section 6.1.2),
+the FD-RANK algorithm (Section 7), the RAD/RTR measures and vertical
+decomposition (Section 8).
+"""
+
+from repro.core.attribute_grouping import AttributeGroupingResult, group_attributes
+from repro.core.decompose import (
+    Decomposition,
+    decompose_by_fd,
+    is_lossless,
+    redundancy_report,
+)
+from repro.core.dedupe import DedupeResult, eliminate_duplicates
+from repro.core.discovery import DiscoveryReport, StructureDiscovery
+from repro.core.fd_rank import RankedFD, fd_rank
+from repro.core.horizontal import (
+    HorizontalPartitionResult,
+    KSuggestion,
+    horizontal_partition,
+    suggest_k,
+)
+from repro.core.measures import rad, rtr
+from repro.core.profile import AttributeProfile, RelationProfile, profile_relation
+from repro.core.redesign import RedesignResult, RedesignStep, vertical_redesign
+from repro.core.tuple_clustering import (
+    DuplicateGroup,
+    TupleClusteringResult,
+    cluster_tuples,
+    find_duplicate_tuples,
+)
+from repro.core.value_clustering import (
+    ValueClusteringResult,
+    ValueGroup,
+    cluster_values,
+)
+
+__all__ = [
+    "AttributeGroupingResult",
+    "Decomposition",
+    "DedupeResult",
+    "DiscoveryReport",
+    "DuplicateGroup",
+    "HorizontalPartitionResult",
+    "KSuggestion",
+    "AttributeProfile",
+    "RankedFD",
+    "RedesignResult",
+    "RedesignStep",
+    "RelationProfile",
+    "StructureDiscovery",
+    "TupleClusteringResult",
+    "ValueClusteringResult",
+    "ValueGroup",
+    "cluster_tuples",
+    "cluster_values",
+    "decompose_by_fd",
+    "eliminate_duplicates",
+    "fd_rank",
+    "find_duplicate_tuples",
+    "group_attributes",
+    "horizontal_partition",
+    "is_lossless",
+    "profile_relation",
+    "rad",
+    "redundancy_report",
+    "rtr",
+    "suggest_k",
+    "vertical_redesign",
+]

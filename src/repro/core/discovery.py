@@ -1,0 +1,120 @@
+"""One-call structure discovery: the analyst-facing driver.
+
+Chains the paper's pipeline -- tuple clustering, value clustering, attribute
+grouping, dependency mining, minimum cover, FD-RANK -- and renders a compact
+text report of everything a data (re)designer would want to see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.attribute_grouping import AttributeGroupingResult, group_attributes
+from repro.core.decompose import redundancy_report
+from repro.core.fd_rank import RankedFD, fd_rank
+from repro.core.tuple_clustering import TupleClusteringResult, cluster_tuples
+from repro.core.value_clustering import ValueClusteringResult, cluster_values
+from repro.fd import fdep, minimum_cover, tane
+from repro.relation import Relation
+
+#: Above this tuple count the quadratic FDEP miner is swapped for TANE.
+_FDEP_TUPLE_LIMIT = 2000
+
+
+@dataclass
+class DiscoveryReport:
+    """All artifacts of a :class:`StructureDiscovery` run."""
+
+    relation: Relation
+    tuple_clustering: TupleClusteringResult
+    value_clustering: ValueClusteringResult
+    attribute_grouping: AttributeGroupingResult | None
+    dependencies: list
+    cover: list
+    ranked: list
+
+    def top_dependencies(self, count: int = 5) -> list[RankedFD]:
+        """The ``count`` best-ranked dependencies."""
+        return self.ranked[:count]
+
+    def render(self, top: int = 5) -> str:
+        """A human-readable summary of the discovered structure."""
+        lines = [
+            f"Structure discovery over {len(self.relation)} tuples, "
+            f"{self.relation.arity} attributes, "
+            f"{self.relation.value_count()} values",
+            "",
+            f"Candidate duplicate tuple groups: "
+            f"{len(self.tuple_clustering.duplicate_groups)}",
+            f"Duplicate value groups (C_V^D): "
+            f"{len(self.value_clustering.duplicate_groups)}",
+        ]
+        if self.attribute_grouping is not None:
+            lines += ["", "Attribute dendrogram:", self.attribute_grouping.render()]
+        lines += ["", f"Dependencies mined: {len(self.dependencies)}; "
+                      f"minimum cover: {len(self.cover)}"]
+        if self.ranked:
+            lines.append("")
+            lines.append(f"Top-{top} ranked dependencies (ascending rank):")
+            for ranked in self.ranked[:top]:
+                report = redundancy_report(self.relation, ranked.fd)
+                lines.append(
+                    f"  {ranked.fd}  rank={ranked.rank:.4f} "
+                    f"RAD={report['rad']:.3f} RTR={report['rtr']:.3f}"
+                )
+        return "\n".join(lines)
+
+
+class StructureDiscovery:
+    """Configurable pipeline driver.
+
+    Parameters mirror the individual tools; see
+    :func:`repro.core.tuple_clustering.cluster_tuples`,
+    :func:`repro.core.value_clustering.cluster_values` and
+    :func:`repro.core.fd_rank.fd_rank`.
+    """
+
+    def __init__(
+        self,
+        phi_t: float = 0.0,
+        phi_v: float = 0.0,
+        double_clustering_phi_t: float | None = None,
+        psi: float = 0.5,
+        miner: str = "auto",
+    ):
+        if miner not in ("auto", "fdep", "tane"):
+            raise ValueError("miner must be 'auto', 'fdep' or 'tane'")
+        self.phi_t = phi_t
+        self.phi_v = phi_v
+        self.double_clustering_phi_t = double_clustering_phi_t
+        self.psi = psi
+        self.miner = miner
+
+    def run(self, relation: Relation) -> DiscoveryReport:
+        """Execute the full pipeline on ``relation``."""
+        tuples = cluster_tuples(relation, phi_t=self.phi_t)
+        values = cluster_values(
+            relation, phi_v=self.phi_v, phi_t=self.double_clustering_phi_t
+        )
+        grouping = None
+        if values.duplicate_groups:
+            grouping = group_attributes(value_clustering=values)
+
+        miner = self.miner
+        if miner == "auto":
+            miner = "fdep" if len(relation) <= _FDEP_TUPLE_LIMIT else "tane"
+        dependencies = fdep(relation) if miner == "fdep" else tane(relation)
+        cover = minimum_cover(dependencies)
+
+        ranked: list = []
+        if grouping is not None and cover:
+            ranked = fd_rank(cover, grouping, psi=self.psi)
+        return DiscoveryReport(
+            relation=relation,
+            tuple_clustering=tuples,
+            value_clustering=values,
+            attribute_grouping=grouping,
+            dependencies=dependencies,
+            cover=cover,
+            ranked=ranked,
+        )

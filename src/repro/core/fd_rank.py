@@ -1,0 +1,100 @@
+"""FD-RANK: ranking functional dependencies by redundancy (paper Figure 11).
+
+Given the merge sequence ``Q`` of an attribute grouping and a threshold
+``0 <= psi <= 1``:
+
+1. every dependency starts at rank ``max(Q)`` (the largest merge loss);
+   for ``S = X union A``, if the merge ``G`` gathering all of ``S`` has
+   ``IL(G) <= psi * max(Q)``, the rank becomes ``IL(G)``;
+2. dependencies with equal antecedent and equal rank collapse into one;
+3. the set is ordered by ascending rank -- low rank = the dependency's
+   attributes merged cheaply = high duplication = high redundancy removed
+   if used in a decomposition.  Ties break in favour of dependencies with
+   more attributes, as Section 7 prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.attribute_grouping import AttributeGroupingResult
+from repro.fd.dependency import FD
+
+
+@dataclass(frozen=True)
+class RankedFD:
+    """A dependency with its FD-RANK score.
+
+    ``gathered_loss`` is ``IL(G)`` when a qualifying merge was found, else
+    ``None`` (the rank stayed at ``max(Q)``).
+    """
+
+    fd: FD
+    rank: float
+    gathered_loss: float | None
+
+    @property
+    def qualified(self) -> bool:
+        """Whether a merge below the psi threshold gathered the attributes."""
+        return self.gathered_loss is not None
+
+    def __str__(self) -> str:
+        return f"{self.fd}  (rank={self.rank:.4f})"
+
+
+def fd_rank(
+    fds,
+    grouping: AttributeGroupingResult,
+    psi: float = 0.5,
+) -> list[RankedFD]:
+    """Rank ``fds`` against an attribute grouping's merge sequence.
+
+    Parameters
+    ----------
+    fds:
+        The dependencies to rank (typically a minimum cover).
+    grouping:
+        The attribute grouping whose dendrogram supplies ``Q``.
+    psi:
+        The qualification threshold of Figure 11 (the paper uses 0.5).
+    """
+    if not 0.0 <= psi <= 1.0:
+        raise ValueError(f"psi must be in [0, 1], got {psi!r}")
+    max_loss = grouping.dendrogram.max_loss
+
+    scored: list[RankedFD] = []
+    for fd in fds:
+        rank = max_loss
+        gathered = None
+        loss = grouping.merge_loss(sorted(fd.attributes))
+        if loss is not None and loss <= psi * max_loss:
+            rank = loss
+            gathered = loss
+        scored.append(RankedFD(fd=fd, rank=rank, gathered_loss=gathered))
+
+    collapsed = _collapse_equal_antecedents(scored)
+    # Ranks equal up to floating-point noise must compare equal so the
+    # more-attributes tie-break of Section 7 can apply.
+    collapsed.sort(
+        key=lambda r: (round(r.rank, 12), -len(r.fd.attributes), r.fd.sort_key())
+    )
+    return collapsed
+
+
+def _collapse_equal_antecedents(scored: list[RankedFD]) -> list[RankedFD]:
+    """Step 2 of Figure 11: merge FDs with equal LHS and equal rank."""
+    buckets: dict = {}
+    for ranked in scored:
+        key = (ranked.fd.lhs, round(ranked.rank, 12))
+        buckets.setdefault(key, []).append(ranked)
+    result = []
+    for (lhs, _), members in buckets.items():
+        if len(members) == 1:
+            result.append(members[0])
+            continue
+        rhs = frozenset().union(*(m.fd.rhs for m in members))
+        gathered = members[0].gathered_loss
+        result.append(
+            RankedFD(fd=FD(lhs, rhs), rank=members[0].rank, gathered_loss=gathered)
+        )
+    return result

@@ -1,0 +1,161 @@
+"""Horizontal partitioning of overloaded relations (paper Section 6.1.2).
+
+A full tuple clustering is run down from a manageable number of Phase-1
+summaries (the paper suggests ~100 leaves); the rate of change of the
+clustering's mutual information across ``k`` exposes "natural" cluster
+counts, and Phase 3 splits the relation accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clustering import AIBResult, Limbo
+from repro.relation import Relation, build_tuple_view
+
+
+@dataclass
+class KSuggestion:
+    """A candidate natural ``k`` with its knee score.
+
+    ``score`` is the jump ratio ``delta_I(k -> k-1) / delta_I(k+1 -> k)``:
+    how much more information the next merge would destroy compared with the
+    one that produced this clustering.  Large scores mark clusterings just
+    before an expensive merge -- the paper's rate-of-change heuristic.
+    """
+
+    k: int
+    score: float
+    loss_below: float
+    loss_above: float
+
+
+@dataclass
+class HorizontalPartitionResult:
+    """Outcome of :func:`horizontal_partition`."""
+
+    relation: Relation
+    k: int
+    assignment: list
+    partitions: list
+    limbo: Limbo
+    aib_result: AIBResult
+    suggestions: list
+    relative_information_loss: float
+
+    def partition_sizes(self) -> list[int]:
+        """Tuple counts per partition, largest first."""
+        return sorted((len(p) for p in self.partitions), reverse=True)
+
+    def information_curve(self) -> list[tuple[int, float]]:
+        """``(k, I(C_k;V))`` across the merge sequence (descending k)."""
+        return self.aib_result.information_curve()
+
+    def conditional_entropy_curve(self) -> list[tuple[int, float]]:
+        """``(k, H(C_k|V))`` across the merge sequence (descending k).
+
+        The second statistic of Section 6.1.2: ``H(C_k|V) = H(C_k) -
+        I(C_k;V)``, where ``H(C_k)`` is the entropy of the cluster priors.
+        Its rate of change complements the mutual-information curve when
+        eyeballing natural cluster counts.
+        """
+        import math
+
+        dendrogram = self.aib_result.dendrogram
+        weights = {
+            i: dcf.weight for i, dcf in enumerate(self.limbo.summaries)
+        }
+
+        def prior_entropy() -> float:
+            return -sum(
+                w * math.log2(w) for w in weights.values() if w > 0.0
+            )
+
+        curve = []
+        for (k, info), merge in zip(
+            self.aib_result.information_curve(), [None] + list(dendrogram.merges)
+        ):
+            if merge is not None:
+                weights[merge.parent] = weights.pop(merge.left) + weights.pop(
+                    merge.right
+                )
+            curve.append((k, prior_entropy() - info))
+        return curve
+
+
+def suggest_k(
+    aib_result: AIBResult, k_min: int = 2, k_max: int = 20, top: int = 5
+) -> list[KSuggestion]:
+    """Rank candidate cluster counts by the information-loss jump ratio.
+
+    Examines the merge losses ``delta_I(C_k; V)`` of the full sequence: a
+    natural ``k`` is one where merging below ``k`` clusters suddenly costs
+    much more than the merge that reached ``k`` did.
+    """
+    merges = aib_result.dendrogram.merges
+    n = aib_result.dendrogram.n_leaves
+    if n < 3 or not merges:
+        return [KSuggestion(k=min(k_min, n), score=0.0, loss_below=0.0, loss_above=0.0)]
+
+    # Merge that moves from k+1 clusters to k happens at index n - k - 1.
+    def loss_entering(k: int) -> float:
+        return merges[n - k - 1].loss
+
+    suggestions = []
+    upper = min(k_max, n - 1)
+    epsilon = 1e-12
+    for k in range(max(k_min, 2), upper + 1):
+        loss_below = loss_entering(k - 1) if k >= 2 else 0.0
+        loss_above = loss_entering(k)
+        score = loss_below / (loss_above + epsilon)
+        suggestions.append(
+            KSuggestion(k=k, score=score, loss_below=loss_below, loss_above=loss_above)
+        )
+    suggestions.sort(key=lambda s: (-s.score, s.k))
+    return suggestions[:top]
+
+
+def horizontal_partition(
+    relation: Relation,
+    k: int | None = None,
+    phi_t: float = 1.0,
+    max_summaries: int = 100,
+    branching: int = 4,
+    value_scope: str = "global",
+) -> HorizontalPartitionResult:
+    """Horizontally partition a relation into ``k`` (or a suggested ``k``)
+    sub-relations of similar tuples.
+
+    Phase 1 summarizes the tuples into at most ``max_summaries`` leaf DCFs,
+    Phase 2 agglomerates them fully, the knee heuristic proposes ``k`` when
+    none is given, and Phase 3 assigns every tuple to a partition.
+    """
+    view = build_tuple_view(relation, value_scope=value_scope)
+    limbo = Limbo(phi=phi_t, branching=branching, max_summaries=max_summaries).fit(
+        view.rows, view.priors, mutual_information=view.mutual_information()
+    )
+    aib_result = limbo.merge_sequence()
+
+    suggestions = suggest_k(aib_result)
+    if k is None:
+        k = suggestions[0].k
+    representatives = aib_result.clusters(k)
+    assignment = limbo.assign(representatives)
+
+    buckets: dict = {}
+    for tuple_index, cluster in enumerate(assignment):
+        buckets.setdefault(cluster, []).append(tuple_index)
+    partitions = [
+        relation.take(indices) for _, indices in sorted(buckets.items())
+    ]
+    loss = limbo.relative_information_loss(assignment)
+    return HorizontalPartitionResult(
+        relation=relation,
+        k=k,
+        assignment=assignment,
+        partitions=partitions,
+        limbo=limbo,
+        aib_result=aib_result,
+        suggestions=suggestions,
+        relative_information_loss=loss,
+    )

@@ -1,0 +1,107 @@
+"""Instance profiling: the data-browser summaries of Section 2.
+
+The paper situates its tools next to data-quality browsers (Potter's Wheel,
+Bellman) that "employ a host of statistical summaries to permit real-time
+browsing".  This module provides those per-attribute summaries -- cheap,
+model-free statistics an analyst reads *before* reaching for the
+information-theoretic machinery: cardinalities, NULL profiles, entropies,
+top values.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.infotheory.entropy import entropy_of_counts, max_entropy
+from repro.relation import NULL, Relation
+
+
+@dataclass(frozen=True)
+class AttributeProfile:
+    """Summary statistics for one attribute."""
+
+    name: str
+    distinct: int
+    distinct_fraction: float  # distinct / n; 1.0 = all values unique
+    null_fraction: float
+    entropy_bits: float
+    uniformity: float  # H / H_max in [0, 1]; 1 = uniform, 0 = constant
+    top_values: tuple  # ((value, count), ...) most frequent first
+
+    @property
+    def is_constant(self) -> bool:
+        return self.distinct <= 1
+
+    @property
+    def is_key_like(self) -> bool:
+        """All values distinct and none missing -- a candidate identifier."""
+        return self.distinct_fraction >= 1.0 - 1e-9 and self.null_fraction == 0.0
+
+
+@dataclass
+class RelationProfile:
+    """Per-attribute profiles plus relation-level counts."""
+
+    relation: Relation
+    attributes: list
+
+    @property
+    def n_tuples(self) -> int:
+        return len(self.relation)
+
+    def attribute(self, name: str) -> AttributeProfile:
+        for profile in self.attributes:
+            if profile.name == name:
+                return profile
+        raise KeyError(name)
+
+    def null_heavy(self, threshold: float = 0.95) -> list:
+        """Attributes that are mostly NULL (Figure 15's candidates)."""
+        return [p.name for p in self.attributes if p.null_fraction >= threshold]
+
+    def key_candidates(self) -> list:
+        """Attributes whose values are all distinct."""
+        return [p.name for p in self.attributes if p.is_key_like]
+
+    def render(self, top: int = 3) -> str:
+        lines = [
+            f"{self.n_tuples} tuples x {len(self.attributes)} attributes, "
+            f"{self.relation.value_count()} distinct values",
+            "",
+            f"{'attribute':<16} {'distinct':>8} {'null%':>6} {'H(bits)':>8} "
+            f"{'unif':>5}  top values",
+        ]
+        for p in self.attributes:
+            tops = ", ".join(
+                f"{('NULL' if v is NULL else v)}x{c}" for v, c in p.top_values[:top]
+            )
+            lines.append(
+                f"{p.name:<16} {p.distinct:>8} {p.null_fraction:>6.1%} "
+                f"{p.entropy_bits:>8.3f} {p.uniformity:>5.2f}  {tops}"
+            )
+        return "\n".join(lines)
+
+
+def profile_relation(relation: Relation, top_values: int = 5) -> RelationProfile:
+    """Compute per-attribute summary statistics for a relation."""
+    if len(relation) == 0:
+        raise ValueError("cannot profile an empty relation")
+    profiles = []
+    n = len(relation)
+    for name in relation.schema.names:
+        counts = Counter(relation.column(name))
+        h = entropy_of_counts(counts)
+        h_max = max_entropy(len(counts)) if len(counts) > 1 else 0.0
+        profiles.append(
+            AttributeProfile(
+                name=name,
+                distinct=len(counts),
+                distinct_fraction=len(counts) / n,
+                null_fraction=counts.get(NULL, 0) / n,
+                entropy_bits=h,
+                uniformity=(h / h_max) if h_max > 0 else (1.0 if len(counts) == n else 0.0),
+                top_values=tuple(counts.most_common(top_values)),
+            )
+        )
+    return RelationProfile(relation=relation, attributes=profiles)

@@ -1,0 +1,37 @@
+"""Synthetic stand-ins for the paper's evaluation data sets.
+
+The paper uses (a) a relation joined from the IBM DB2 v8 sample database and
+(b) a 13-attribute relation mapped from the DBLP XML snapshot.  Neither is
+redistributable/obtainable here, so seeded generators reproduce their
+*structural* properties -- join-induced FDs and value co-occurrence for DB2;
+publication-type NULL signatures, Zipfian authors and journal-issue FDs for
+DBLP.  DESIGN.md documents why each substitution preserves the behaviours
+the experiments exercise.
+"""
+
+from repro.datasets.db2_sample import Db2Sample, db2_sample
+from repro.datasets.dblp import DBLP_ATTRIBUTES, NULL_HEAVY_ATTRIBUTES, dblp
+from repro.datasets.errors import (
+    ErrorInjection,
+    InjectedTuple,
+    inject_erroneous_tuples,
+)
+from repro.datasets.synthetic import (
+    planted_partitions,
+    random_categorical,
+    relation_with_fd,
+)
+
+__all__ = [
+    "DBLP_ATTRIBUTES",
+    "Db2Sample",
+    "ErrorInjection",
+    "InjectedTuple",
+    "NULL_HEAVY_ATTRIBUTES",
+    "db2_sample",
+    "dblp",
+    "inject_erroneous_tuples",
+    "planted_partitions",
+    "random_categorical",
+    "relation_with_fd",
+]

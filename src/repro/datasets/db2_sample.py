@@ -1,0 +1,167 @@
+"""A synthetic stand-in for the IBM DB2 sample database (paper Section 8.1).
+
+The paper joins the sample EMPLOYEE, DEPARTMENT and PROJECT tables:
+
+    R = (E join_{WorkDepNo=DepNo} D) join_{DepNo=DeptNo} P
+
+yielding 90 tuples over 19 attributes with 255 attribute values.  This
+generator builds three base tables with the same schemas (Figure 12), the
+same key/foreign-key structure, and per-department employee/project counts
+whose products sum to exactly 90 -- so the join has exactly the paper's
+shape: department attributes repeat employee x project times, employee
+attributes repeat once per project of the department, and project attributes
+once per employee.
+
+What the experiments need from this data (and what is therefore faithful):
+
+* join-induced FDs: ``DepNo -> DepName, MgrNo``, ``DepName -> MgrNo``,
+  ``EmpNo -> employee attributes``, ``ProjNo -> project attributes``;
+* perfectly co-occurring value groups per department / employee / project,
+  which drive the attribute grouping of Figure 14;
+* a skewed department distribution (multiplicative in employees x projects),
+  which gives the DeptNo/DepName/MgrNo attributes the highest RAD/RTR.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.relation import Attribute, NULL, Relation, Schema, equi_join
+
+#: Department number, name, employee count, project count.  The products sum
+#: to 90 (= the paper's join cardinality): 20+16+12+12+12+9+9.
+_DEPARTMENTS = [
+    ("A00", "SPIFFY COMPUTER SERVICE", 4, 5),
+    ("B01", "PLANNING", 4, 4),
+    ("C01", "INFORMATION CENTER", 3, 4),
+    ("D11", "MANUFACTURING SYSTEMS", 4, 3),
+    ("D21", "ADMINISTRATION SYSTEMS", 3, 4),
+    ("E11", "OPERATIONS", 3, 3),
+    ("E21", "SOFTWARE SUPPORT", 3, 3),
+]
+
+_FIRST_NAMES = [
+    "CHRISTINE", "MICHAEL", "SALLY", "JOHN", "IRVING", "EVA", "EILEEN",
+    "THEODORE", "VINCENZO", "SEAN", "DOLORES", "HEATHER", "BRUCE",
+    "ELIZABETH", "MASATOSHI", "MARILYN", "JAMES", "DAVID", "WILLIAM",
+    "JENNIFER", "RAMLAL", "WING", "JASON", "DANIEL",
+]
+
+_LAST_NAMES = [
+    "HAAS", "THOMPSON", "KWAN", "GEYER", "STERN", "PULASKI", "HENDERSON",
+    "SPENSER", "LUCCHESSI", "OCONNELL", "QUINTANA", "NICHOLLS", "ADAMSON",
+    "PIANKA", "YOSHIMURA", "SCOUTTEN", "WALKER", "BROWN", "JONES",
+    "LUTZ", "MEHTA", "LEE", "GOUNOT", "SMITH",
+]
+
+_JOBS = ["MANAGER", "ANALYST", "DESIGNER", "CLERK", "OPERATOR", "SALESREP"]
+_EDU_LEVELS = ["14", "15", "16", "17", "18"]
+_HIRE_YEARS = [str(year) for year in range(1972, 1982)]
+_BIRTH_YEARS = [str(year) for year in range(1941, 1956)]
+_START_DATES = [f"19{year}-01-01" for year in (78, 79, 80, 81, 82, 83, 84, 85)]
+_END_DATES = [f"19{year}-12-31" for year in (82, 83, 84, 85, 86, 87, 88, 89)]
+
+_PROJECT_WORDS = [
+    "ADMIN", "QUERY", "PAYROLL", "LEDGER", "BILLING", "DOCUMENT", "SUPPORT",
+    "INVENTORY", "PLANNING", "WELD", "OPTICS", "REPORTS", "SHIPPING",
+    "SECURITY", "ARCHIVE", "NETWORK", "TRAINING", "BUDGET", "DESIGN",
+    "TESTING", "CATALOG", "ROUTING", "METRICS", "BACKUP", "PORTAL", "AUDIT",
+]
+
+
+@dataclass
+class Db2Sample:
+    """The three base tables and their integrated join."""
+
+    employee: Relation
+    department: Relation
+    project: Relation
+    relation: Relation
+
+
+def db2_sample(seed: int = 0) -> Db2Sample:
+    """Generate the synthetic DB2 sample and its 90-tuple, 19-attribute join."""
+    rng = random.Random(seed)
+
+    employees: list[tuple] = []
+    departments: list[tuple] = []
+    projects: list[tuple] = []
+    emp_counter = 0
+    proj_counter = 0
+
+    for dep_no, dep_name, n_emps, n_projs in _DEPARTMENTS:
+        dept_emp_nos = []
+        for _ in range(n_emps):
+            emp_no = f"{(emp_counter + 1) * 10:06d}"
+            dept_emp_nos.append(emp_no)
+            employees.append(
+                (
+                    emp_no,
+                    _FIRST_NAMES[emp_counter],
+                    _LAST_NAMES[emp_counter],
+                    f"{3978 + 97 * emp_counter % 6000:04d}",
+                    rng.choice(_HIRE_YEARS),
+                    _JOBS[0] if not dept_emp_nos[:-1] else rng.choice(_JOBS[1:]),
+                    rng.choice(_EDU_LEVELS),
+                    rng.choice(["F", "M"]),
+                    rng.choice(_BIRTH_YEARS),
+                    dep_no,
+                )
+            )
+            emp_counter += 1
+
+        manager = dept_emp_nos[0]
+        departments.append((dep_no, dep_name, manager, "A00"))
+
+        first_project = None
+        for _ in range(n_projs):
+            proj_no = f"{dep_no[0]}P{proj_counter + 1:02d}"
+            projects.append(
+                (
+                    proj_no,
+                    f"{_PROJECT_WORDS[proj_counter]} {dep_no}",
+                    rng.choice(dept_emp_nos),
+                    rng.choice(_START_DATES),
+                    rng.choice(_END_DATES),
+                    first_project if first_project is not None else NULL,
+                    dep_no,
+                )
+            )
+            if first_project is None:
+                first_project = proj_no
+            proj_counter += 1
+
+    employee = Relation(
+        Schema([Attribute(name, "EMPLOYEE") for name in (
+            "EmpNo", "FirstName", "LastName", "PhoneNo", "HireYear",
+            "Job", "EduLevel", "Sex", "BirthYear", "WorkDepNo",
+        )]),
+        employees,
+    )
+    department = Relation(
+        Schema([Attribute(name, "DEPARTMENT") for name in (
+            "DepNo", "DepName", "MgrNo", "AdminDepNo",
+        )]),
+        departments,
+    )
+    project = Relation(
+        Schema([Attribute(name, "PROJECT") for name in (
+            "ProjNo", "ProjName", "RespEmpNo", "StartDate", "EndDate",
+            "MajorProjNo", "DeptNo",
+        )]),
+        projects,
+    )
+
+    joined = equi_join(
+        equi_join(employee, department, "WorkDepNo", "DepNo"),
+        project,
+        "WorkDepNo",
+        "DeptNo",
+    )
+    # The integrated relation keeps one department-number column; the paper's
+    # Figure 14 labels it DeptNo (and the name column DeptName).
+    joined = joined.rename({"WorkDepNo": "DeptNo", "DepName": "DeptName"})
+    return Db2Sample(
+        employee=employee, department=department, project=project, relation=joined
+    )

@@ -1,0 +1,109 @@
+"""Error injection for the Table 1 / Table 2 experiments (Section 8.1.1).
+
+The paper "introduced tuples in the data set where some of the values in
+their attributes differ from the values in the corresponding attributes of
+their matching tuples".  :func:`inject_erroneous_tuples` duplicates randomly
+chosen tuples and corrupts a fixed number of their attribute values, in one
+of three styles:
+
+* ``"fresh"``   -- a brand-new literal (typographic/notational discrepancy);
+* ``"null"``    -- a NULL (schema discrepancy after integration);
+* ``"swap"``    -- another existing value of the same attribute.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.relation import NULL, Relation
+
+_STYLES = ("fresh", "null", "swap")
+
+
+@dataclass(frozen=True)
+class InjectedTuple:
+    """One injected near-duplicate.
+
+    ``index`` is the position of the dirty tuple in the augmented relation;
+    ``source_index`` the position of the clean tuple it was copied from;
+    ``changes`` maps corrupted attribute names to ``(old, new)`` values.
+    """
+
+    index: int
+    source_index: int
+    changes: dict
+
+
+@dataclass
+class ErrorInjection:
+    """The augmented relation plus the injection bookkeeping."""
+
+    relation: Relation
+    injected: list
+
+    @property
+    def n_injected(self) -> int:
+        return len(self.injected)
+
+
+def inject_erroneous_tuples(
+    relation: Relation,
+    n_tuples: int = 5,
+    n_errors: int = 2,
+    seed: int = 0,
+    style: str = "fresh",
+) -> ErrorInjection:
+    """Append ``n_tuples`` near-duplicates, each with ``n_errors`` corrupted
+    attribute values.
+
+    Source tuples are drawn without replacement; corrupted attributes are
+    drawn per injected tuple.  Returns the augmented relation and enough
+    bookkeeping to score detection (Tables 1 and 2).
+    """
+    if style not in _STYLES:
+        raise ValueError(f"style must be one of {_STYLES}, got {style!r}")
+    if not 1 <= n_errors <= relation.arity:
+        raise ValueError(
+            f"n_errors must be in [1, {relation.arity}], got {n_errors}"
+        )
+    if not 1 <= n_tuples <= len(relation):
+        raise ValueError(
+            f"n_tuples must be in [1, {len(relation)}], got {n_tuples}"
+        )
+
+    rng = random.Random(seed)
+    names = relation.schema.names
+    sources = rng.sample(range(len(relation)), n_tuples)
+
+    new_rows = []
+    injected = []
+    next_index = len(relation)
+    for dirty_id, source_index in enumerate(sources):
+        row = list(relation.rows[source_index])
+        corrupted = rng.sample(range(relation.arity), n_errors)
+        changes = {}
+        for position in corrupted:
+            old = row[position]
+            if style == "fresh":
+                new = f"err{dirty_id}:{names[position]}"
+            elif style == "null":
+                new = NULL
+            else:
+                candidates = [
+                    value
+                    for value in relation.domain(names[position])
+                    if value != old
+                ]
+                new = rng.choice(candidates) if candidates else old
+            row[position] = new
+            changes[names[position]] = (old, new)
+        new_rows.append(tuple(row))
+        injected.append(
+            InjectedTuple(
+                index=next_index, source_index=source_index, changes=changes
+            )
+        )
+        next_index += 1
+
+    return ErrorInjection(relation=relation.extended(new_rows), injected=injected)

@@ -1,0 +1,80 @@
+"""Generic seeded generators for tests, property checks and ablations."""
+
+from __future__ import annotations
+
+import random
+
+from repro.relation import Relation
+
+
+def random_categorical(
+    n_tuples: int, cardinalities, seed: int = 0, prefix: str = "v"
+) -> Relation:
+    """A relation with independently drawn categorical columns.
+
+    ``cardinalities[i]`` is the domain size of attribute ``Ai``; values are
+    attribute-tagged strings so columns never share literals.
+    """
+    rng = random.Random(seed)
+    names = [f"A{i}" for i in range(len(cardinalities))]
+    rows = [
+        tuple(
+            f"{prefix}{i}_{rng.randrange(c)}" for i, c in enumerate(cardinalities)
+        )
+        for _ in range(n_tuples)
+    ]
+    return Relation(names, rows)
+
+
+def planted_partitions(
+    n_tuples: int, n_blocks: int, n_attributes: int = 4, seed: int = 0
+) -> tuple[Relation, list]:
+    """A relation with ``n_blocks`` disjoint-valued tuple blocks.
+
+    Returns the relation plus the planted block label of each tuple -- the
+    ground truth for horizontal-partitioning tests.
+    """
+    if n_blocks < 1 or n_tuples < n_blocks:
+        raise ValueError("need at least one tuple per block")
+    rng = random.Random(seed)
+    names = [f"A{i}" for i in range(n_attributes)]
+    rows, labels = [], []
+    for index in range(n_tuples):
+        block = index % n_blocks
+        rows.append(
+            tuple(
+                f"b{block}_a{a}_{rng.randrange(3)}" for a in range(n_attributes)
+            )
+        )
+        labels.append(block)
+    order = list(range(n_tuples))
+    rng.shuffle(order)
+    return Relation(names, [rows[i] for i in order]), [labels[i] for i in order]
+
+
+def relation_with_fd(
+    n_tuples: int,
+    n_keys: int,
+    seed: int = 0,
+    noise_tuples: int = 0,
+) -> Relation:
+    """A relation where ``K -> D`` is planted (with optional violations).
+
+    ``K`` ranges over ``n_keys`` values, each mapped to a fixed ``D`` value;
+    ``noise_tuples`` rows break the mapping (for approximate-FD tests).  A
+    third free attribute ``X`` keeps the relation from being trivially
+    one-dimensional.
+    """
+    if n_keys < 1:
+        raise ValueError("need at least one key value")
+    rng = random.Random(seed)
+    mapping = {f"k{i}": f"d{i % max(1, n_keys // 2)}" for i in range(n_keys)}
+    rows = []
+    for _ in range(n_tuples - noise_tuples):
+        key = f"k{rng.randrange(n_keys)}"
+        rows.append((key, mapping[key], f"x{rng.randrange(5)}"))
+    for j in range(noise_tuples):
+        key = f"k{rng.randrange(n_keys)}"
+        rows.append((key, f"broken{j}", f"x{rng.randrange(5)}"))
+    rng.shuffle(rows)
+    return Relation(["K", "D", "X"], rows)

@@ -1,0 +1,34 @@
+"""Functional-dependency mining substrate (paper Sections 7-8).
+
+The paper ranks dependencies discovered by FDEP [Savnik & Flach 1993] and
+computes minimum covers with Maier's algorithm [Maier 1980]; TANE-style
+partition mining [Huhtala et al. 1999] is provided as the scalable
+alternative the paper cites ("Other methods could also be used").
+"""
+
+from repro.fd.approximate import ApproximateFD, mine_approximate_fds
+from repro.fd.cover import minimum_cover
+from repro.fd.dependency import FD, closure, implies, is_trivial, split_rhs
+from repro.fd.fdep import agree_sets, fdep
+from repro.fd.partitions import Partition, partition_of
+from repro.fd.tane import tane
+from repro.fd.verify import g3_error, holds, violating_pairs
+
+__all__ = [
+    "ApproximateFD",
+    "FD",
+    "Partition",
+    "agree_sets",
+    "mine_approximate_fds",
+    "closure",
+    "fdep",
+    "g3_error",
+    "holds",
+    "implies",
+    "is_trivial",
+    "minimum_cover",
+    "partition_of",
+    "split_rhs",
+    "tane",
+    "violating_pairs",
+]

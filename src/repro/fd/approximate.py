@@ -1,0 +1,69 @@
+"""Approximate functional dependencies under the ``g3`` measure.
+
+The paper contrasts its *value-based* notion of approximation (a dependency
+is almost-true because a few specific values are dirty, Section 6.2) with
+the *tuple-based* measure used by TANE-style miners, where ``g3`` is the
+minimum fraction of tuples whose removal makes the dependency exact.  This
+module provides the tuple-based side of that comparison: a level-wise miner
+for all minimal dependencies with ``g3 <= max_error``.
+
+``g3`` is monotone non-increasing in the LHS, so once ``X -> A`` qualifies
+no proper superset of ``X`` is minimal -- the standard pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.fd.dependency import FD
+from repro.fd.verify import g3_error
+
+
+@dataclass(frozen=True)
+class ApproximateFD:
+    """A dependency together with its ``g3`` error on the instance."""
+
+    fd: FD
+    error: float
+
+    def __str__(self) -> str:
+        return f"{self.fd}  (g3={self.error:.4f})"
+
+
+def mine_approximate_fds(
+    relation,
+    max_error: float = 0.05,
+    max_lhs_size: int = 3,
+) -> list[ApproximateFD]:
+    """All minimal dependencies with ``g3 <= max_error``.
+
+    ``max_error = 0`` degenerates to exact minimal dependencies.  Breadth-
+    first over LHS sizes with minimality pruning; intended for the modest
+    attribute counts of the paper's relations.
+    """
+    if not 0.0 <= max_error < 1.0:
+        raise ValueError(f"max_error must be in [0, 1), got {max_error!r}")
+    if max_lhs_size < 1:
+        raise ValueError("max_lhs_size must be at least 1")
+    names = relation.schema.names
+    if len(relation) == 0:
+        return []
+
+    results: list[ApproximateFD] = []
+    for rhs in names:
+        others = [n for n in names if n != rhs]
+        minimal: list[frozenset] = []
+        for size in range(1, min(max_lhs_size, len(others)) + 1):
+            for lhs in combinations(others, size):
+                candidate = frozenset(lhs)
+                if any(found <= candidate for found in minimal):
+                    continue  # a subset already qualifies
+                error = g3_error(relation, FD(candidate, {rhs}))
+                if error <= max_error:
+                    minimal.append(candidate)
+                    results.append(
+                        ApproximateFD(fd=FD(candidate, {rhs}), error=error)
+                    )
+    results.sort(key=lambda a: (a.error, a.fd.sort_key()))
+    return results

@@ -1,0 +1,75 @@
+"""Minimum covers of dependency sets (Maier 1980, the paper's [16]).
+
+The paper runs FDEP, then reduces the discovered set to a minimum cover
+before ranking (Section 8.1.4).  The classic three steps:
+
+1. split right-hand sides into single attributes;
+2. remove extraneous LHS attributes (left-reduction);
+3. remove dependencies implied by the rest (redundancy elimination);
+
+followed by regrouping dependencies that share a left-hand side, which is
+how the paper displays results (e.g. ``[EmpNo] -> [BirthYear, FirstName,
+...]``).
+"""
+
+from __future__ import annotations
+
+from repro.fd.dependency import FD, closure, split_rhs
+
+
+def left_reduce(fds: list[FD]) -> list[FD]:
+    """Remove extraneous LHS attributes from every dependency.
+
+    ``B`` is extraneous in ``X -> A`` when ``A`` is already in the closure
+    of ``X - {B}`` under the full set.  Processes attributes in sorted order
+    for determinism.
+    """
+    current = [fd for single in fds for fd in split_rhs(single)]
+    reduced: list[FD] = []
+    for fd in sorted(current, key=FD.sort_key):
+        lhs = set(fd.lhs)
+        for attribute in sorted(fd.lhs):
+            if len(lhs) <= 1:
+                break
+            trimmed = lhs - {attribute}
+            if fd.rhs <= closure(trimmed, current):
+                lhs = trimmed
+        reduced.append(FD(frozenset(lhs), fd.rhs))
+    return reduced
+
+
+def remove_redundant(fds: list[FD]) -> list[FD]:
+    """Drop dependencies implied by the remaining ones."""
+    kept = sorted(set(fds), key=FD.sort_key)
+    index = 0
+    while index < len(kept):
+        fd = kept[index]
+        rest = kept[:index] + kept[index + 1 :]
+        if fd.rhs <= closure(fd.lhs, rest):
+            kept = rest
+        else:
+            index += 1
+    return kept
+
+
+def regroup(fds: list[FD]) -> list[FD]:
+    """Union the RHSs of dependencies sharing a LHS (display form)."""
+    by_lhs: dict[frozenset, set] = {}
+    for fd in fds:
+        by_lhs.setdefault(fd.lhs, set()).update(fd.rhs)
+    return sorted(
+        (FD(lhs, frozenset(rhs)) for lhs, rhs in by_lhs.items()), key=FD.sort_key
+    )
+
+
+def minimum_cover(fds, group_rhs: bool = False) -> list[FD]:
+    """A minimum cover of ``fds`` (singleton RHSs unless ``group_rhs``).
+
+    Deterministic: ties in reduction order are broken by sorted attribute
+    names, so equal inputs yield equal covers.
+    """
+    fds = list(fds)
+    if not fds:
+        return []
+    reduced = remove_redundant(left_reduce(fds))
+    return regroup(reduced) if group_rhs else reduced

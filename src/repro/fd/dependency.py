@@ -1,0 +1,87 @@
+"""Functional dependencies: the value type plus closure and implication.
+
+A functional dependency ``X -> Y`` holds on an instance when tuples agreeing
+on ``X`` also agree on ``Y`` (paper Section 4).  NULL is treated as an
+ordinary value (NULL = NULL), which is the semantics the paper's DBLP
+experiments rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _as_frozenset(attributes) -> frozenset:
+    if isinstance(attributes, str):
+        return frozenset([attributes])
+    return frozenset(attributes)
+
+
+@dataclass(frozen=True)
+class FD:
+    """An immutable functional dependency ``lhs -> rhs``."""
+
+    lhs: frozenset = field()
+    rhs: frozenset = field()
+
+    def __init__(self, lhs, rhs):
+        object.__setattr__(self, "lhs", _as_frozenset(lhs))
+        object.__setattr__(self, "rhs", _as_frozenset(rhs))
+        if not self.rhs:
+            raise ValueError("a functional dependency needs a non-empty RHS")
+
+    @property
+    def attributes(self) -> frozenset:
+        """All attributes mentioned by the dependency (``X`` union ``Y``)."""
+        return self.lhs | self.rhs
+
+    def __str__(self) -> str:
+        left = ",".join(sorted(self.lhs)) or "∅"
+        right = ",".join(sorted(self.rhs))
+        return f"[{left}] -> [{right}]"
+
+    def __repr__(self) -> str:
+        return f"FD({sorted(self.lhs)!r}, {sorted(self.rhs)!r})"
+
+    def sort_key(self) -> tuple:
+        """A deterministic ordering key (for reproducible outputs)."""
+        return (tuple(sorted(self.lhs)), tuple(sorted(self.rhs)))
+
+
+def is_trivial(fd: FD) -> bool:
+    """Whether the dependency is implied by reflexivity (``Y`` within ``X``)."""
+    return fd.rhs <= fd.lhs
+
+
+def split_rhs(fd: FD) -> list[FD]:
+    """Decompose ``X -> A1...Ak`` into singleton-RHS dependencies."""
+    return [FD(fd.lhs, {attribute}) for attribute in sorted(fd.rhs)]
+
+
+def closure(attributes, fds) -> frozenset:
+    """The attribute closure ``X+`` under a set of dependencies.
+
+    Standard fixpoint: repeatedly add the RHS of any dependency whose LHS is
+    already contained.  Linear passes; fine for the dependency-set sizes the
+    miners produce.
+    """
+    closed = set(_as_frozenset(attributes))
+    pending = list(fds)
+    changed = True
+    while changed:
+        changed = False
+        remaining = []
+        for fd in pending:
+            if fd.lhs <= closed:
+                if not fd.rhs <= closed:
+                    closed |= fd.rhs
+                    changed = True
+            else:
+                remaining.append(fd)
+        pending = remaining
+    return frozenset(closed)
+
+
+def implies(fds, fd: FD) -> bool:
+    """Whether ``fds`` logically implies ``fd`` (Armstrong closure test)."""
+    return fd.rhs <= closure(fd.lhs, fds)

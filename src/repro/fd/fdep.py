@@ -1,0 +1,152 @@
+"""FDEP: bottom-up induction of functional dependencies (Savnik & Flach).
+
+The miner the paper uses (Section 8).  Two steps:
+
+1. **Negative cover** -- compare all tuple pairs; the *agree set* of a pair
+   (attributes on which the tuples coincide) witnesses the maximal invalid
+   dependency ``agree -> A`` for every attribute ``A`` the pair disagrees
+   on.  Only maximal agree sets per RHS attribute are kept.
+2. **Positive cover** -- for each RHS attribute ``A``, a LHS ``X`` is valid
+   iff it is contained in no witnessing agree set; minimal valid LHSs are
+   the minimal *hitting sets* of the complements of the witnesses, found by
+   depth-first search with subset pruning.
+
+Pair comparison is quadratic in the number of tuples, as in the original
+algorithm; it is intended for modest instances (the paper runs it on the
+90-tuple DB2 relation and the per-cluster DBLP partitions).  Use
+:func:`repro.fd.tane` for wide instances with many tuples.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.fd.dependency import FD
+from repro.fd.partitions import partition_of
+
+
+def agree_sets(relation) -> set[frozenset]:
+    """All distinct agree sets of tuple pairs.
+
+    Computed from the stripped partitions of single attributes rather than
+    raw pairwise scans where possible; falls back to pair enumeration within
+    equivalence classes, which matches FDEP's negative-cover construction
+    but skips pairs that agree nowhere cheaply.
+    """
+    names = relation.schema.names
+    n = len(relation)
+    # Row signature per attribute: class id or unique marker.
+    signatures = [[None] * n for _ in names]
+    for a, name in enumerate(names):
+        part = partition_of(relation, [name])
+        for class_id, members in enumerate(part.classes):
+            for row in members:
+                signatures[a][row] = class_id
+
+    result: set[frozenset] = set()
+    for i, j in combinations(range(n), 2):
+        agree = frozenset(
+            names[a]
+            for a in range(len(names))
+            if signatures[a][i] is not None and signatures[a][i] == signatures[a][j]
+        )
+        result.add(agree)
+    return result
+
+
+def _maximal_sets(sets) -> list[frozenset]:
+    """Keep only the inclusion-maximal members."""
+    ordered = sorted(set(sets), key=len, reverse=True)
+    maximal: list[frozenset] = []
+    for candidate in ordered:
+        if not any(candidate < kept for kept in maximal):
+            maximal.append(candidate)
+    return maximal
+
+
+def negative_cover(relation) -> dict[str, list[frozenset]]:
+    """Per-attribute maximal invalid LHSs (the witnesses).
+
+    ``negative_cover(r)[A]`` lists the maximal agree sets of pairs that
+    disagree on ``A``; any ``X`` inside one of them makes ``X -> A`` false.
+    """
+    names = relation.schema.names
+    witnesses: dict[str, set] = {name: set() for name in names}
+    for agree in agree_sets(relation):
+        for name in names:
+            if name not in agree:
+                witnesses[name].add(agree)
+    return {name: _maximal_sets(sets) for name, sets in witnesses.items()}
+
+
+def _minimal_hitting_sets(complements: list[frozenset], limit: int | None) -> list[frozenset]:
+    """Minimal sets intersecting every complement, by depth-first search.
+
+    ``complements`` lists, for each witness, the attributes a valid LHS may
+    draw from to escape that witness.  Standard branch-and-prune: branch on
+    the elements of the first un-hit complement; discard supersets of
+    already-found hitting sets.
+    """
+    results: list[frozenset] = []
+    ordered = sorted(complements, key=len)
+
+    def search(current: frozenset, remaining: list[frozenset]) -> None:
+        if limit is not None and len(results) >= limit:
+            return
+        unhit = [c for c in remaining if not (current & c)]
+        if not unhit:
+            if not any(found <= current for found in results):
+                results[:] = [f for f in results if not current <= f]
+                results.append(current)
+            return
+        first = min(unhit, key=len)
+        if not first:
+            return  # impossible to hit an empty complement
+        for attribute in sorted(first):
+            candidate = current | {attribute}
+            if any(found <= candidate for found in results):
+                continue
+            search(candidate, unhit)
+
+    search(frozenset(), ordered)
+    return sorted(results, key=lambda s: (len(s), tuple(sorted(s))))
+
+
+def fdep(
+    relation,
+    allow_empty_lhs: bool = False,
+    max_lhs_per_attribute: int | None = None,
+) -> list[FD]:
+    """Mine all minimal functional dependencies holding on the instance.
+
+    Parameters
+    ----------
+    relation:
+        The instance to mine.  NULL compares equal to NULL.
+    allow_empty_lhs:
+        When an attribute is constant, the truly minimal dependency is
+        ``{} -> A``.  The paper's experiments report singleton LHSs instead
+        (e.g. ``Volume -> Journal`` over an all-NULL cluster), so the default
+        promotes the empty LHS to every singleton; pass ``True`` for the
+        strict reading.
+    max_lhs_per_attribute:
+        Optional cap on minimal LHSs enumerated per RHS attribute (a safety
+        valve for pathological instances; ``None`` = exhaustive).
+    """
+    names = relation.schema.names
+    if len(relation) == 0:
+        return []
+    cover = negative_cover(relation)
+    result: list[FD] = []
+    for name in names:
+        witnesses = cover[name]
+        others = frozenset(n for n in names if n != name)
+        complements = [others - witness for witness in witnesses]
+        for lhs in _minimal_hitting_sets(complements, max_lhs_per_attribute):
+            if lhs:
+                result.append(FD(lhs, {name}))
+            elif allow_empty_lhs:
+                result.append(FD(frozenset(), {name}))
+            else:
+                result.extend(FD({other}, {name}) for other in sorted(others))
+    return sorted(set(result), key=FD.sort_key)

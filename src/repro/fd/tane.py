@@ -1,0 +1,168 @@
+"""TANE: level-wise functional-dependency discovery over stripped partitions.
+
+Huhtala et al. (cited as [15] in the paper).  Walks the attribute-set lattice
+level by level; candidate-RHS sets ``C+`` prune the search, and validity of
+``X \\ {A} -> A`` is decided by comparing partition errors.  Scales with the
+number of tuples far better than pairwise FDEP, at the cost of being
+exponential in the number of attributes -- the right trade for the paper's
+DBLP clusters (many tuples, 7 attributes).
+
+This implementation mines exact minimal dependencies (the approximate
+``g3``-thresholded variant lives in :mod:`repro.fd.verify`).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.fd.dependency import FD
+from repro.fd.partitions import Partition, partition_of, product
+
+
+def tane(
+    relation, max_lhs_size: int | None = None, allow_empty_lhs: bool = False
+) -> list[FD]:
+    """Mine all minimal functional dependencies ``X -> A`` of the instance.
+
+    Parameters
+    ----------
+    relation:
+        The instance (NULL = NULL semantics).
+    max_lhs_size:
+        Optional cap on LHS size (level cutoff); ``None`` explores the full
+        lattice.
+    allow_empty_lhs:
+        As in :func:`repro.fd.fdep`: constant attributes yield ``{} -> A``
+        when ``True``; by default the empty LHS is promoted to every
+        singleton, matching the form the paper reports.
+    """
+    names = tuple(relation.schema.names)
+    n = len(relation)
+    if n == 0:
+        return []
+    all_attrs = frozenset(names)
+
+    partitions: dict[frozenset, Partition] = {}
+    for name in names:
+        partitions[frozenset([name])] = partition_of(relation, [name])
+    empty = frozenset()
+    partitions[empty] = partition_of(relation, [])
+
+    # C+ candidate sets, per TANE.
+    cplus: dict[frozenset, frozenset] = {empty: all_attrs}
+    results: list[FD] = []
+
+    def cplus_of(subset: frozenset) -> frozenset:
+        """C+ of any lattice node, computed on demand.
+
+        Key pruning skips generating supersets of (super)keys, but the
+        minimality test at a key node still needs the C+ of those
+        never-generated siblings; it is well-defined as the intersection of
+        the C+ of the node's immediate subsets, recursively.
+        """
+        known = cplus.get(subset)
+        if known is not None:
+            return known
+        if not subset:
+            return all_attrs
+        computed = frozenset.intersection(
+            *(cplus_of(subset - {attribute}) for attribute in subset)
+        )
+        cplus[subset] = computed
+        return computed
+
+    level: list[frozenset] = [frozenset([name]) for name in names]
+    level_number = 1
+    while level:
+        # -- compute dependencies at this level ---------------------------------
+        for x in level:
+            cplus[x] = frozenset.intersection(
+                *(cplus[x - {a}] for a in x)
+            ) if x else all_attrs
+        for x in level:
+            for a in sorted(x & cplus[x]):
+                lhs = x - {a}
+                if _valid(lhs, a, partitions):
+                    results.append(FD(lhs, {a}))
+                    cplus[x] = cplus[x] - {a}
+                    cplus[x] = cplus[x] - (all_attrs - x)
+
+        # -- prune ---------------------------------------------------------------
+        survivors = []
+        for x in level:
+            if not cplus[x]:
+                continue
+            if partitions[x].is_superkey():
+                for a in sorted(cplus[x] - x):
+                    sibling_cplus = [cplus_of((x | {a}) - {b}) for b in x]
+                    if sibling_cplus and a in frozenset.intersection(*sibling_cplus):
+                        results.append(FD(x, {a}))
+                continue
+            survivors.append(x)
+
+        if max_lhs_size is not None and level_number > max_lhs_size:
+            break
+
+        # -- generate next level (prefix join) -----------------------------------
+        next_level: set[frozenset] = set()
+        ordered = sorted(survivors, key=lambda s: tuple(sorted(s)))
+        by_prefix: dict[tuple, list[frozenset]] = {}
+        for x in ordered:
+            prefix = tuple(sorted(x))[:-1]
+            by_prefix.setdefault(prefix, []).append(x)
+        for siblings in by_prefix.values():
+            for x, y in combinations(siblings, 2):
+                candidate = x | y
+                if len(candidate) != level_number + 1:
+                    continue
+                if all(candidate - {a} in set(survivors) for a in candidate):
+                    next_level.add(candidate)
+                    if candidate not in partitions:
+                        partitions[candidate] = product(
+                            partitions[x], partitions[y]
+                        )
+        # Free partitions of the previous level to bound memory.
+        level = sorted(next_level, key=lambda s: tuple(sorted(s)))
+        level_number += 1
+
+    if max_lhs_size is not None:
+        results = [fd for fd in results if len(fd.lhs) <= max_lhs_size]
+    minimal = _minimize(results)
+    if not allow_empty_lhs:
+        promoted: list[FD] = []
+        for fd in minimal:
+            if fd.lhs:
+                promoted.append(fd)
+            else:
+                (rhs_attribute,) = fd.rhs
+                promoted.extend(
+                    FD({other}, fd.rhs)
+                    for other in sorted(all_attrs - {rhs_attribute})
+                )
+        minimal = set(promoted)
+    return sorted(set(minimal), key=FD.sort_key)
+
+
+def _valid(lhs: frozenset, rhs_attribute: str, partitions) -> bool:
+    """``lhs -> rhs`` iff adding the RHS attribute refines nothing."""
+    x = partitions.get(lhs)
+    xa = partitions.get(lhs | {rhs_attribute})
+    if x is None or xa is None:
+        return False
+    return x.error == xa.error
+
+
+def _minimize(fds: list[FD]) -> list[FD]:
+    """Drop dependencies whose LHS strictly contains another valid LHS."""
+    by_rhs: dict[frozenset, list[frozenset]] = {}
+    for fd in fds:
+        by_rhs.setdefault(fd.rhs, []).append(fd.lhs)
+    minimal: list[FD] = []
+    for rhs, lhss in by_rhs.items():
+        unique = sorted(set(lhss), key=len)
+        kept: list[frozenset] = []
+        for lhs in unique:
+            if not any(existing < lhs for existing in kept):
+                kept.append(lhs)
+        minimal.extend(FD(lhs, rhs) for lhs in kept)
+    return minimal

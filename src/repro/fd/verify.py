@@ -1,0 +1,81 @@
+"""Checking dependencies against instances, exactly and approximately.
+
+``holds`` is the paper's Section 4 definition (tuples agreeing on ``X``
+agree on ``Y``; NULL = NULL).  ``g3_error`` is the standard
+approximate-dependency measure (minimum fraction of tuples to delete for the
+dependency to hold) used by TANE-style miners -- the paper contrasts its own
+*value-based* notion of approximation with this *tuple-based* one
+(Section 6.2), so having both enables that comparison.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.fd.dependency import FD
+
+
+def _projections(relation, attributes):
+    positions = relation.schema.positions(sorted(attributes))
+    for row in relation.rows:
+        yield tuple(row[p] for p in positions)
+
+
+def holds(relation, fd: FD) -> bool:
+    """Whether ``fd`` holds on the instance."""
+    if not fd.lhs:
+        distinct = set(_projections(relation, fd.rhs))
+        return len(distinct) <= 1
+    seen: dict = {}
+    lhs_positions = relation.schema.positions(sorted(fd.lhs))
+    rhs_positions = relation.schema.positions(sorted(fd.rhs))
+    for row in relation.rows:
+        key = tuple(row[p] for p in lhs_positions)
+        value = tuple(row[p] for p in rhs_positions)
+        if seen.setdefault(key, value) != value:
+            return False
+    return True
+
+
+def g3_error(relation, fd: FD) -> float:
+    """The ``g3`` measure: minimum tuple-deletion fraction.
+
+    0.0 means the dependency holds exactly; small values mean "approximate".
+    For each ``X``-class, all tuples except those carrying the class's most
+    frequent ``Y``-value must go.
+    """
+    n = len(relation)
+    if n == 0:
+        return 0.0
+    lhs_positions = relation.schema.positions(sorted(fd.lhs))
+    rhs_positions = relation.schema.positions(sorted(fd.rhs))
+    groups: dict = {}
+    for row in relation.rows:
+        key = tuple(row[p] for p in lhs_positions)
+        value = tuple(row[p] for p in rhs_positions)
+        groups.setdefault(key, Counter())[value] += 1
+    kept = sum(counter.most_common(1)[0][1] for counter in groups.values())
+    return (n - kept) / n
+
+
+def violating_pairs(relation, fd: FD, limit: int = 10) -> list[tuple[int, int]]:
+    """Up to ``limit`` pairs of tuple indices witnessing a violation.
+
+    Useful for showing an analyst *why* a candidate dependency fails.
+    """
+    lhs_positions = relation.schema.positions(sorted(fd.lhs))
+    rhs_positions = relation.schema.positions(sorted(fd.rhs))
+    first_seen: dict = {}
+    witnesses: list[tuple[int, int]] = []
+    for index, row in enumerate(relation.rows):
+        key = tuple(row[p] for p in lhs_positions)
+        value = tuple(row[p] for p in rhs_positions)
+        if key in first_seen:
+            other_index, other_value = first_seen[key]
+            if other_value != value:
+                witnesses.append((other_index, index))
+                if len(witnesses) >= limit:
+                    break
+        else:
+            first_seen[key] = (index, value)
+    return witnesses

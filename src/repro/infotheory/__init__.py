@@ -1,0 +1,38 @@
+"""Information-theory substrate (paper Section 3).
+
+Entropy, conditional entropy, mutual information, Kullback-Leibler and
+Jensen-Shannon divergences, and a sparse probability-distribution type.
+All quantities default to base-2 logarithms (bits), which is the convention
+under which the Jensen-Shannon divergence is bounded above by one, as the
+paper states.
+"""
+
+from repro.infotheory.distribution import SparseDistribution
+from repro.infotheory.divergence import (
+    information_loss,
+    jensen_shannon,
+    kl_divergence,
+    mixture,
+)
+from repro.infotheory.entropy import (
+    conditional_entropy,
+    entropy,
+    entropy_of_counts,
+    max_entropy,
+    mutual_information,
+    mutual_information_rows,
+)
+
+__all__ = [
+    "SparseDistribution",
+    "conditional_entropy",
+    "entropy",
+    "entropy_of_counts",
+    "information_loss",
+    "jensen_shannon",
+    "kl_divergence",
+    "max_entropy",
+    "mixture",
+    "mutual_information",
+    "mutual_information_rows",
+]

@@ -1,0 +1,119 @@
+"""A small sparse probability-distribution value type.
+
+``SparseDistribution`` wraps a ``{outcome: mass}`` mapping with the handful of
+operations the rest of the library needs: normalization, entropy, mixtures,
+and divergences.  The clustering hot path works on raw dicts for speed; this
+class is the convenient, validated public face of the same math.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Mapping
+
+from repro.infotheory import divergence as _div
+
+_NORMALIZATION_TOL = 1e-6
+
+
+class SparseDistribution(Mapping):
+    """An immutable sparse probability distribution over hashable outcomes."""
+
+    __slots__ = ("_masses",)
+
+    def __init__(self, masses: Mapping, validate: bool = True):
+        cleaned = {outcome: float(mass) for outcome, mass in masses.items() if mass != 0.0}
+        if validate:
+            if any(mass < 0.0 for mass in cleaned.values()):
+                raise ValueError("probability masses must be non-negative")
+            total = sum(cleaned.values())
+            if cleaned and abs(total - 1.0) > _NORMALIZATION_TOL:
+                raise ValueError(f"masses must sum to 1, got {total!r}")
+        self._masses = cleaned
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_counts(cls, counts: Mapping) -> "SparseDistribution":
+        """Normalize non-negative counts into a distribution."""
+        total = float(sum(counts.values()))
+        if total <= 0.0:
+            raise ValueError("counts must have positive total")
+        return cls({k: v / total for k, v in counts.items() if v}, validate=False)
+
+    @classmethod
+    def uniform(cls, outcomes) -> "SparseDistribution":
+        """The uniform distribution over the given outcomes."""
+        outcomes = list(outcomes)
+        if not outcomes:
+            raise ValueError("need at least one outcome")
+        mass = 1.0 / len(outcomes)
+        return cls({outcome: mass for outcome in outcomes}, validate=False)
+
+    @classmethod
+    def point(cls, outcome) -> "SparseDistribution":
+        """The point mass on a single outcome."""
+        return cls({outcome: 1.0}, validate=False)
+
+    # -- Mapping protocol ---------------------------------------------------
+
+    def __getitem__(self, outcome) -> float:
+        return self._masses.get(outcome, 0.0)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._masses)
+
+    def __len__(self) -> int:
+        return len(self._masses)
+
+    def __contains__(self, outcome) -> bool:
+        return outcome in self._masses
+
+    def __repr__(self) -> str:
+        preview = ", ".join(
+            f"{outcome!r}: {mass:.4f}" for outcome, mass in list(self._masses.items())[:4]
+        )
+        suffix = ", ..." if len(self._masses) > 4 else ""
+        return f"SparseDistribution({{{preview}{suffix}}})"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SparseDistribution):
+            return self._masses == other._masses
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(frozenset(self._masses.items()))
+
+    # -- information-theoretic operations ------------------------------------
+
+    @property
+    def support(self) -> frozenset:
+        """The outcomes carrying positive mass."""
+        return frozenset(self._masses)
+
+    def entropy(self, base: float = 2.0) -> float:
+        """Shannon entropy of the distribution."""
+        log_base = math.log(base)
+        return -sum(
+            mass * math.log(mass) for mass in self._masses.values() if mass > 0.0
+        ) / log_base
+
+    def mix(self, other: "SparseDistribution", w_self: float, w_other: float) -> "SparseDistribution":
+        """The normalized mixture with weights proportional to the arguments."""
+        total = w_self + w_other
+        if total <= 0.0:
+            raise ValueError("weights must have positive sum")
+        blended = _div.mixture(self._masses, dict(other.items()), w_self / total, w_other / total)
+        return SparseDistribution(blended, validate=False)
+
+    def kl(self, other: "SparseDistribution", base: float = 2.0) -> float:
+        """``D_KL[self || other]``."""
+        return _div.kl_divergence(self._masses, dict(other.items()), base=base)
+
+    def js(self, other: "SparseDistribution", w_self: float = 0.5, w_other: float = 0.5) -> float:
+        """Weighted Jensen-Shannon divergence against ``other``."""
+        return _div.jensen_shannon(self._masses, dict(other.items()), w_self, w_other)
+
+    def as_dict(self) -> dict:
+        """A plain-dict copy of the masses."""
+        return dict(self._masses)

@@ -1,0 +1,152 @@
+"""Entropy, conditional entropy and mutual information (paper Section 3).
+
+The functions accept either dense ``numpy`` arrays or sparse mappings from
+hashable outcomes to probability mass.  Zero-mass outcomes contribute nothing
+(the usual ``0 log 0 = 0`` convention).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+#: Tolerance used when validating that masses sum to one.
+_NORMALIZATION_TOL = 1e-6
+
+
+def _as_mass_array(p) -> np.ndarray:
+    """Coerce ``p`` (array, mapping, or iterable of masses) to a 1-D array."""
+    if isinstance(p, Mapping):
+        return np.fromiter(p.values(), dtype=float, count=len(p))
+    return np.asarray(list(p) if not isinstance(p, np.ndarray) else p, dtype=float).ravel()
+
+
+def entropy(p, base: float = 2.0, validate: bool = True) -> float:
+    """Shannon entropy ``H(V) = -sum p(v) log p(v)``.
+
+    Parameters
+    ----------
+    p:
+        A probability distribution: a dense array of masses, a mapping from
+        outcomes to masses, or any iterable of masses.
+    base:
+        Logarithm base; 2 yields bits (the library default).
+    validate:
+        When true, raise ``ValueError`` if masses are negative or do not sum
+        to one (within a small tolerance).
+    """
+    masses = _as_mass_array(p)
+    if validate:
+        if masses.size and masses.min() < -_NORMALIZATION_TOL:
+            raise ValueError("probability masses must be non-negative")
+        total = float(masses.sum())
+        if masses.size and abs(total - 1.0) > _NORMALIZATION_TOL:
+            raise ValueError(f"probability masses must sum to 1, got {total!r}")
+    positive = masses[masses > 0.0]
+    if positive.size == 0:
+        return 0.0
+    # `+ 0.0` normalizes the -0.0 a point mass produces.
+    return float(-(positive * (np.log(positive) / math.log(base))).sum()) + 0.0
+
+
+def entropy_of_counts(counts, base: float = 2.0) -> float:
+    """Entropy of the empirical distribution induced by non-negative counts.
+
+    Accepts a mapping from outcomes to counts, or an iterable of counts.
+    Useful for computing the entropy of a bag of (projected) tuples without
+    materializing probabilities first.
+    """
+    values = _as_mass_array(counts)
+    if values.size and values.min() < 0:
+        raise ValueError("counts must be non-negative")
+    total = float(values.sum())
+    if total <= 0.0:
+        return 0.0
+    return entropy(values / total, base=base, validate=False)
+
+
+def max_entropy(n_states: int, base: float = 2.0) -> float:
+    """``H_max(V) = log n`` -- the entropy of ``n`` equiprobable states."""
+    if n_states < 1:
+        raise ValueError("a random variable needs at least one state")
+    return math.log(n_states, base)
+
+
+def _joint_as_array(joint) -> np.ndarray:
+    """Coerce a joint distribution to a 2-D array ``P[v, t]``."""
+    if isinstance(joint, Mapping):
+        # Mapping from (v, t) pairs to mass.
+        rows = sorted({v for v, _ in joint})
+        cols = sorted({t for _, t in joint})
+        row_index = {v: i for i, v in enumerate(rows)}
+        col_index = {t: j for j, t in enumerate(cols)}
+        dense = np.zeros((len(rows), len(cols)))
+        for (v, t), mass in joint.items():
+            dense[row_index[v], col_index[t]] = mass
+        return dense
+    return np.asarray(joint, dtype=float)
+
+
+def conditional_entropy(joint, base: float = 2.0) -> float:
+    """``H(T | V)`` from a joint distribution ``P[v, t]``.
+
+    ``joint`` is either a 2-D array whose rows range over ``V`` and columns
+    over ``T``, or a mapping from ``(v, t)`` pairs to probability mass.
+
+    ``H(T|V) = -sum_v p(v) sum_t p(t|v) log p(t|v)``
+    """
+    dense = _joint_as_array(joint)
+    if dense.size and dense.min() < -_NORMALIZATION_TOL:
+        raise ValueError("probability masses must be non-negative")
+    total = float(dense.sum())
+    if abs(total - 1.0) > _NORMALIZATION_TOL:
+        raise ValueError(f"joint masses must sum to 1, got {total!r}")
+    result = 0.0
+    for row in dense:
+        p_v = float(row.sum())
+        if p_v > 0.0:
+            result += p_v * entropy(row / p_v, base=base, validate=False)
+    return result
+
+
+def mutual_information(joint, base: float = 2.0) -> float:
+    """``I(V; T) = H(T) - H(T|V)`` from a joint distribution ``P[v, t]``."""
+    dense = _joint_as_array(joint)
+    marginal_t = dense.sum(axis=0)
+    return entropy(marginal_t, base=base, validate=True) - conditional_entropy(
+        dense, base=base
+    )
+
+
+def mutual_information_rows(
+    rows: Iterable[Mapping], weights: Iterable[float], base: float = 2.0
+) -> float:
+    """``I(V; T)`` from sparse conditional rows ``p(T|v)`` and priors ``p(v)``.
+
+    This is the form the clustering engine uses: each object ``v`` carries a
+    sparse conditional distribution over ``T`` plus a prior mass ``p(v)``.
+
+    ``I(V;T) = sum_v p(v) sum_t p(t|v) log( p(t|v) / p(t) )``
+    """
+    rows = list(rows)
+    weights = [float(w) for w in weights]
+    if len(rows) != len(weights):
+        raise ValueError("rows and weights must have the same length")
+    total_weight = sum(weights)
+    if rows and abs(total_weight - 1.0) > _NORMALIZATION_TOL:
+        raise ValueError(f"priors must sum to 1, got {total_weight!r}")
+    marginal: dict = {}
+    for row, weight in zip(rows, weights):
+        for t, mass in row.items():
+            marginal[t] = marginal.get(t, 0.0) + weight * mass
+    log_base = math.log(base)
+    info = 0.0
+    for row, weight in zip(rows, weights):
+        if weight <= 0.0:
+            continue
+        for t, mass in row.items():
+            if mass > 0.0:
+                info += weight * mass * math.log(mass / marginal[t]) / log_base
+    return max(info, 0.0)

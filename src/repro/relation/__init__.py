@@ -1,0 +1,41 @@
+"""Categorical relational substrate.
+
+The paper assumes a set ``T`` of ``n`` tuples over ``m`` attributes, each
+attribute with a categorical domain, plus NULL-aware integrated relations
+(Section 4 and Section 8).  This package provides that model: schemas,
+relations, joins, CSV I/O, and the matrix builders (``M``, ``N``, ``O``,
+``F``) that feed the information-theoretic tools.
+"""
+
+from repro.relation.correspondence import Correspondence, find_correspondences
+from repro.relation.io import read_csv, write_csv
+from repro.relation.join import equi_join, natural_join
+from repro.relation.matrices import (
+    MatrixF,
+    TupleView,
+    ValueView,
+    build_matrix_f,
+    build_tuple_view,
+    build_value_view,
+)
+from repro.relation.relation import NULL, Relation
+from repro.relation.schema import Attribute, Schema
+
+__all__ = [
+    "Attribute",
+    "Correspondence",
+    "MatrixF",
+    "NULL",
+    "Relation",
+    "Schema",
+    "TupleView",
+    "ValueView",
+    "build_matrix_f",
+    "build_tuple_view",
+    "build_value_view",
+    "equi_join",
+    "find_correspondences",
+    "natural_join",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,98 @@
+"""Cross-relation value correspondences (the Bellman side of Section 2).
+
+The paper's summaries work *within* one relation and explicitly complement
+Bellman, whose summaries find "co-occurrence of values across different
+relations (to identify join paths and correspondences between attributes of
+different relations)".  This module provides that companion: given several
+relations, score attribute pairs by the containment/overlap of their active
+domains, surfacing candidate join paths -- e.g. that ``EMPLOYEE.WorkDepNo``
+joins ``DEPARTMENT.DepNo``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relation.relation import NULL, Relation
+
+
+@dataclass(frozen=True)
+class Correspondence:
+    """A scored candidate join path between two attributes."""
+
+    left_relation: str
+    left_attribute: str
+    right_relation: str
+    right_attribute: str
+    jaccard: float
+    containment: float  # |L ∩ R| / min(|L|, |R|)
+    shared_values: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.left_relation}.{self.left_attribute} ~ "
+            f"{self.right_relation}.{self.right_attribute}  "
+            f"(containment={self.containment:.2f}, jaccard={self.jaccard:.2f})"
+        )
+
+
+def find_correspondences(
+    relations: dict,
+    min_containment: float = 0.5,
+    min_shared: int = 2,
+) -> list[Correspondence]:
+    """Score attribute pairs across relations by domain overlap.
+
+    Parameters
+    ----------
+    relations:
+        Mapping from relation name to :class:`Relation`.
+    min_containment:
+        Keep pairs where at least this fraction of the smaller active
+        domain appears in the other (1.0 = full foreign-key-style
+        containment).
+    min_shared:
+        Minimum number of shared values (filters accidental overlaps of
+        tiny domains).
+
+    NULLs are excluded from domains -- a shared NULL is not evidence of a
+    join path.  Results are sorted by containment then jaccard, descending.
+    """
+    if len(relations) < 2:
+        raise ValueError("need at least two relations to correspond")
+
+    domains = {}
+    for name, relation in relations.items():
+        for attribute in relation.schema.names:
+            domain = {v for v in relation.domain(attribute) if v is not NULL}
+            if domain:
+                domains[(name, attribute)] = domain
+
+    keys = sorted(domains)
+    results = []
+    for i, left in enumerate(keys):
+        for right in keys[i + 1 :]:
+            if left[0] == right[0]:
+                continue  # same relation: within-relation duplication is
+                # the paper's own tools' job, not Bellman's
+            shared = domains[left] & domains[right]
+            if len(shared) < min_shared:
+                continue
+            smaller = min(len(domains[left]), len(domains[right]))
+            containment = len(shared) / smaller
+            if containment < min_containment:
+                continue
+            union = len(domains[left] | domains[right])
+            results.append(
+                Correspondence(
+                    left_relation=left[0],
+                    left_attribute=left[1],
+                    right_relation=right[0],
+                    right_attribute=right[1],
+                    jaccard=len(shared) / union,
+                    containment=containment,
+                    shared_values=len(shared),
+                )
+            )
+    results.sort(key=lambda c: (-c.containment, -c.jaccard, c.left_relation))
+    return results

@@ -1,0 +1,50 @@
+"""CSV input/output for relations.
+
+All values round-trip as strings; the empty field encodes :data:`NULL`.
+Consequently an empty-*string* value is indistinguishable from NULL in this
+format and reads back as NULL -- the one (documented) lossy corner.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.relation.relation import NULL, Relation
+from repro.relation.schema import Attribute, Schema
+
+#: CSV rendering of the NULL sentinel.
+_NULL_FIELD = ""
+
+
+def read_csv(path, source: str | None = None) -> Relation:
+    """Load a relation from a headered CSV file.
+
+    Empty fields become :data:`NULL`; everything else stays a string (the
+    tools are generic over value semantics, so no type sniffing is done).
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty; expected a header row") from None
+        schema = Schema([Attribute(name, source) for name in header])
+        rows = [
+            tuple(NULL if field == _NULL_FIELD else field for field in record)
+            for record in reader
+        ]
+    return Relation(schema, rows)
+
+
+def write_csv(relation: Relation, path) -> None:
+    """Write a relation to a headered CSV file (NULL as the empty field)."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.names)
+        for row in relation.rows:
+            writer.writerow(
+                [_NULL_FIELD if value is NULL else str(value) for value in row]
+            )

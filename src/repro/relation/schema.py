@@ -1,0 +1,106 @@
+"""Schemas: ordered collections of named categorical attributes."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named categorical attribute.
+
+    ``source`` optionally records which original relation the attribute came
+    from; integrated relations built by joins carry this provenance so that
+    experiments (e.g. Figure 14) can check whether attribute grouping
+    recovers the source tables.
+    """
+
+    name: str
+    source: str | None = None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Schema(Sequence):
+    """An ordered, duplicate-free sequence of attributes."""
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes):
+        resolved = [
+            attr if isinstance(attr, Attribute) else Attribute(str(attr))
+            for attr in attributes
+        ]
+        names = [attr.name for attr in resolved]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate attribute names: {duplicates}")
+        self._attributes = tuple(resolved)
+        self._index = {attr.name: i for i, attr in enumerate(resolved)}
+
+    # -- Sequence protocol ---------------------------------------------------
+
+    def __getitem__(self, position):
+        if isinstance(position, slice):
+            return Schema(self._attributes[position])
+        return self._attributes[position]
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, item) -> bool:
+        if isinstance(item, Attribute):
+            return item.name in self._index
+        return item in self._index
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Schema):
+            return self.names == other.names
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self.names)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self.names)!r})"
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Attribute names, in schema order."""
+        return tuple(attr.name for attr in self._attributes)
+
+    def position(self, name: str) -> int:
+        """The index of the named attribute; raises ``KeyError`` if absent."""
+        if isinstance(name, Attribute):
+            name = name.name
+        if name not in self._index:
+            raise KeyError(f"no attribute named {name!r} in {list(self.names)}")
+        return self._index[name]
+
+    def positions(self, names) -> tuple[int, ...]:
+        """Indices of several attributes, in the order given."""
+        return tuple(self.position(name) for name in names)
+
+    def attribute(self, name: str) -> Attribute:
+        """The :class:`Attribute` with the given name."""
+        return self._attributes[self.position(name)]
+
+    def subset(self, names) -> "Schema":
+        """A new schema restricted to ``names``, in the order given."""
+        return Schema([self.attribute(name) for name in names])
+
+    def renamed(self, mapping: dict) -> "Schema":
+        """A new schema with attributes renamed via ``mapping``."""
+        return Schema(
+            [
+                Attribute(mapping.get(attr.name, attr.name), attr.source)
+                for attr in self._attributes
+            ]
+        )

@@ -1,0 +1,144 @@
+"""Unit tests for Agglomerative Information Bottleneck."""
+
+import pytest
+
+from repro.clustering import DCF, aib
+from repro.infotheory import mutual_information_rows
+from repro.relation import Relation, build_value_view
+
+
+def _singletons(rows, priors):
+    return [DCF.singleton(i, p, r) for i, (r, p) in enumerate(zip(rows, priors))]
+
+
+@pytest.fixture
+def figure4_view():
+    relation = Relation(
+        ["A", "B", "C"],
+        [
+            ("a", "1", "p"),
+            ("a", "1", "r"),
+            ("w", "2", "x"),
+            ("y", "2", "x"),
+            ("z", "2", "x"),
+        ],
+    )
+    return build_value_view(relation)
+
+
+class TestAIBBasics:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aib([])
+
+    def test_rejects_bad_min_clusters(self):
+        dcfs = _singletons([{0: 1.0}], [1.0])
+        with pytest.raises(ValueError):
+            aib(dcfs, min_clusters=2)
+
+    def test_single_cluster_input(self):
+        result = aib(_singletons([{0: 1.0}], [1.0]))
+        assert result.dendrogram.merges == []
+
+    def test_full_sequence_length(self):
+        rows = [{i: 1.0} for i in range(5)]
+        result = aib(_singletons(rows, [0.2] * 5))
+        assert len(result.dendrogram.merges) == 4
+
+    def test_partial_run_stops_at_min_clusters(self):
+        rows = [{i: 1.0} for i in range(5)]
+        result = aib(_singletons(rows, [0.2] * 5), min_clusters=3)
+        assert len(result.dendrogram.merges) == 2
+
+    def test_input_not_mutated(self):
+        dcfs = _singletons([{0: 1.0}, {0: 1.0}], [0.5, 0.5])
+        aib(dcfs)
+        assert dcfs[0].members == [0]
+
+
+class TestGreedyChoice:
+    def test_merges_identical_objects_first(self):
+        rows = [{0: 1.0}, {1: 1.0}, {0: 1.0}]
+        result = aib(_singletons(rows, [1 / 3] * 3))
+        first = result.dendrogram.merges[0]
+        assert {first.left, first.right} == {0, 2}
+        assert first.loss == pytest.approx(0.0, abs=1e-12)
+
+    def test_losses_match_information_drop(self):
+        # Total loss over the full sequence equals I(V;T) (merging down to
+        # one cluster destroys all information).
+        rows = [{0: 0.5, 1: 0.5}, {1: 1.0}, {2: 1.0}, {0: 0.2, 2: 0.8}]
+        priors = [0.25] * 4
+        info = mutual_information_rows(rows, priors)
+        result = aib(_singletons(rows, priors))
+        assert sum(result.dendrogram.losses) == pytest.approx(info)
+
+    def test_deterministic_tie_breaking(self):
+        rows = [{0: 1.0}, {1: 1.0}, {2: 1.0}, {3: 1.0}]
+        first = aib(_singletons(rows, [0.25] * 4)).dendrogram.merges
+        second = aib(_singletons(rows, [0.25] * 4)).dendrogram.merges
+        assert first == second
+
+
+class TestPaperExample:
+    def test_figure4_perfect_cooccurrences(self, figure4_view):
+        """At phi=0 the paper's example clusters {a,1} and {2,x} (Sec. 6.2)."""
+        view = figure4_view
+        ids = view.catalog.ids
+        dcfs = [
+            DCF.singleton(i, p, r, support=s)
+            for i, (r, p, s) in enumerate(zip(view.rows, view.priors, view.support))
+        ]
+        result = aib(dcfs)
+        zero_loss = result.dendrogram.cut_at_loss(1e-12)
+        clusters = {frozenset(c) for c in zero_loss if len(c) > 1}
+        assert frozenset({ids["a"], ids["1"]}) in clusters
+        assert frozenset({ids["2"], ids["x"]}) in clusters
+        # Nothing else co-occurs perfectly.
+        assert len(clusters) == 2
+
+    def test_figure4_adcf_support_aggregates(self, figure4_view):
+        view = figure4_view
+        ids = view.catalog.ids
+        dcfs = [
+            DCF.singleton(i, p, r, support=s)
+            for i, (r, p, s) in enumerate(zip(view.rows, view.priors, view.support))
+        ]
+        result = aib(dcfs)
+        for cluster in result.clusters(7):
+            if sorted(cluster.members) == sorted([ids["a"], ids["1"]]):
+                # Figure 7: the {a,1} O-row is (2, 2, 0).
+                assert cluster.support == {"A": 2, "B": 2}
+                break
+        else:
+            pytest.fail("{a,1} cluster not found at k=7")
+
+
+class TestAIBResult:
+    def test_clusters_partition_all_leaves(self):
+        rows = [{i % 3: 1.0} for i in range(6)]
+        result = aib(_singletons(rows, [1 / 6] * 6))
+        for k in (1, 2, 3, 6):
+            clusters = result.clusters(k)
+            members = sorted(m for c in clusters for m in c.members)
+            assert members == list(range(6))
+
+    def test_information_curve_monotone(self):
+        rows = [{0: 0.5, 1: 0.5}, {1: 1.0}, {2: 1.0}, {0: 0.2, 2: 0.8}]
+        priors = [0.25] * 4
+        info = mutual_information_rows(rows, priors)
+        result = aib(_singletons(rows, priors), initial_information=info)
+        curve = result.information_curve()
+        assert curve[0] == (4, pytest.approx(info))
+        values = [v for _, v in curve]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_information_at(self):
+        rows = [{0: 1.0}, {1: 1.0}]
+        priors = [0.5, 0.5]
+        result = aib(_singletons(rows, priors), initial_information=1.0)
+        assert result.information_at(2) == pytest.approx(1.0)
+        assert result.information_at(1) == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            result.information_at(3)

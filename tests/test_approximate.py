@@ -1,0 +1,78 @@
+"""Tests for approximate-FD mining under g3."""
+
+import pytest
+
+from repro.datasets import relation_with_fd
+from repro.fd import FD, fdep, g3_error, holds, mine_approximate_fds
+from repro.relation import Relation
+
+
+class TestMineApproximateFds:
+    def test_zero_error_matches_exact_mining(self):
+        rel = Relation(
+            ["A", "B", "C"],
+            [
+                ("a", "1", "p"),
+                ("a", "1", "r"),
+                ("w", "2", "x"),
+                ("y", "2", "x"),
+                ("z", "2", "x"),
+            ],
+        )
+        approx = {a.fd for a in mine_approximate_fds(rel, max_error=0.0)}
+        assert approx == set(fdep(rel))
+
+    def test_finds_broken_dependency(self):
+        rel = relation_with_fd(100, 10, seed=1, noise_tuples=3)
+        assert not holds(rel, FD("K", "D"))
+        approx = mine_approximate_fds(rel, max_error=0.05)
+        match = [a for a in approx if a.fd == FD("K", "D")]
+        assert match and 0.0 < match[0].error <= 0.05
+
+    def test_threshold_gates_results(self):
+        rel = relation_with_fd(100, 10, seed=1, noise_tuples=30)
+        tight = {a.fd for a in mine_approximate_fds(rel, max_error=0.01)}
+        assert FD("K", "D") not in tight
+
+    def test_results_sorted_by_error(self):
+        rel = relation_with_fd(80, 8, seed=2, noise_tuples=2)
+        approx = mine_approximate_fds(rel, max_error=0.2)
+        errors = [a.error for a in approx]
+        assert errors == sorted(errors)
+
+    def test_minimality(self):
+        rel = relation_with_fd(60, 6, seed=3)
+        approx = mine_approximate_fds(rel, max_error=0.0)
+        lhss_by_rhs: dict = {}
+        for a in approx:
+            lhss_by_rhs.setdefault(a.fd.rhs, []).append(a.fd.lhs)
+        for lhss in lhss_by_rhs.values():
+            for i, lhs in enumerate(lhss):
+                for j, other in enumerate(lhss):
+                    if i != j:
+                        assert not other < lhs
+
+    def test_reported_error_matches_g3(self):
+        rel = relation_with_fd(60, 6, seed=4, noise_tuples=4)
+        for a in mine_approximate_fds(rel, max_error=0.2, max_lhs_size=2):
+            assert a.error == pytest.approx(g3_error(rel, a.fd))
+
+    def test_max_lhs_size(self):
+        rel = relation_with_fd(60, 6, seed=5)
+        approx = mine_approximate_fds(rel, max_error=0.3, max_lhs_size=1)
+        assert all(len(a.fd.lhs) == 1 for a in approx)
+
+    def test_validation(self):
+        rel = relation_with_fd(20, 4)
+        with pytest.raises(ValueError):
+            mine_approximate_fds(rel, max_error=1.0)
+        with pytest.raises(ValueError):
+            mine_approximate_fds(rel, max_lhs_size=0)
+
+    def test_empty_relation(self):
+        assert mine_approximate_fds(Relation(["A", "B"], [])) == []
+
+    def test_str(self):
+        rel = relation_with_fd(30, 3)
+        approx = mine_approximate_fds(rel, max_error=0.0, max_lhs_size=1)
+        assert "g3=" in str(approx[0])

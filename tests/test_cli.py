@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import db2_sample
+from repro.relation import read_csv, write_csv
+
+
+@pytest.fixture
+def db2_csv(tmp_path):
+    path = tmp_path / "db2.csv"
+    write_csv(db2_sample(seed=0).relation, path)
+    return str(path)
+
+
+class TestDiscover:
+    def test_prints_report(self, db2_csv, capsys):
+        assert main(["discover", db2_csv]) == 0
+        out = capsys.readouterr().out
+        assert "Structure discovery over 90 tuples" in out
+        assert "ranked dependencies" in out
+
+    def test_top_option(self, db2_csv, capsys):
+        main(["discover", db2_csv, "--top", "2"])
+        out = capsys.readouterr().out
+        assert "Top-2" in out
+
+
+class TestRank:
+    def test_prints_ranked_fds(self, db2_csv, capsys):
+        assert main(["rank", db2_csv, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "dependencies mined" in out
+        assert out.count("rank=") == 3
+
+    def test_miner_selection(self, db2_csv, capsys):
+        main(["rank", db2_csv, "--miner", "fdep", "--top", "1"])
+        assert "fdep" in capsys.readouterr().out
+
+
+class TestPartition:
+    def test_partitions_and_writes(self, tmp_path, capsys):
+        from repro.datasets import planted_partitions
+
+        rel, _ = planted_partitions(60, 2, seed=1)
+        path = tmp_path / "blocks.csv"
+        write_csv(rel, path)
+        prefix = str(tmp_path / "out")
+        assert main(
+            ["partition", str(path), "--k", "2", "--out", prefix]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "k = 2" in out
+        first = read_csv(f"{prefix}.part1.csv")
+        second = read_csv(f"{prefix}.part2.csv")
+        assert len(first) + len(second) == 60
+
+
+class TestRedesign:
+    def test_prints_and_writes_fragments(self, db2_csv, tmp_path, capsys):
+        prefix = str(tmp_path / "frag")
+        assert main(["redesign", db2_csv, "--out", prefix]) == 0
+        out = capsys.readouterr().out
+        assert "storage cells" in out
+        remainder = read_csv(f"{prefix}.remainder.csv")
+        assert len(remainder) > 0
+
+
+class TestDataset:
+    def test_db2(self, tmp_path, capsys):
+        path = tmp_path / "db2gen.csv"
+        assert main(["dataset", "db2", "--out", str(path)]) == 0
+        assert "90 tuples x 19 attributes" in capsys.readouterr().out
+        assert len(read_csv(path)) == 90
+
+    def test_dblp(self, tmp_path, capsys):
+        path = tmp_path / "dblp.csv"
+        assert main(["dataset", "dblp", "--out", str(path), "--n", "500"]) == 0
+        relation = read_csv(path)
+        assert len(relation) == 500
+        assert relation.arity == 13
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_module_entry_point(self, db2_csv):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "rank", db2_csv, "--top", "1"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0
+        assert "rank=" in result.stdout
+
+
+class TestRankMinerOptions:
+    def test_tane_path(self, db2_csv, capsys):
+        assert main(["rank", db2_csv, "--miner", "tane", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "tane" in out and out.count("rank=") == 2
+
+    def test_psi_option(self, db2_csv, capsys):
+        assert main(["rank", db2_csv, "--psi", "0.1", "--top", "1"]) == 0
+        assert "rank=" in capsys.readouterr().out
+
+
+class TestPartitionWithoutOut:
+    def test_no_files_written(self, tmp_path, capsys):
+        from repro.datasets import planted_partitions
+        from repro.relation import write_csv
+
+        rel, _ = planted_partitions(40, 2, seed=2)
+        path = tmp_path / "r.csv"
+        write_csv(rel, path)
+        assert main(["partition", str(path), "--k", "2"]) == 0
+        assert not list(tmp_path.glob("*.part*.csv"))

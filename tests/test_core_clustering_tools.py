@@ -1,0 +1,241 @@
+"""Tests for the Section 6 tools: tuple/value clustering, attribute grouping,
+horizontal partitioning."""
+
+import pytest
+
+from repro.core import (
+    cluster_tuples,
+    cluster_values,
+    find_duplicate_tuples,
+    group_attributes,
+    horizontal_partition,
+    suggest_k,
+)
+from repro.relation import NULL, Relation
+
+
+@pytest.fixture
+def figure4():
+    return Relation(
+        ["A", "B", "C"],
+        [
+            ("a", "1", "p"),
+            ("a", "1", "r"),
+            ("w", "2", "x"),
+            ("y", "2", "x"),
+            ("z", "2", "x"),
+        ],
+    )
+
+
+@pytest.fixture
+def with_duplicates():
+    base = [
+        ("e1", "Pat", "Sales"),
+        ("e2", "Sal", "Sales"),
+        ("e3", "Lee", "R&D"),
+        ("e4", "Kim", "R&D"),
+    ]
+    # e5 is a near-duplicate of e1 (differs only in the employee number).
+    return Relation(["EmpNo", "Name", "Dept"], base + [("e5", "Pat", "Sales")])
+
+
+class TestTupleClustering:
+    def test_exact_duplicates_found_at_phi_zero(self):
+        rel = Relation(
+            ["A", "B"],
+            [("x", "1"), ("y", "2"), ("x", "1"), ("z", "3"), ("y", "2")],
+        )
+        groups = find_duplicate_tuples(rel, phi_t=0.0)
+        found = {frozenset(g.tuple_indices) for g in groups}
+        assert frozenset({0, 2}) in found
+        assert frozenset({1, 4}) in found
+
+    def test_no_duplicates_no_groups(self):
+        rel = Relation(["A"], [(str(i),) for i in range(5)])
+        assert find_duplicate_tuples(rel, phi_t=0.0) == []
+
+    def test_near_duplicate_found_with_positive_phi(self, with_duplicates):
+        result = cluster_tuples(with_duplicates, phi_t=0.4)
+        assert result.are_candidate_duplicates(0, 4)
+
+    def test_near_duplicate_missed_at_phi_zero(self, with_duplicates):
+        result = cluster_tuples(with_duplicates, phi_t=0.0)
+        group = result.group_of(0)
+        assert group is None or 4 not in group.tuple_indices
+
+    def test_assignment_covers_all_tuples(self, figure4):
+        result = cluster_tuples(figure4, phi_t=0.0)
+        assert len(result.assignment) == len(figure4)
+
+    def test_group_of_returns_none_for_singletons(self, figure4):
+        result = cluster_tuples(figure4, phi_t=0.0)
+        assert result.group_of(0) is None
+
+
+class TestValueClustering:
+    def test_figure4_duplicate_groups(self, figure4):
+        result = cluster_values(figure4, phi_v=0.0)
+        duplicate_members = {
+            frozenset(g.labels) for g in result.duplicate_groups
+        }
+        assert duplicate_members == {
+            frozenset({"'a'", "'1'"}),
+            frozenset({"'2'", "'x'"}),
+        }
+
+    def test_figure4_non_duplicates(self, figure4):
+        result = cluster_values(figure4, phi_v=0.0)
+        non_dup = {label for g in result.non_duplicate_groups for label in g.labels}
+        assert non_dup == {"'w'", "'y'", "'z'", "'p'", "'r'"}
+
+    def test_group_support_counts(self, figure4):
+        result = cluster_values(figure4, phi_v=0.0)
+        for group in result.duplicate_groups:
+            if "'a'" in group.labels:
+                assert group.support == {"A": 2, "B": 2}  # Figure 7
+                assert group.occurrences == 4
+                assert group.n_tuples == 2
+
+    def test_figure5_anomaly_captured_with_phi(self):
+        """The Figure 5 variant: x also sits in tuple 2's C column."""
+        rel = Relation(
+            ["A", "B", "C"],
+            [
+                ("a", "1", "p"),
+                ("a", "1", "x"),
+                ("w", "2", "x"),
+                ("y", "2", "x"),
+                ("z", "2", "x"),
+            ],
+        )
+        exact = cluster_values(rel, phi_v=0.0)
+        assert all(
+            not {"'2'", "'x'"} <= set(g.labels) for g in exact.groups
+        ), "no longer a perfect co-occurrence"
+        fuzzy = cluster_values(rel, phi_v=0.30)
+        assert any({"'2'", "'x'"} <= set(g.labels) for g in fuzzy.groups)
+
+    def test_group_of_value(self, figure4):
+        result = cluster_values(figure4, phi_v=0.0)
+        a_id = result.view.catalog.ids["a"]
+        group = result.group_of_value(a_id)
+        assert group is not None and "'1'" in group.labels
+        assert result.group_of_value(10**6) is None
+
+    def test_double_clustering_smoke(self, figure4):
+        result = cluster_values(figure4, phi_v=0.0, phi_t=0.5)
+        assert result.view.double_clustered
+        assert result.groups  # still produces a clustering
+
+    def test_multi_value_groups(self, figure4):
+        result = cluster_values(figure4, phi_v=0.0)
+        assert len(result.multi_value_groups()) == 2
+
+
+class TestAttributeGrouping:
+    def test_figure10_dendrogram(self, figure4):
+        grouping = group_attributes(figure4, phi_v=0.0)
+        dendrogram = grouping.dendrogram
+        assert grouping.attribute_names == ["A", "B", "C"]
+        # First merge joins B and C (the pair with most duplication).
+        first = dendrogram.merges[0]
+        names = {grouping.attribute_names[first.left], grouping.attribute_names[first.right]}
+        assert names == {"B", "C"}
+        # Maximum loss matches the paper's ~0.52.
+        assert dendrogram.max_loss == pytest.approx(0.5155, abs=0.01)
+
+    def test_merge_loss_queries(self, figure4):
+        grouping = group_attributes(figure4, phi_v=0.0)
+        assert grouping.merge_loss(["B", "C"]) == pytest.approx(0.1576, abs=0.001)
+        assert grouping.merge_loss(["A", "B"]) == pytest.approx(
+            grouping.dendrogram.max_loss
+        )
+        assert grouping.merge_loss(["A", "Z"]) is None
+        assert grouping.merge_loss(["A"]) == 0.0
+
+    def test_clusters(self, figure4):
+        grouping = group_attributes(figure4, phi_v=0.0)
+        two = {frozenset(c) for c in grouping.clusters(2)}
+        assert frozenset({"B", "C"}) in two
+
+    def test_render_mentions_attributes(self, figure4):
+        text = group_attributes(figure4, phi_v=0.0).render()
+        for name in "ABC":
+            assert name in text
+
+    def test_requires_input(self):
+        with pytest.raises(ValueError, match="relation or a value_clustering"):
+            group_attributes()
+
+    def test_rejects_nonzero_phi_a(self, figure4):
+        with pytest.raises(ValueError, match="phi_a"):
+            group_attributes(figure4, phi_a=0.5)
+
+    def test_no_duplicates_raises(self):
+        rel = Relation(["A", "B"], [("a", "1"), ("b", "2")])
+        with pytest.raises(ValueError, match="C_V\\^D is empty"):
+            group_attributes(rel, phi_v=0.0)
+
+    def test_precomputed_value_clustering(self, figure4):
+        values = cluster_values(figure4, phi_v=0.0)
+        grouping = group_attributes(value_clustering=values)
+        assert grouping.value_clustering is values
+
+    def test_include_all_groups_widens_ad(self, figure4):
+        restricted = group_attributes(figure4, phi_v=0.0)
+        widened = group_attributes(
+            value_clustering=cluster_values(figure4, phi_v=0.0),
+            include_all_groups=True,
+        )
+        # With every value group included, A^D is at least as large and the
+        # F matrix carries more columns.
+        assert set(restricted.attribute_names) <= set(widened.attribute_names)
+        assert len(widened.matrix_f.groups) >= len(restricted.matrix_f.groups)
+
+
+class TestHorizontalPartitioning:
+    @pytest.fixture
+    def overloaded(self):
+        """An order table overloaded with two tuple types (Section 6.1.2)."""
+        rows = []
+        for i in range(30):
+            rows.append((f"o{i}", "product", f"sku{i % 5}", NULL))
+        for i in range(20):
+            rows.append((f"o{30 + i}", "service", NULL, f"plan{i % 3}"))
+        return Relation(["OrderId", "Kind", "Sku", "Plan"], rows)
+
+    def test_partitions_by_type(self, overloaded):
+        result = horizontal_partition(overloaded, k=2, phi_t=0.5)
+        assert result.k == 2
+        assert sorted(len(p) for p in result.partitions) == [20, 30]
+        kinds = [set(p.column("Kind")) for p in result.partitions]
+        assert {"product"} in kinds and {"service"} in kinds
+
+    def test_suggested_k_finds_two(self, overloaded):
+        result = horizontal_partition(overloaded, phi_t=0.5)
+        assert result.k == 2
+
+    def test_information_loss_reported(self, overloaded):
+        # The unique OrderId column dominates I(T;V), so even a perfect
+        # 2-way split loses most of it; dropping the identifier first (as
+        # the paper drops the NULL-heavy DBLP attributes) keeps losses low.
+        with_id = horizontal_partition(overloaded, k=2, phi_t=0.5)
+        assert 0.0 <= with_id.relative_information_loss <= 1.0
+        without_id = horizontal_partition(overloaded.drop(["OrderId"]), k=2, phi_t=0.5)
+        assert without_id.relative_information_loss < with_id.relative_information_loss
+
+    def test_partition_sizes_sorted(self, overloaded):
+        result = horizontal_partition(overloaded, k=2, phi_t=0.5)
+        sizes = result.partition_sizes()
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_max_summaries_respected(self, overloaded):
+        result = horizontal_partition(overloaded, k=2, phi_t=0.0, max_summaries=10)
+        assert len(result.limbo.summaries) <= 10
+
+    def test_suggest_k_scores(self, overloaded):
+        result = horizontal_partition(overloaded, k=2, phi_t=0.5)
+        suggestions = suggest_k(result.aib_result)
+        assert suggestions[0].k == 2
+        assert suggestions[0].score >= suggestions[-1].score

@@ -1,0 +1,217 @@
+"""Tests for the synthetic data-set generators and error injection."""
+
+import pytest
+
+from repro.datasets import (
+    DBLP_ATTRIBUTES,
+    NULL_HEAVY_ATTRIBUTES,
+    db2_sample,
+    dblp,
+    inject_erroneous_tuples,
+    planted_partitions,
+    random_categorical,
+    relation_with_fd,
+)
+from repro.fd import FD, g3_error, holds
+from repro.relation import NULL
+
+
+class TestDb2Sample:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        return db2_sample(seed=0)
+
+    def test_join_shape_matches_paper(self, sample):
+        assert len(sample.relation) == 90
+        assert sample.relation.arity == 19
+
+    def test_value_count_scale(self, sample):
+        # The paper reports 255 values; the generator lands in the ballpark.
+        assert 180 <= sample.relation.value_count() <= 300
+
+    def test_base_table_keys(self, sample):
+        assert len(sample.employee.domain("EmpNo")) == len(sample.employee)
+        assert len(sample.department.domain("DepNo")) == len(sample.department)
+        assert len(sample.project.domain("ProjNo")) == len(sample.project)
+
+    def test_join_key_fds_hold(self, sample):
+        r = sample.relation
+        assert holds(r, FD("DeptNo", {"DeptName", "MgrNo", "AdminDepNo"}))
+        assert holds(r, FD("DeptName", "MgrNo"))
+        assert holds(
+            r,
+            FD(
+                "EmpNo",
+                {"FirstName", "LastName", "PhoneNo", "HireYear", "BirthYear"},
+            ),
+        )
+        assert holds(
+            r, FD("ProjNo", {"ProjName", "RespEmpNo", "StartDate", "EndDate"})
+        )
+
+    def test_foreign_keys_resolve(self, sample):
+        dep_nos = sample.department.domain("DepNo")
+        assert sample.employee.domain("WorkDepNo") <= dep_nos
+        assert sample.project.domain("DeptNo") <= dep_nos
+        emp_nos = sample.employee.domain("EmpNo")
+        assert sample.department.domain("MgrNo") <= emp_nos
+        assert sample.project.domain("RespEmpNo") <= emp_nos
+
+    def test_deterministic(self):
+        assert db2_sample(seed=3).relation == db2_sample(seed=3).relation
+
+    def test_seeds_vary_data(self):
+        a = db2_sample(seed=1).relation
+        b = db2_sample(seed=2).relation
+        assert a != b
+
+    def test_department_skew(self, sample):
+        from collections import Counter
+
+        counts = Counter(sample.relation.column("DeptNo"))
+        assert max(counts.values()) == 20 and min(counts.values()) == 9
+
+
+class TestDblp:
+    @pytest.fixture(scope="class")
+    def relation(self):
+        return dblp(n_tuples=3000, seed=7)
+
+    def test_shape(self, relation):
+        assert len(relation) == 3000
+        assert relation.attributes == DBLP_ATTRIBUTES
+
+    def test_null_heavy_attributes(self, relation):
+        for name in NULL_HEAVY_ATTRIBUTES:
+            assert relation.null_fraction(name) >= 0.98, name
+
+    def test_type_mix(self, relation):
+        conference = relation.select(lambda r: r["BookTitle"] is not NULL)
+        journal = relation.select(lambda r: r["Journal"] is not NULL)
+        assert 0.65 <= len(conference) / len(relation) <= 0.78
+        assert 0.22 <= len(journal) / len(relation) <= 0.34
+        assert len(conference) + len(journal) < len(relation)  # misc exists
+
+    def test_conference_rows_have_null_journal_attrs(self, relation):
+        conference = relation.select(lambda r: r["BookTitle"] is not NULL)
+        for name in ("Journal", "Volume", "Number"):
+            assert conference.null_fraction(name) == 1.0
+
+    def test_journal_issue_determines_year(self, relation):
+        journal = relation.select(lambda r: r["Journal"] is not NULL)
+        assert holds(journal, FD({"Journal", "Volume", "Number"}, {"Year"}))
+
+    def test_volume_alone_does_not_determine_year(self, relation):
+        journal = relation.select(lambda r: r["Journal"] is not NULL)
+        assert not holds(journal, FD({"Volume"}, {"Year"}))
+        # The straddling journals keep Journal+Volume from sufficing either.
+        assert g3_error(journal, FD({"Journal", "Volume"}, {"Year"})) > 0.0
+
+    def test_author_home_journal(self, relation):
+        journal = relation.select(lambda r: r["Journal"] is not NULL)
+        assert holds(journal, FD("Author", "Journal"))
+
+    def test_multi_author_duplication(self, relation):
+        # Papers with several authors repeat Pages+venue across tuples.
+        from collections import Counter
+
+        pages = Counter(relation.column("Pages"))
+        assert max(pages.values()) >= 2
+
+    def test_deterministic(self):
+        assert dblp(500, seed=1) == dblp(500, seed=1)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            dblp(50)
+
+
+class TestErrorInjection:
+    @pytest.fixture
+    def base(self):
+        return db2_sample().relation
+
+    def test_appends_requested_tuples(self, base):
+        injection = inject_erroneous_tuples(base, n_tuples=5, n_errors=2, seed=1)
+        assert len(injection.relation) == len(base) + 5
+        assert injection.n_injected == 5
+
+    def test_changes_recorded(self, base):
+        injection = inject_erroneous_tuples(base, n_tuples=3, n_errors=4, seed=2)
+        for injected in injection.injected:
+            assert len(injected.changes) == 4
+            dirty = injection.relation.rows[injected.index]
+            clean = base.rows[injected.source_index]
+            for name, (old, new) in injected.changes.items():
+                position = base.schema.position(name)
+                assert clean[position] == old
+                assert dirty[position] == new
+                assert old != new
+
+    def test_unchanged_attributes_match_source(self, base):
+        injection = inject_erroneous_tuples(base, n_tuples=2, n_errors=1, seed=3)
+        for injected in injection.injected:
+            dirty = injection.relation.rows[injected.index]
+            clean = base.rows[injected.source_index]
+            differing = sum(1 for a, b in zip(dirty, clean) if a != b)
+            assert differing == 1
+
+    def test_null_style(self, base):
+        injection = inject_erroneous_tuples(
+            base, n_tuples=2, n_errors=2, seed=4, style="null"
+        )
+        for injected in injection.injected:
+            assert all(new is NULL for _, new in injected.changes.values())
+
+    def test_swap_style_uses_domain_values(self, base):
+        injection = inject_erroneous_tuples(
+            base, n_tuples=2, n_errors=2, seed=5, style="swap"
+        )
+        for injected in injection.injected:
+            for name, (_, new) in injected.changes.items():
+                assert new in base.domain(name)
+
+    def test_validation(self, base):
+        with pytest.raises(ValueError, match="style"):
+            inject_erroneous_tuples(base, style="bogus")
+        with pytest.raises(ValueError, match="n_errors"):
+            inject_erroneous_tuples(base, n_errors=0)
+        with pytest.raises(ValueError, match="n_tuples"):
+            inject_erroneous_tuples(base, n_tuples=0)
+
+    def test_original_not_mutated(self, base):
+        before = len(base)
+        inject_erroneous_tuples(base, n_tuples=5)
+        assert len(base) == before
+
+
+class TestSyntheticGenerators:
+    def test_random_categorical_shape(self):
+        rel = random_categorical(50, [2, 3, 5], seed=0)
+        assert len(rel) == 50 and rel.arity == 3
+        assert len(rel.domain("A2")) <= 5
+
+    def test_random_categorical_no_shared_literals(self):
+        rel = random_categorical(50, [2, 2], seed=0)
+        assert not (rel.domain("A0") & rel.domain("A1"))
+
+    def test_planted_partitions_ground_truth(self):
+        rel, labels = planted_partitions(60, 3, seed=1)
+        assert len(rel) == 60 and len(labels) == 60
+        # Tuples in different blocks share no values.
+        for i in range(10):
+            if labels[i] != labels[i + 1]:
+                assert not (set(rel.rows[i]) & set(rel.rows[i + 1]))
+
+    def test_planted_partitions_validation(self):
+        with pytest.raises(ValueError):
+            planted_partitions(2, 5)
+
+    def test_relation_with_fd_clean(self):
+        rel = relation_with_fd(100, 10, seed=0)
+        assert holds(rel, FD("K", "D"))
+
+    def test_relation_with_fd_noise(self):
+        rel = relation_with_fd(100, 10, seed=0, noise_tuples=5)
+        assert not holds(rel, FD("K", "D"))
+        assert 0.0 < g3_error(rel, FD("K", "D")) <= 0.06

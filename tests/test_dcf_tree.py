@@ -1,0 +1,119 @@
+"""Unit tests for the DCF-tree (LIMBO Phase 1)."""
+
+import pytest
+
+from repro.clustering import DCF, DCFTree
+
+
+def _singleton(i, row, weight=0.01):
+    return DCF.singleton(i, weight, row)
+
+
+class TestConstruction:
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            DCFTree(-1.0)
+
+    def test_rejects_small_branching(self):
+        with pytest.raises(ValueError):
+            DCFTree(0.0, branching=1)
+
+    def test_empty_tree(self):
+        tree = DCFTree(0.0)
+        assert tree.leaves() == []
+        assert tree.height == 1
+
+
+class TestZeroThreshold:
+    """phi = 0: only identical objects merge (LIMBO == AIB equivalence)."""
+
+    def test_identical_objects_collapse(self):
+        tree = DCFTree(0.0)
+        for i in range(10):
+            tree.insert(_singleton(i, {42: 1.0}))
+        leaves = tree.leaves()
+        assert len(leaves) == 1
+        assert leaves[0].size == 10
+        assert tree.n_absorbed == 9
+
+    def test_distinct_objects_stay_distinct(self):
+        tree = DCFTree(0.0, branching=4)
+        for i in range(25):
+            tree.insert(_singleton(i, {i: 1.0}))
+        assert len(tree.leaves()) == 25
+
+    def test_mixed(self):
+        tree = DCFTree(0.0)
+        rows = [{0: 1.0}, {1: 1.0}, {0: 1.0}, {2: 1.0}, {1: 1.0}, {0: 1.0}]
+        for i, row in enumerate(rows):
+            tree.insert(_singleton(i, row))
+        sizes = sorted(leaf.size for leaf in tree.leaves())
+        assert sizes == [1, 2, 3]
+
+    def test_members_preserved_across_splits(self):
+        tree = DCFTree(0.0, branching=2)
+        for i in range(40):
+            tree.insert(_singleton(i, {i % 20: 1.0}))
+        members = sorted(m for leaf in tree.leaves() for m in leaf.members)
+        assert members == list(range(40))
+
+
+class TestThresholdMerging:
+    def test_near_duplicates_absorbed(self):
+        tree = DCFTree(1.0)  # generous threshold
+        tree.insert(_singleton(0, {0: 0.5, 1: 0.5}))
+        tree.insert(_singleton(1, {0: 0.5, 2: 0.5}))
+        assert len(tree.leaves()) == 1
+
+    def test_tight_threshold_keeps_apart(self):
+        tree = DCFTree(1e-9)
+        tree.insert(_singleton(0, {0: 1.0}))
+        tree.insert(_singleton(1, {1: 1.0}))
+        assert len(tree.leaves()) == 2
+
+    def test_larger_threshold_fewer_leaves(self):
+        rows = [{i // 3: 0.6, 100 + i: 0.4} for i in range(30)]
+
+        def leaf_count(threshold):
+            tree = DCFTree(threshold)
+            for i, row in enumerate(rows):
+                tree.insert(_singleton(i, row))
+            return len(tree.leaves())
+
+        assert leaf_count(0.05) <= leaf_count(0.0001)
+
+
+class TestTreeShape:
+    def test_height_grows_with_splits(self):
+        tree = DCFTree(0.0, branching=2)
+        for i in range(16):
+            tree.insert(_singleton(i, {i: 1.0}))
+        assert tree.height > 1
+
+    def test_branching_respected(self):
+        tree = DCFTree(0.0, branching=3)
+        for i in range(50):
+            tree.insert(_singleton(i, {i: 1.0}))
+
+        def check(node):
+            assert len(node.entries) <= 3
+            if node.children is not None:
+                assert len(node.children) == len(node.entries)
+                for child in node.children:
+                    check(child)
+
+        check(tree._root)
+
+    def test_total_weight_conserved(self):
+        tree = DCFTree(0.0, branching=4)
+        n = 30
+        for i in range(n):
+            tree.insert(_singleton(i, {i % 7: 1.0}, weight=1.0 / n))
+        assert sum(leaf.weight for leaf in tree.leaves()) == pytest.approx(1.0)
+
+    def test_insertion_counters(self):
+        tree = DCFTree(0.0)
+        for i in range(5):
+            tree.insert(_singleton(i, {0: 1.0}))
+        assert tree.n_inserted == 5
+        assert tree.n_absorbed == 4

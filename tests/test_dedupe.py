@@ -1,0 +1,92 @@
+"""Tests for duplicate elimination (survivorship fusion)."""
+
+import pytest
+
+from repro.core import eliminate_duplicates
+from repro.core.horizontal import horizontal_partition
+from repro.datasets import db2_sample, inject_erroneous_tuples
+from repro.relation import Relation
+
+
+class TestEliminateDuplicates:
+    def test_exact_duplicates_collapsed(self):
+        rel = Relation(
+            ["A", "B"],
+            [("x", "1"), ("y", "2"), ("x", "1"), ("x", "1"), ("z", "3")],
+        )
+        result = eliminate_duplicates(rel, phi_t=0.0)
+        assert result.tuples_removed == 2
+        assert sorted(result.deduplicated.rows) == [
+            ("x", "1"), ("y", "2"), ("z", "3"),
+        ]
+
+    def test_no_duplicates_identity(self):
+        rel = Relation(["A"], [(str(i),) for i in range(6)])
+        result = eliminate_duplicates(rel, phi_t=0.0)
+        assert result.tuples_removed == 0
+        assert result.deduplicated == rel
+
+    def test_majority_vote_fuses_near_duplicates(self):
+        rel = Relation(
+            ["A", "B", "C", "D"],
+            [
+                ("k", "u", "v", "w"),
+                ("k", "u", "v", "w"),
+                ("k", "u", "v", "DIRTY"),  # one corrupted copy
+                ("other", "x", "y", "z"),
+            ],
+        )
+        result = eliminate_duplicates(rel, phi_t=1.5)
+        fused = [row for row in result.deduplicated.rows if row[0] == "k"]
+        assert fused == [("k", "u", "v", "w")]  # majority wins
+
+    def test_tie_breaks_toward_earliest(self):
+        rel = Relation(
+            ["A", "B", "C", "D", "E"],
+            [
+                ("k", "u", "v", "w", "first"),
+                ("k", "u", "v", "w", "second"),
+                ("other", "p", "q", "r", "s"),
+            ],
+        )
+        result = eliminate_duplicates(rel, phi_t=1.5)
+        fused = [row for row in result.deduplicated.rows if row[0] == "k"]
+        assert fused and fused[0][4] == "first"
+
+    def test_on_injected_db2_duplicates(self):
+        base = db2_sample(seed=0).relation
+        injection = inject_erroneous_tuples(base, n_tuples=5, n_errors=1, seed=9)
+        result = eliminate_duplicates(injection.relation, phi_t=0.5)
+        # All five injected copies should be fused away.
+        assert result.tuples_removed >= 5
+        assert len(result.deduplicated) <= len(base)
+
+    def test_merged_groups_recorded(self):
+        rel = Relation(["A", "B"], [("x", "1"), ("x", "1"), ("y", "2")])
+        result = eliminate_duplicates(rel, phi_t=0.0)
+        assert result.merged_groups == [[0, 1]]
+
+
+class TestConditionalEntropyCurve:
+    def test_curves_align_and_are_finite(self):
+        from repro.datasets import planted_partitions
+
+        rel, _ = planted_partitions(40, 2, seed=3)
+        result = horizontal_partition(rel, k=2, phi_t=0.5)
+        info = result.information_curve()
+        cond = result.conditional_entropy_curve()
+        assert len(info) == len(cond)
+        assert [k for k, _ in info] == [k for k, _ in cond]
+        for (_, i), (_, h) in zip(info, cond):
+            assert i >= -1e-9 and h >= -1e-9
+
+    def test_conditional_entropy_zero_at_one_cluster(self):
+        from repro.datasets import planted_partitions
+
+        rel, _ = planted_partitions(40, 2, seed=3)
+        result = horizontal_partition(rel, k=2, phi_t=0.5)
+        curve = result.conditional_entropy_curve()
+        final_k, final_h = curve[-1]
+        assert final_k == 1
+        # One cluster: H(C) = 0 and I = 0, so H(C|V) = 0.
+        assert final_h == pytest.approx(0.0, abs=1e-9)

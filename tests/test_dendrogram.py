@@ -1,0 +1,133 @@
+"""Unit tests for the merge-sequence / dendrogram structure."""
+
+import pytest
+
+from repro.clustering import Dendrogram, Merge
+
+
+@pytest.fixture
+def abc():
+    """Three leaves A,B,C: B and C merge first (loss 0.1), then A (0.5)."""
+    merges = [
+        Merge(left=1, right=2, parent=3, loss=0.1),
+        Merge(left=0, right=3, parent=4, loss=0.5),
+    ]
+    return Dendrogram(3, merges, labels=["A", "B", "C"])
+
+
+class TestConstruction:
+    def test_default_labels(self):
+        d = Dendrogram(2, [])
+        assert d.labels == ["0", "1"]
+
+    def test_rejects_label_mismatch(self):
+        with pytest.raises(ValueError):
+            Dendrogram(2, [], labels=["only-one"])
+
+    def test_rejects_too_many_merges(self):
+        with pytest.raises(ValueError):
+            Dendrogram(1, [Merge(0, 1, 2, 0.0)])
+
+    def test_rejects_zero_leaves(self):
+        with pytest.raises(ValueError):
+            Dendrogram(0, [])
+
+
+class TestQueries:
+    def test_losses_and_max(self, abc):
+        assert abc.losses == [0.1, 0.5]
+        assert abc.max_loss == 0.5
+
+    def test_max_loss_empty(self):
+        assert Dendrogram(3, []).max_loss == 0.0
+
+    def test_is_complete(self, abc):
+        assert abc.is_complete()
+        assert not Dendrogram(3, abc.merges[:1]).is_complete()
+
+
+class TestCut:
+    def test_cut_k3_is_singletons(self, abc):
+        assert sorted(abc.cut(3)) == [[0], [1], [2]]
+
+    def test_cut_k2(self, abc):
+        clusters = sorted(abc.cut(2))
+        assert clusters == [[0], [1, 2]]
+
+    def test_cut_k1(self, abc):
+        assert abc.cut(1) == [[0, 1, 2]]
+
+    def test_cut_out_of_range(self, abc):
+        with pytest.raises(ValueError):
+            abc.cut(0)
+        with pytest.raises(ValueError):
+            abc.cut(4)
+
+    def test_cut_beyond_partial_sequence(self):
+        partial = Dendrogram(3, [Merge(1, 2, 3, 0.1)])
+        assert sorted(partial.cut(2)) == [[0], [1, 2]]
+        with pytest.raises(ValueError, match="cannot reach"):
+            partial.cut(1)
+
+    def test_cut_at_loss(self, abc):
+        assert sorted(abc.cut_at_loss(0.2)) == [[0], [1, 2]]
+        assert abc.cut_at_loss(1.0) == [[0, 1, 2]]
+        assert sorted(abc.cut_at_loss(0.05)) == [[0], [1], [2]]
+
+    def test_assignment(self, abc):
+        assignment = abc.assignment(2)
+        assert assignment[1] == assignment[2]
+        assert assignment[0] != assignment[1]
+
+
+class TestMergeGathering:
+    def test_first_gathering_merge(self, abc):
+        m = abc.merge_gathering([1, 2])
+        assert m is not None and m.loss == pytest.approx(0.1)
+
+    def test_gathering_across_steps(self, abc):
+        m = abc.merge_gathering([0, 1])
+        assert m is not None and m.loss == pytest.approx(0.5)
+
+    def test_all_leaves(self, abc):
+        m = abc.merge_gathering([0, 1, 2])
+        assert m.loss == pytest.approx(0.5)
+
+    def test_single_leaf_needs_no_merge(self, abc):
+        assert abc.merge_gathering([0]) is None
+
+    def test_never_gathered_in_partial_sequence(self):
+        partial = Dendrogram(4, [Merge(0, 1, 4, 0.1)])
+        assert partial.merge_gathering([2, 3]) is None
+
+    def test_unknown_leaf_rejected(self, abc):
+        with pytest.raises(ValueError, match="unknown"):
+            abc.merge_gathering([0, 99])
+
+    def test_merge_index(self, abc):
+        assert abc.merge_index(abc.merges[1]) == 1
+
+
+class TestRendering:
+    def test_render_contains_labels_and_losses(self, abc):
+        text = abc.render()
+        for token in ("A", "B", "C", "loss=0.1000", "loss=0.5000"):
+            assert token in text
+
+    def test_render_partial_forest_has_multiple_roots(self):
+        partial = Dendrogram(4, [Merge(0, 1, 4, 0.1)], labels=list("WXYZ"))
+        text = partial.render()
+        assert "Y" in text and "Z" in text
+
+    def test_merge_table(self, abc):
+        table = abc.merge_table()
+        assert "step" in table
+        assert "{B, C}" in table
+        assert "{A, B, C}" in table
+
+    def test_label_truncation(self):
+        d = Dendrogram(2, [Merge(0, 1, 2, 0.0)], labels=["x" * 100, "y"])
+        assert "x" * 25 not in d.render(max_label=24)
+
+    def test_repr(self, abc):
+        assert "3 leaves" in repr(abc)

@@ -1,0 +1,93 @@
+"""Unit tests for the FD type, closure and implication."""
+
+import pytest
+
+from repro.fd import FD, closure, implies, is_trivial, split_rhs
+
+
+class TestFDType:
+    def test_construction_from_iterables(self):
+        fd = FD(["A", "B"], ["C"])
+        assert fd.lhs == frozenset({"A", "B"})
+        assert fd.rhs == frozenset({"C"})
+
+    def test_construction_from_strings(self):
+        fd = FD("A", "B")
+        assert fd.lhs == frozenset({"A"})
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(ValueError):
+            FD({"A"}, set())
+
+    def test_empty_lhs_allowed(self):
+        fd = FD(set(), {"A"})
+        assert fd.lhs == frozenset()
+
+    def test_attributes_union(self):
+        assert FD({"A"}, {"B", "C"}).attributes == frozenset("ABC")
+
+    def test_equality_and_hash(self):
+        assert FD({"A"}, {"B"}) == FD(["A"], ["B"])
+        assert len({FD("A", "B"), FD("A", "B")}) == 1
+
+    def test_str_sorted(self):
+        assert str(FD({"B", "A"}, {"C"})) == "[A,B] -> [C]"
+        assert str(FD(set(), {"C"})) == "[∅] -> [C]"
+
+    def test_sort_key_deterministic(self):
+        fds = [FD("B", "C"), FD("A", "C"), FD("A", "B")]
+        ordered = sorted(fds, key=FD.sort_key)
+        assert [str(f) for f in ordered] == [
+            "[A] -> [B]",
+            "[A] -> [C]",
+            "[B] -> [C]",
+        ]
+
+
+class TestTrivialAndSplit:
+    def test_trivial(self):
+        assert is_trivial(FD({"A", "B"}, {"A"}))
+        assert not is_trivial(FD({"A"}, {"B"}))
+
+    def test_split_rhs(self):
+        parts = split_rhs(FD({"A"}, {"B", "C"}))
+        assert parts == [FD({"A"}, {"B"}), FD({"A"}, {"C"})]
+
+
+class TestClosure:
+    def test_reflexive(self):
+        assert closure({"A"}, []) == frozenset({"A"})
+
+    def test_chain(self):
+        fds = [FD("A", "B"), FD("B", "C"), FD("C", "D")]
+        assert closure({"A"}, fds) == frozenset("ABCD")
+
+    def test_needs_full_lhs(self):
+        fds = [FD({"A", "B"}, {"C"})]
+        assert closure({"A"}, fds) == frozenset({"A"})
+        assert closure({"A", "B"}, fds) == frozenset("ABC")
+
+    def test_multi_pass_fixpoint(self):
+        # C -> D only fires after A -> C does.
+        fds = [FD("C", "D"), FD("A", "C")]
+        assert closure({"A"}, fds) == frozenset("ACD")
+
+    def test_empty_lhs_always_fires(self):
+        fds = [FD(set(), {"K"}), FD("K", "L")]
+        assert closure(set(), fds) == frozenset("KL")
+
+
+class TestImplies:
+    def test_transitivity(self):
+        fds = [FD("A", "B"), FD("B", "C")]
+        assert implies(fds, FD("A", "C"))
+
+    def test_augmentation(self):
+        fds = [FD("A", "B")]
+        assert implies(fds, FD({"A", "C"}, {"B", "C"}))
+
+    def test_not_implied(self):
+        assert not implies([FD("A", "B")], FD("B", "A"))
+
+    def test_trivial_always_implied(self):
+        assert implies([], FD({"A", "B"}, {"A"}))

@@ -1,0 +1,98 @@
+"""Unit tests for repro.infotheory.distribution.SparseDistribution."""
+
+import pytest
+
+from repro.infotheory import SparseDistribution
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        d = SparseDistribution({"a": 0.25, "b": 0.75})
+        assert d["a"] == 0.25
+        assert d["b"] == 0.75
+
+    def test_zero_masses_dropped_from_support(self):
+        d = SparseDistribution({"a": 1.0, "b": 0.0})
+        assert d.support == frozenset({"a"})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SparseDistribution({"a": 1.5, "b": -0.5})
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            SparseDistribution({"a": 0.2})
+
+    def test_from_counts(self):
+        d = SparseDistribution.from_counts({"x": 3, "y": 1})
+        assert d["x"] == pytest.approx(0.75)
+
+    def test_from_counts_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SparseDistribution.from_counts({})
+
+    def test_uniform(self):
+        d = SparseDistribution.uniform(["a", "b", "c", "d"])
+        assert d["c"] == pytest.approx(0.25)
+
+    def test_point(self):
+        d = SparseDistribution.point("only")
+        assert d["only"] == 1.0
+        assert len(d) == 1
+
+
+class TestMappingProtocol:
+    def test_missing_outcome_has_zero_mass(self):
+        d = SparseDistribution.point("a")
+        assert d["zzz"] == 0.0
+
+    def test_len_and_iter(self):
+        d = SparseDistribution({"a": 0.5, "b": 0.5})
+        assert len(d) == 2
+        assert set(d) == {"a", "b"}
+
+    def test_equality_and_hash(self):
+        d1 = SparseDistribution({"a": 0.5, "b": 0.5})
+        d2 = SparseDistribution({"b": 0.5, "a": 0.5})
+        assert d1 == d2
+        assert hash(d1) == hash(d2)
+
+    def test_repr_is_compact(self):
+        d = SparseDistribution.uniform(range(10))
+        assert "..." in repr(d)
+
+
+class TestOperations:
+    def test_entropy_uniform(self):
+        assert SparseDistribution.uniform("abcd").entropy() == pytest.approx(2.0)
+
+    def test_entropy_point(self):
+        assert SparseDistribution.point("a").entropy() == 0.0
+
+    def test_mix_is_normalized(self):
+        a = SparseDistribution.point("a")
+        b = SparseDistribution.point("b")
+        blended = a.mix(b, 1.0, 3.0)
+        assert blended["a"] == pytest.approx(0.25)
+        assert blended["b"] == pytest.approx(0.75)
+
+    def test_mix_rejects_zero_weights(self):
+        a = SparseDistribution.point("a")
+        with pytest.raises(ValueError):
+            a.mix(a, 0.0, 0.0)
+
+    def test_kl_self_is_zero(self):
+        d = SparseDistribution({"a": 0.3, "b": 0.7})
+        assert d.kl(d) == 0.0
+
+    def test_js_bounds(self):
+        a = SparseDistribution.point("a")
+        b = SparseDistribution.point("b")
+        assert a.js(b) == pytest.approx(1.0)
+        assert a.js(a) == 0.0
+
+    def test_as_dict_is_a_copy(self):
+        d = SparseDistribution.point("a")
+        copy = d.as_dict()
+        copy["b"] = 1.0
+        assert "b" not in d

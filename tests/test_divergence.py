@@ -1,0 +1,125 @@
+"""Unit tests for repro.infotheory.divergence."""
+
+import math
+
+import pytest
+
+from repro.infotheory import (
+    information_loss,
+    jensen_shannon,
+    kl_divergence,
+    mixture,
+)
+
+
+class TestKLDivergence:
+    def test_identical_distributions(self):
+        p = {0: 0.5, 1: 0.5}
+        assert kl_divergence(p, p) == 0.0
+
+    def test_known_value(self):
+        p = {0: 1.0}
+        q = {0: 0.5, 1: 0.5}
+        assert kl_divergence(p, q) == pytest.approx(1.0)
+
+    def test_asymmetric(self):
+        p = {0: 0.8, 1: 0.2}
+        q = {0: 0.5, 1: 0.5}
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_unsupported_outcome_is_infinite(self):
+        assert kl_divergence({0: 0.5, 1: 0.5}, {0: 1.0}) == math.inf
+
+    def test_zero_mass_in_p_is_ignored(self):
+        p = {0: 1.0, 1: 0.0}
+        q = {0: 1.0}
+        assert kl_divergence(p, q) == 0.0
+
+    def test_nonnegative(self):
+        p = {0: 0.3, 1: 0.7}
+        q = {0: 0.31, 1: 0.69}
+        assert kl_divergence(p, q) >= 0.0
+
+
+class TestMixture:
+    def test_blends_supports(self):
+        blended = mixture({0: 1.0}, {1: 1.0}, 0.25, 0.75)
+        assert blended == {0: 0.25, 1: 0.75}
+
+    def test_overlapping_support_accumulates(self):
+        blended = mixture({0: 1.0}, {0: 0.5, 1: 0.5}, 0.5, 0.5)
+        assert blended[0] == pytest.approx(0.75)
+        assert blended[1] == pytest.approx(0.25)
+
+
+class TestJensenShannon:
+    def test_identical_distributions(self):
+        p = {0: 0.4, 1: 0.6}
+        assert jensen_shannon(p, p) == 0.0
+
+    def test_disjoint_support_equal_weights_is_one_bit(self):
+        # The classic bound: JS of two disjoint distributions is 1 bit.
+        assert jensen_shannon({0: 1.0}, {1: 1.0}) == pytest.approx(1.0)
+
+    def test_bounded_above_by_one(self):
+        p = {0: 0.9, 1: 0.1}
+        q = {2: 0.3, 3: 0.7}
+        assert jensen_shannon(p, q) <= 1.0 + 1e-12
+
+    def test_symmetric_in_arguments_and_weights(self):
+        p = {0: 0.9, 1: 0.1}
+        q = {0: 0.2, 1: 0.3, 2: 0.5}
+        assert jensen_shannon(p, q, 0.3, 0.7) == pytest.approx(
+            jensen_shannon(q, p, 0.7, 0.3)
+        )
+
+    def test_weights_need_not_be_normalized(self):
+        p = {0: 1.0}
+        q = {1: 1.0}
+        assert jensen_shannon(p, q, 2.0, 2.0) == pytest.approx(
+            jensen_shannon(p, q, 0.5, 0.5)
+        )
+
+    def test_extreme_weighting_approaches_zero(self):
+        p = {0: 1.0}
+        q = {1: 1.0}
+        assert jensen_shannon(p, q, 1.0, 1e-9) == pytest.approx(0.0, abs=1e-6)
+
+    def test_matches_explicit_kl_form(self):
+        # D_JS = pi_p KL(p||pbar) + pi_q KL(q||pbar), the paper's definition.
+        p = {0: 0.7, 1: 0.3}
+        q = {0: 0.1, 1: 0.5, 2: 0.4}
+        w_p, w_q = 0.4, 0.6
+        blended = mixture(p, q, w_p, w_q)
+        expected = w_p * kl_divergence(p, blended) + w_q * kl_divergence(q, blended)
+        assert jensen_shannon(p, q, w_p, w_q) == pytest.approx(expected)
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            jensen_shannon({0: 1.0}, {1: 1.0}, 0.0, 0.0)
+
+
+class TestInformationLoss:
+    def test_merging_identical_clusters_is_free(self):
+        p = {0: 0.5, 1: 0.5}
+        assert information_loss(p, p, 0.3, 0.2) == 0.0
+
+    def test_scales_with_total_prior(self):
+        p = {0: 1.0}
+        q = {1: 1.0}
+        small = information_loss(p, q, 0.1, 0.1)
+        large = information_loss(p, q, 0.2, 0.2)
+        assert large == pytest.approx(2 * small)
+
+    def test_merging_disjoint_equal_clusters(self):
+        # delta_I = (w+w) * 1 bit for disjoint equal-weight conditionals.
+        assert information_loss({0: 1.0}, {1: 1.0}, 0.25, 0.25) == pytest.approx(0.5)
+
+    def test_loss_depends_only_on_the_pair(self):
+        # Equation 3's locality: the value never references other clusters,
+        # so computing it twice with unrelated context must agree.
+        p = {0: 0.6, 1: 0.4}
+        q = {1: 1.0}
+        assert information_loss(p, q, 0.2, 0.05) == pytest.approx(
+            information_loss(dict(p), dict(q), 0.2, 0.05)
+        )

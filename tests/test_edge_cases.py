@@ -1,0 +1,157 @@
+"""Edge-case coverage across the library."""
+
+import pytest
+
+from repro.clustering import Limbo, aib, DCF
+from repro.clustering.dendrogram import Dendrogram
+from repro.core import (
+    StructureDiscovery,
+    cluster_tuples,
+    cluster_values,
+    horizontal_partition,
+    suggest_k,
+)
+from repro.datasets import dblp
+from repro.fd import fdep, tane
+from repro.relation import NULL, Relation, read_csv, write_csv
+
+
+class TestDegenerateData:
+    def test_all_identical_tuples(self):
+        """I(T;V) = 0: threshold is 0 but everything still merges."""
+        rel = Relation(["A", "B"], [("x", "y")] * 10)
+        result = cluster_tuples(rel, phi_t=0.5)
+        assert len(result.limbo.summaries) == 1
+        assert len(result.duplicate_groups) == 1
+        assert len(result.duplicate_groups[0]) == 10
+
+    def test_single_tuple_relation(self):
+        rel = Relation(["A", "B"], [("x", "y")])
+        result = cluster_tuples(rel, phi_t=0.0)
+        assert result.duplicate_groups == []
+
+    def test_single_attribute_relation(self):
+        rel = Relation(["A"], [("x",), ("x",), ("y",)])
+        values = cluster_values(rel, phi_v=0.0)
+        # One attribute -> no group can span two attributes -> C_V^D empty.
+        assert values.duplicate_groups == []
+
+    def test_all_null_column(self):
+        rel = Relation(["A", "B"], [(str(i), NULL) for i in range(6)])
+        report = StructureDiscovery().run(rel)
+        assert report.dependencies  # B is constant -> singleton FDs exist
+
+    def test_constant_relation_fds(self):
+        rel = Relation(["A", "B"], [("k", "v")] * 4)
+        assert fdep(rel) == tane(rel)
+
+    def test_two_tuples(self):
+        rel = Relation(["A", "B", "C"], [("a", "b", "c"), ("a", "b", "d")])
+        report = StructureDiscovery().run(rel)
+        assert report.cover
+
+
+class TestDendrogramEdges:
+    def test_single_leaf(self):
+        d = Dendrogram(1, [], labels=["only"])
+        assert d.cut(1) == [[0]]
+        assert d.max_loss == 0.0
+        assert "only" in d.render()
+        assert d.is_complete()
+
+    def test_merge_table_empty(self):
+        d = Dendrogram(2, [])
+        assert "step" in d.merge_table()
+
+
+class TestLimboEdges:
+    def test_single_object(self):
+        limbo = Limbo(phi=0.0).fit([{0: 1.0}], [1.0])
+        assert len(limbo.summaries) == 1
+        assert limbo.cluster(1) == [0]
+
+    def test_zero_information_data(self):
+        # All objects identical: I = 0 so the phi threshold is 0, yet
+        # identical objects merge (zero loss passes a zero threshold).
+        rows = [{5: 1.0} for _ in range(8)]
+        limbo = Limbo(phi=1.0).fit(rows, [1 / 8] * 8)
+        assert len(limbo.summaries) == 1
+
+    def test_aib_single_dcf(self):
+        result = aib([DCF.singleton(0, 1.0, {0: 1.0})])
+        assert result.clusters(1)[0].members == [0]
+
+
+class TestSuggestKEdges:
+    def test_tiny_sequences(self):
+        result = aib(
+            [DCF.singleton(i, 0.5, {i: 1.0}) for i in range(2)]
+        )
+        suggestions = suggest_k(result)
+        assert suggestions[0].k >= 1
+
+    def test_k_bounds_respected(self):
+        result = aib(
+            [DCF.singleton(i, 0.1, {i % 3: 1.0}) for i in range(10)]
+        )
+        for suggestion in suggest_k(result, k_min=2, k_max=4):
+            assert 2 <= suggestion.k <= 4
+
+
+class TestAttributeScopedValues:
+    def test_pipeline_with_attribute_scope(self):
+        rel = Relation(
+            ["A", "B"],
+            [("x", "x"), ("x", "x"), ("y", "z")],
+        )
+        result = cluster_values(rel, phi_v=0.0, value_scope="attribute")
+        labels = {label for g in result.groups for label in g.labels}
+        assert "A='x'" in labels and "B='x'" in labels
+
+    def test_attribute_scope_blocks_cross_column_identity(self):
+        rel = Relation(["A", "B"], [("x", "x")] * 3)
+        scoped = cluster_values(rel, phi_v=0.0, value_scope="attribute")
+        # A='x' and B='x' co-occur perfectly, so they cluster as a *group*
+        # spanning two attributes -- but they are two catalog entries.
+        assert scoped.view.n_values == 2
+
+
+class TestCsvEdgeCases:
+    def test_values_with_commas_and_quotes(self, tmp_path):
+        rel = Relation(
+            ["Name", "Note"],
+            [("Miller, R.", 'says "hi"'), ("Tsaparas, P.", "a\nnewline")],
+        )
+        path = tmp_path / "tricky.csv"
+        write_csv(rel, path)
+        assert read_csv(path) == rel
+
+    def test_unicode_values(self, tmp_path):
+        rel = Relation(["City"], [("Zürich",), ("København",), ("東京",)])
+        path = tmp_path / "unicode.csv"
+        write_csv(rel, path)
+        assert read_csv(path) == rel
+
+
+class TestHorizontalEdges:
+    def test_k_equals_one(self):
+        rel = dblp(300, seed=1).project(["Author", "Year"])
+        result = horizontal_partition(rel, k=1, phi_t=1.0)
+        assert len(result.partitions) == 1
+        assert len(result.partitions[0]) == 300
+
+    def test_k_larger_than_patterns(self):
+        rel = Relation(["A"], [("x",)] * 5 + [("y",)] * 5)
+        # Only two distinct patterns exist; k=2 must work cleanly.
+        result = horizontal_partition(rel, k=2, phi_t=0.0)
+        assert sorted(len(p) for p in result.partitions) == [5, 5]
+
+
+class TestDiscoveryAutoMiner:
+    def test_auto_switches_to_tane_on_large_input(self):
+        relation = dblp(2500, seed=2).project(
+            ["Author", "Year", "Volume", "Journal", "Number"]
+        )
+        report = StructureDiscovery(miner="auto").run(relation)
+        # tane path: dependencies found and capped lattice did not explode.
+        assert isinstance(report.dependencies, list)

@@ -1,0 +1,155 @@
+"""Unit tests for repro.infotheory.entropy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.infotheory import (
+    conditional_entropy,
+    entropy,
+    entropy_of_counts,
+    max_entropy,
+    mutual_information,
+    mutual_information_rows,
+)
+
+
+class TestEntropy:
+    def test_point_mass_has_zero_entropy(self):
+        assert entropy([1.0]) == 0.0
+        assert entropy({"x": 1.0}) == 0.0
+
+    def test_uniform_is_log_n(self):
+        assert entropy([0.25] * 4) == pytest.approx(2.0)
+        assert entropy([1 / 8] * 8) == pytest.approx(3.0)
+
+    def test_accepts_numpy_arrays(self):
+        assert entropy(np.array([0.5, 0.5])) == pytest.approx(1.0)
+
+    def test_zero_masses_contribute_nothing(self):
+        assert entropy([0.5, 0.5, 0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_base_e(self):
+        assert entropy([0.5, 0.5], base=math.e) == pytest.approx(math.log(2))
+
+    def test_biased_coin(self):
+        h = entropy([0.9, 0.1])
+        assert h == pytest.approx(-0.9 * math.log2(0.9) - 0.1 * math.log2(0.1))
+
+    def test_rejects_negative_mass(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            entropy([1.5, -0.5])
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            entropy([0.5, 0.6])
+
+    def test_validation_can_be_skipped(self):
+        # Unnormalized input accepted when validate=False (caller's problem).
+        assert entropy([0.5, 0.5, 0.5], validate=False) > 0
+
+
+class TestEntropyOfCounts:
+    def test_matches_normalized_entropy(self):
+        assert entropy_of_counts([3, 1]) == pytest.approx(entropy([0.75, 0.25]))
+
+    def test_mapping_input(self):
+        assert entropy_of_counts({"a": 2, "b": 2}) == pytest.approx(1.0)
+
+    def test_all_same_value(self):
+        assert entropy_of_counts([7]) == 0.0
+
+    def test_empty_counts(self):
+        assert entropy_of_counts([]) == 0.0
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            entropy_of_counts([1, -1])
+
+
+class TestMaxEntropy:
+    def test_log_n(self):
+        assert max_entropy(8) == pytest.approx(3.0)
+        assert max_entropy(1) == 0.0
+
+    def test_entropy_never_exceeds_max(self):
+        p = np.array([0.5, 0.2, 0.2, 0.1])
+        assert entropy(p) <= max_entropy(4) + 1e-12
+
+    def test_rejects_zero_states(self):
+        with pytest.raises(ValueError):
+            max_entropy(0)
+
+
+class TestConditionalEntropy:
+    def test_independent_variables(self):
+        # V uniform on 2, T uniform on 2, independent: H(T|V) = H(T) = 1.
+        joint = np.full((2, 2), 0.25)
+        assert conditional_entropy(joint) == pytest.approx(1.0)
+
+    def test_deterministic_function(self):
+        # T is a function of V: H(T|V) = 0.
+        joint = np.array([[0.5, 0.0], [0.0, 0.5]])
+        assert conditional_entropy(joint) == 0.0
+
+    def test_mapping_form(self):
+        joint = {("v1", "t1"): 0.5, ("v2", "t2"): 0.5}
+        assert conditional_entropy(joint) == 0.0
+
+    def test_rejects_unnormalized_joint(self):
+        with pytest.raises(ValueError):
+            conditional_entropy(np.array([[0.5, 0.5], [0.5, 0.5]]))
+
+
+class TestMutualInformation:
+    def test_independence_gives_zero(self):
+        joint = np.full((2, 2), 0.25)
+        assert mutual_information(joint) == pytest.approx(0.0)
+
+    def test_perfect_dependence(self):
+        joint = np.array([[0.5, 0.0], [0.0, 0.5]])
+        assert mutual_information(joint) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(7)
+        joint = rng.random((3, 5))
+        joint /= joint.sum()
+        assert mutual_information(joint) == pytest.approx(
+            mutual_information(joint.T)
+        )
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            joint = rng.random((4, 4))
+            joint /= joint.sum()
+            assert mutual_information(joint) >= -1e-12
+
+
+class TestMutualInformationRows:
+    def test_matches_dense_computation(self):
+        joint = np.array([[0.2, 0.1], [0.05, 0.65]])
+        priors = joint.sum(axis=1)
+        rows = [
+            {t: joint[v, t] / priors[v] for t in range(2)} for v in range(2)
+        ]
+        assert mutual_information_rows(rows, priors) == pytest.approx(
+            mutual_information(joint)
+        )
+
+    def test_identical_rows_carry_no_information(self):
+        rows = [{0: 0.5, 1: 0.5}, {0: 0.5, 1: 0.5}]
+        assert mutual_information_rows(rows, [0.5, 0.5]) == pytest.approx(0.0)
+
+    def test_disjoint_rows_carry_full_information(self):
+        rows = [{0: 1.0}, {1: 1.0}]
+        assert mutual_information_rows(rows, [0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            mutual_information_rows([{0: 1.0}], [0.5, 0.5])
+
+    def test_unnormalized_priors_rejected(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            mutual_information_rows([{0: 1.0}], [0.7])

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs and prints its key findings."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "[C] -> [B]" in out
+        assert "Duplicate value groups" in out
+        assert "tuple reduction" in out
+
+    def test_data_quality_audit(self):
+        out = run_example("data_quality_audit.py")
+        assert "near-duplicates" in out
+        assert "4/4 injected duplicates surfaced" in out
+
+    @pytest.mark.slow
+    def test_dblp_redesign(self):
+        out = run_example("dblp_redesign.py", "2500")
+        assert "NULL attributes to store separately" in out
+        assert "rank=" in out
+
+    def test_fd_ranking_tour(self):
+        out = run_example("fd_ranking_tour.py")
+        assert "minimum cover keeps" in out
+        assert "lossless: True" in out
+
+    def test_schema_exploration(self):
+        out = run_example("schema_exploration.py")
+        assert "key candidates: ['EmpNo'" in out
+        assert "DEPARTMENT.DepNo ~ EMPLOYEE.WorkDepNo" in out
+        assert "rank=" in out

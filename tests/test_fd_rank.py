@@ -1,0 +1,183 @@
+"""Tests for FD-RANK, decomposition, and the discovery driver."""
+
+import pytest
+
+from repro.core import (
+    StructureDiscovery,
+    decompose_by_fd,
+    fd_rank,
+    group_attributes,
+    is_lossless,
+    redundancy_report,
+)
+from repro.fd import FD, fdep, minimum_cover
+from repro.relation import Relation
+
+
+@pytest.fixture
+def figure4():
+    return Relation(
+        ["A", "B", "C"],
+        [
+            ("a", "1", "p"),
+            ("a", "1", "r"),
+            ("w", "2", "x"),
+            ("y", "2", "x"),
+            ("z", "2", "x"),
+        ],
+    )
+
+
+@pytest.fixture
+def grouping(figure4):
+    return group_attributes(figure4, phi_v=0.0)
+
+
+class TestFDRank:
+    def test_paper_example_order(self, figure4, grouping):
+        """Section 7: with psi=0.5, C->B ranks above A->B."""
+        ranked = fd_rank([FD("A", "B"), FD("C", "B")], grouping, psi=0.5)
+        assert [str(r.fd) for r in ranked] == ["[C] -> [B]", "[A] -> [B]"]
+
+    def test_qualified_rank_is_merge_loss(self, figure4, grouping):
+        ranked = fd_rank([FD("C", "B")], grouping, psi=0.5)
+        assert ranked[0].qualified
+        assert ranked[0].rank == pytest.approx(0.1576, abs=0.001)
+
+    def test_unqualified_rank_is_max_loss(self, figure4, grouping):
+        # A,B gather only at the final merge (loss 0.5155 > psi * max).
+        ranked = fd_rank([FD("A", "B")], grouping, psi=0.5)
+        assert not ranked[0].qualified
+        assert ranked[0].rank == pytest.approx(grouping.dendrogram.max_loss)
+
+    def test_psi_zero_qualifies_nothing_lossy(self, figure4, grouping):
+        ranked = fd_rank([FD("C", "B")], grouping, psi=0.0)
+        assert not ranked[0].qualified
+
+    def test_psi_one_qualifies_everything_gathered(self, figure4, grouping):
+        ranked = fd_rank([FD("A", "B"), FD("C", "B")], grouping, psi=1.0)
+        assert all(r.qualified for r in ranked)
+
+    def test_invalid_psi_rejected(self, grouping):
+        with pytest.raises(ValueError):
+            fd_rank([], grouping, psi=1.5)
+
+    def test_attributes_outside_ad_stay_at_max(self, figure4, grouping):
+        ranked = fd_rank([FD("A", "Z")], grouping, psi=0.5)
+        assert ranked[0].rank == pytest.approx(grouping.dendrogram.max_loss)
+
+    def test_equal_antecedent_collapse(self, figure4):
+        """Step 2: same LHS and same rank merge into one dependency."""
+        rel = Relation(
+            ["A", "B", "C"],
+            [
+                ("k1", "u1", "v1"),
+                ("k1", "u1", "v1"),
+                ("k2", "u2", "v2"),
+                ("k2", "u2", "v2"),
+                ("k3", "u3", "v3"),
+            ],
+        )
+        grouping = group_attributes(rel, phi_v=0.0)
+        ranked = fd_rank([FD("A", "B"), FD("A", "C")], grouping, psi=1.0)
+        assert len(ranked) == 1
+        assert ranked[0].fd == FD("A", {"B", "C"})
+
+    def test_tie_break_prefers_more_attributes(self, figure4):
+        rel = Relation(
+            ["A", "B", "C"],
+            [
+                ("k1", "u1", "v1"),
+                ("k1", "u1", "v1"),
+                ("k2", "u2", "v2"),
+                ("k2", "u2", "v2"),
+                ("k3", "u3", "v3"),
+            ],
+        )
+        grouping = group_attributes(rel, phi_v=0.0)
+        # Different antecedents so no collapse; equal ranks tie-break on size.
+        ranked = fd_rank([FD("B", "A"), FD({"A", "B"}, {"C"})], grouping, psi=1.0)
+        assert ranked[0].fd == FD({"A", "B"}, {"C"})
+
+    def test_str(self, figure4, grouping):
+        ranked = fd_rank([FD("C", "B")], grouping, psi=0.5)
+        assert "rank=" in str(ranked[0])
+
+
+class TestDecomposition:
+    def test_paper_example_c_to_b(self, figure4):
+        """Decomposing by C -> B yields S1=(B,C) with 3 tuples, S2=(A,C)."""
+        decomposition = decompose_by_fd(figure4, FD("C", "B"))
+        assert set(decomposition.s1.attributes) == {"B", "C"}
+        assert set(decomposition.s2.attributes) == {"A", "C"}
+        assert len(decomposition.s1) == 3
+        assert decomposition.tuple_reduction == pytest.approx(0.4)
+
+    def test_a_to_b_reduces_less(self, figure4):
+        by_c = decompose_by_fd(figure4, FD("C", "B"))
+        by_a = decompose_by_fd(figure4, FD("A", "B"))
+        assert by_c.tuple_reduction > by_a.tuple_reduction
+
+    def test_lossless_when_fd_holds(self, figure4):
+        decomposition = decompose_by_fd(figure4, FD("C", "B"))
+        assert is_lossless(figure4, decomposition)
+
+    def test_lossy_when_fd_fails(self):
+        # The classic lossy split: shared B values cross-multiply on rejoin.
+        rel = Relation(["A", "B", "C"], [("a1", "b", "c1"), ("a2", "b", "c2")])
+        decomposition = decompose_by_fd(rel, FD("B", "A"))
+        assert not is_lossless(rel, decomposition)
+
+    def test_empty_lhs_rejected(self, figure4):
+        with pytest.raises(ValueError):
+            decompose_by_fd(figure4, FD(set(), {"B"}))
+
+    def test_redundancy_report_fields(self, figure4):
+        report = redundancy_report(figure4, FD("C", "B"))
+        assert set(report) == {
+            "fd",
+            "attributes",
+            "rad",
+            "rtr",
+            "s1_tuples",
+            "s2_tuples",
+            "original_tuples",
+        }
+        assert report["rtr"] == pytest.approx(0.4)
+        assert report["original_tuples"] == 5
+
+
+class TestStructureDiscovery:
+    def test_full_pipeline_on_figure4(self, figure4):
+        report = StructureDiscovery().run(figure4)
+        assert len(report.dependencies) == 2
+        assert [str(r.fd) for r in report.ranked] == [
+            "[C] -> [B]",
+            "[A] -> [B]",
+        ]
+
+    def test_render_mentions_key_sections(self, figure4):
+        text = StructureDiscovery().run(figure4).render()
+        assert "Duplicate value groups" in text
+        assert "[C] -> [B]" in text
+        assert "RAD=" in text
+
+    def test_top_dependencies(self, figure4):
+        report = StructureDiscovery().run(figure4)
+        assert len(report.top_dependencies(1)) == 1
+
+    def test_miner_selection_validated(self):
+        with pytest.raises(ValueError):
+            StructureDiscovery(miner="bogus")
+
+    def test_tane_miner_agrees(self, figure4):
+        fdep_report = StructureDiscovery(miner="fdep").run(figure4)
+        tane_report = StructureDiscovery(miner="tane").run(figure4)
+        assert set(fdep_report.dependencies) == set(tane_report.dependencies)
+
+    def test_no_duplicate_groups_still_works(self):
+        rel = Relation(["A", "B"], [("a", "1"), ("b", "2"), ("c", "3")])
+        report = StructureDiscovery().run(rel)
+        assert report.attribute_grouping is None
+        assert report.ranked == []
+        assert "Dependencies mined" in report.render()

@@ -1,0 +1,172 @@
+"""Unit and integration tests for the LIMBO driver."""
+
+import pytest
+
+from repro.clustering import Limbo, clustering_information
+from repro.relation import Relation, build_tuple_view, build_value_view
+
+
+@pytest.fixture
+def two_blocks():
+    """20 tuples in two obvious blocks that share no values."""
+    rows = []
+    for i in range(10):
+        rows.append((f"a{i % 2}", "x", "left"))
+    for i in range(10):
+        rows.append((f"b{i % 2}", "y", "right"))
+    return Relation(["P", "Q", "R"], rows)
+
+
+class TestFitValidation:
+    def test_requires_fit_before_use(self):
+        limbo = Limbo()
+        with pytest.raises(RuntimeError):
+            _ = limbo.summaries
+
+    def test_rejects_negative_phi(self):
+        with pytest.raises(ValueError):
+            Limbo(phi=-0.1)
+
+    def test_rejects_bad_max_summaries(self):
+        with pytest.raises(ValueError):
+            Limbo(max_summaries=0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Limbo().fit([{0: 1.0}], [0.5, 0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Limbo().fit([], [])
+
+    def test_rejects_support_mismatch(self):
+        with pytest.raises(ValueError):
+            Limbo().fit([{0: 1.0}], [1.0], supports=[])
+
+
+class TestPhase1:
+    def test_phi_zero_keeps_distinct_tuples(self, two_blocks):
+        view = build_tuple_view(two_blocks)
+        limbo = Limbo(phi=0.0).fit(view.rows, view.priors)
+        # 4 distinct tuple patterns exist.
+        assert len(limbo.summaries) == 4
+
+    def test_threshold_value(self, two_blocks):
+        view = build_tuple_view(two_blocks)
+        limbo = Limbo(phi=0.5).fit(view.rows, view.priors)
+        assert limbo.threshold == pytest.approx(
+            0.5 * limbo.total_information / len(view.rows)
+        )
+
+    def test_larger_phi_coarser_summaries(self, two_blocks):
+        view = build_tuple_view(two_blocks)
+        fine = Limbo(phi=0.0).fit(view.rows, view.priors)
+        coarse = Limbo(phi=1.0).fit(view.rows, view.priors)
+        assert len(coarse.summaries) <= len(fine.summaries)
+
+    def test_max_summaries_cap(self, two_blocks):
+        view = build_tuple_view(two_blocks)
+        limbo = Limbo(phi=0.0, max_summaries=2).fit(view.rows, view.priors)
+        assert len(limbo.summaries) <= 2
+
+    def test_summary_weights_sum_to_one(self, two_blocks):
+        view = build_tuple_view(two_blocks)
+        limbo = Limbo(phi=0.2).fit(view.rows, view.priors)
+        assert sum(s.weight for s in limbo.summaries) == pytest.approx(1.0)
+
+    def test_precomputed_mutual_information_used(self, two_blocks):
+        view = build_tuple_view(two_blocks)
+        info = view.mutual_information()
+        limbo = Limbo(phi=0.5).fit(view.rows, view.priors, mutual_information=info)
+        assert limbo.total_information == info
+
+
+class TestPhases2And3:
+    def test_recovers_two_blocks(self, two_blocks):
+        view = build_tuple_view(two_blocks)
+        limbo = Limbo(phi=0.0).fit(view.rows, view.priors)
+        assignment = limbo.cluster(2)
+        left = {assignment[i] for i in range(10)}
+        right = {assignment[i] for i in range(10, 20)}
+        assert len(left) == 1 and len(right) == 1 and left != right
+
+    def test_representatives_count(self, two_blocks):
+        view = build_tuple_view(two_blocks)
+        limbo = Limbo(phi=0.0).fit(view.rows, view.priors)
+        assert len(limbo.representatives(3)) == 3
+
+    def test_assign_external_rows(self, two_blocks):
+        view = build_tuple_view(two_blocks)
+        limbo = Limbo(phi=0.0).fit(view.rows, view.priors)
+        reps = limbo.representatives(2)
+        # A fresh object identical to a left-block tuple must go left.
+        assignment = limbo.assign(reps, rows=[view.rows[0]], priors=[1.0])
+        assert assignment == [limbo.assign(reps)[0]]
+
+    def test_assign_requires_representatives(self, two_blocks):
+        view = build_tuple_view(two_blocks)
+        limbo = Limbo(phi=0.0).fit(view.rows, view.priors)
+        with pytest.raises(ValueError):
+            limbo.assign([])
+
+    def test_merge_sequence_labels(self, two_blocks):
+        view = build_tuple_view(two_blocks)
+        limbo = Limbo(phi=0.0).fit(view.rows, view.priors)
+        labels = [f"s{i}" for i in range(len(limbo.summaries))]
+        result = limbo.merge_sequence(labels=labels)
+        assert result.dendrogram.labels == labels
+
+
+class TestInformationAccounting:
+    def test_zero_loss_for_perfect_clustering(self, two_blocks):
+        view = build_tuple_view(two_blocks)
+        limbo = Limbo(phi=0.0).fit(view.rows, view.priors)
+        # k = number of distinct patterns: assignment loses nothing.
+        assignment = limbo.cluster(4)
+        assert limbo.relative_information_loss(assignment) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_one_cluster_loses_everything(self, two_blocks):
+        view = build_tuple_view(two_blocks)
+        limbo = Limbo(phi=0.0).fit(view.rows, view.priors)
+        assignment = limbo.cluster(1)
+        assert limbo.relative_information_loss(assignment) == pytest.approx(1.0)
+
+    def test_loss_monotone_in_k(self, two_blocks):
+        view = build_tuple_view(two_blocks)
+        limbo = Limbo(phi=0.0).fit(view.rows, view.priors)
+        losses = [
+            limbo.relative_information_loss(limbo.cluster(k)) for k in (4, 2, 1)
+        ]
+        assert losses[0] <= losses[1] + 1e-9 <= losses[2] + 2e-9
+
+    def test_clustering_information_validates_length(self):
+        with pytest.raises(ValueError):
+            clustering_information([{0: 1.0}], [1.0], [0, 1])
+
+
+class TestValueClusteringIntegration:
+    def test_figure4_through_limbo(self):
+        relation = Relation(
+            ["A", "B", "C"],
+            [
+                ("a", "1", "p"),
+                ("a", "1", "r"),
+                ("w", "2", "x"),
+                ("y", "2", "x"),
+                ("z", "2", "x"),
+            ],
+        )
+        view = build_value_view(relation)
+        limbo = Limbo(phi=0.0).fit(view.rows, view.priors, supports=view.support)
+        ids = view.catalog.ids
+        # phi=0 merges only the perfect co-occurrences: 9 values -> 7 leaves.
+        assert len(limbo.summaries) == 7
+        member_sets = {frozenset(s.members) for s in limbo.summaries}
+        assert frozenset({ids["a"], ids["1"]}) in member_sets
+        assert frozenset({ids["2"], ids["x"]}) in member_sets
+        # ADCF support survives Phase 1 (Figure 7's O-rows).
+        for summary in limbo.summaries:
+            if frozenset(summary.members) == frozenset({ids["a"], ids["1"]}):
+                assert summary.support == {"A": 2, "B": 2}

@@ -1,0 +1,186 @@
+"""Tests for the M/N/O/F matrix builders against the paper's worked examples."""
+
+import pytest
+
+from repro.relation import (
+    Relation,
+    build_matrix_f,
+    build_tuple_view,
+    build_value_view,
+)
+
+
+@pytest.fixture
+def figure1():
+    """Figure 1/2: the Ename-City-Zip example."""
+    return Relation(
+        ["Ename", "City", "Zip"],
+        [
+            ("Pat", "Boston", "02139"),
+            ("Pat", "Boston", "02138"),
+            ("Sal", "Boston", "02139"),
+        ],
+    )
+
+
+@pytest.fixture
+def figure4():
+    """Figure 4: the A/B/C relation with perfect co-occurrences."""
+    return Relation(
+        ["A", "B", "C"],
+        [
+            ("a", "1", "p"),
+            ("a", "1", "r"),
+            ("w", "2", "x"),
+            ("y", "2", "x"),
+            ("z", "2", "x"),
+        ],
+    )
+
+
+class TestTupleView:
+    def test_figure2_masses(self, figure1):
+        view = build_tuple_view(figure1)
+        catalog = view.catalog
+        pat = catalog.ids["Pat"]
+        boston = catalog.ids["Boston"]
+        z39 = catalog.ids["02139"]
+        z38 = catalog.ids["02138"]
+        sal = catalog.ids["Sal"]
+        # Row t1: Pat, Boston, 02139 each at 1/3 (Figure 2).
+        assert view.rows[0] == pytest.approx({pat: 1 / 3, boston: 1 / 3, z39: 1 / 3})
+        assert view.rows[1][z38] == pytest.approx(1 / 3)
+        assert view.rows[2][sal] == pytest.approx(1 / 3)
+
+    def test_priors_are_uniform(self, figure1):
+        view = build_tuple_view(figure1)
+        assert view.priors == [pytest.approx(1 / 3)] * 3
+
+    def test_rows_normalized(self, figure4):
+        view = build_tuple_view(figure4)
+        for row in view.rows:
+            assert sum(row.values()) == pytest.approx(1.0)
+
+    def test_value_catalog_size(self, figure4):
+        view = build_tuple_view(figure4)
+        # Figure 4 has 9 distinct values: a,w,y,z,1,2,p,r,x.
+        assert view.n_values == 9
+
+    def test_repeated_literal_within_tuple_accumulates(self):
+        rel = Relation(["A", "B"], [("x", "x")])
+        view = build_tuple_view(rel)
+        (only_row,) = view.rows
+        assert only_row == {0: pytest.approx(1.0)}
+
+    def test_attribute_scope_distinguishes_literals(self):
+        rel = Relation(["A", "B"], [("x", "x")])
+        view = build_tuple_view(rel, value_scope="attribute")
+        assert view.n_values == 2
+
+    def test_mutual_information_positive_for_distinct_tuples(self, figure4):
+        view = build_tuple_view(figure4)
+        assert view.mutual_information() > 0
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError):
+            build_tuple_view(Relation(["A"], []))
+
+    def test_bad_scope_rejected(self, figure4):
+        with pytest.raises(ValueError, match="value_scope"):
+            build_tuple_view(figure4, value_scope="bogus")
+
+
+class TestValueView:
+    def test_figure6_n_rows(self, figure4):
+        view = build_value_view(figure4)
+        ids = view.catalog.ids
+        # Value 'a' appears in tuples 0,1 -> 1/2 each (Figure 6 left).
+        assert view.rows[ids["a"]] == pytest.approx({0: 0.5, 1: 0.5})
+        # Value 'x' appears in tuples 2,3,4 -> 1/3 each.
+        assert view.rows[ids["x"]] == pytest.approx({2: 1 / 3, 3: 1 / 3, 4: 1 / 3})
+        # Value 'p' appears only in tuple 0.
+        assert view.rows[ids["p"]] == pytest.approx({0: 1.0})
+
+    def test_figure6_priors(self, figure4):
+        view = build_value_view(figure4)
+        assert view.priors == [pytest.approx(1 / 9)] * 9
+
+    def test_figure6_o_matrix(self, figure4):
+        view = build_value_view(figure4)
+        ids = view.catalog.ids
+        # Figure 6 right: O[a] = (2,0,0), O[2] = (0,3,0), O[x] = (0,0,3).
+        assert view.support[ids["a"]] == {"A": 2}
+        assert view.support[ids["2"]] == {"B": 3}
+        assert view.support[ids["x"]] == {"C": 3}
+        assert view.occurrences(ids["x"]) == 3
+        assert view.attributes_of(ids["x"]) == frozenset({"C"})
+
+    def test_row_sums_and_support_totals(self, figure4):
+        view = build_value_view(figure4)
+        for value_id, row in enumerate(view.rows):
+            assert sum(row.values()) == pytest.approx(1.0)
+            assert view.occurrences(value_id) >= len(row)
+
+    def test_double_clustering_columns(self, figure4):
+        # Collapse tuples {0,1} and {2,3,4} into two clusters.
+        clusters = [0, 0, 1, 1, 1]
+        view = build_value_view(figure4, tuple_clusters=clusters)
+        ids = view.catalog.ids
+        assert view.n_columns == 2
+        assert view.rows[ids["a"]] == pytest.approx({0: 1.0})
+        assert view.rows[ids["x"]] == pytest.approx({1: 1.0})
+
+    def test_double_clustering_requires_full_assignment(self, figure4):
+        with pytest.raises(ValueError, match="every tuple"):
+            build_value_view(figure4, tuple_clusters=[0, 0])
+
+    def test_shared_literal_across_attributes_counts_once_in_n(self):
+        rel = Relation(["A", "B"], [("x", "x"), ("x", "y")])
+        view = build_value_view(rel)
+        x = view.catalog.ids["x"]
+        # N is an indicator over tuples: x appears in both tuples.
+        assert view.rows[x] == pytest.approx({0: 0.5, 1: 0.5})
+        # O counts occurrences: 2 in A, 1 in B.
+        assert view.support[x] == {"A": 2, "B": 1}
+
+    def test_catalog_label(self, figure4):
+        view = build_value_view(figure4)
+        assert view.catalog.label(view.catalog.ids["a"]) == "'a'"
+        scoped = build_value_view(figure4, value_scope="attribute")
+        assert scoped.catalog.label(scoped.catalog.ids[("A", "a")]) == "A='a'"
+
+
+class TestMatrixF:
+    def test_figure9(self, figure4):
+        view = build_value_view(figure4)
+        ids = view.catalog.ids
+        groups = [(ids["a"], ids["1"]), (ids["2"], ids["x"])]
+        f = build_matrix_f(view, groups)
+        assert f.attribute_names == ["A", "B", "C"]
+        by_name = dict(zip(f.attribute_names, f.counts))
+        # Figure 9 (built from the Figure 5 variant) shows C at 4; on the
+        # clean Figure 4 relation 'x' occurs 3 times in C, so F[C] = (0, 3).
+        assert by_name["A"] == {0: 2}
+        assert by_name["B"] == {0: 2, 1: 3}
+        assert by_name["C"] == {1: 3}
+
+    def test_rows_normalized(self, figure4):
+        view = build_value_view(figure4)
+        ids = view.catalog.ids
+        f = build_matrix_f(view, [(ids["a"], ids["1"]), (ids["2"], ids["x"])])
+        for row in f.rows:
+            assert sum(row.values()) == pytest.approx(1.0)
+
+    def test_attributes_without_duplicate_mass_excluded(self, figure4):
+        view = build_value_view(figure4)
+        ids = view.catalog.ids
+        f = build_matrix_f(view, [(ids["a"], ids["1"])])
+        # Only A and B carry the {a,1} group; C is not in A^D.
+        assert f.attribute_names == ["A", "B"]
+
+    def test_groups_recorded(self, figure4):
+        view = build_value_view(figure4)
+        ids = view.catalog.ids
+        groups = [(ids["a"], ids["1"])]
+        f = build_matrix_f(view, groups)
+        assert f.groups == [tuple(groups[0])]

@@ -1,0 +1,109 @@
+"""Tests for the RAD and RTR duplication measures."""
+
+import math
+
+import pytest
+
+from repro.core import rad, rtr
+from repro.relation import Relation
+
+
+@pytest.fixture
+def figure4():
+    return Relation(
+        ["A", "B", "C"],
+        [
+            ("a", "1", "p"),
+            ("a", "1", "r"),
+            ("w", "2", "x"),
+            ("y", "2", "x"),
+            ("z", "2", "x"),
+        ],
+    )
+
+
+class TestRTR:
+    def test_all_identical_column(self):
+        rel = Relation(["A"], [("v",)] * 3)
+        assert rtr(rel, ["A"]) == pytest.approx(2 / 3)
+
+    def test_all_distinct(self):
+        rel = Relation(["A"], [(str(i),) for i in range(4)])
+        assert rtr(rel, ["A"]) == 0.0
+
+    def test_paper_example_c_to_b(self, figure4):
+        # Projecting on {B,C}: distinct rows {(1,p),(1,r),(2,x)} -> 3 of 5.
+        assert rtr(figure4, ["B", "C"]) == pytest.approx(1 - 3 / 5)
+
+    def test_paper_example_a_to_b(self, figure4):
+        # Projecting on {A,B}: 4 distinct rows of 5.
+        assert rtr(figure4, ["A", "B"]) == pytest.approx(1 - 4 / 5)
+
+    def test_decomposition_preference_matches_paper(self, figure4):
+        # Section 7: decomposing by C -> B removes more tuples than A -> B.
+        assert rtr(figure4, ["B", "C"]) > rtr(figure4, ["A", "B"])
+
+    def test_empty_relation(self):
+        assert rtr(Relation(["A"], []), ["A"]) == 0.0
+
+    def test_unknown_attribute_rejected(self, figure4):
+        with pytest.raises(KeyError):
+            rtr(figure4, ["Nope"])
+
+    def test_string_attribute_accepted(self, figure4):
+        assert rtr(figure4, "B") == rtr(figure4, ["B"])
+
+    def test_bounds(self, figure4):
+        for attrs in (["A"], ["B"], ["C"], ["A", "B", "C"]):
+            assert 0.0 <= rtr(figure4, attrs) < 1.0
+
+
+class TestRAD:
+    def test_single_repeated_value_is_one(self):
+        # The paper's own example: a single-attribute relation with one
+        # repeated value has RAD = 1 whether it has 2 or 3 tuples.
+        two = Relation(["A"], [("v",)] * 2)
+        three = Relation(["A"], [("v",)] * 3)
+        assert rad(two, ["A"]) == pytest.approx(1.0)
+        assert rad(three, ["A"]) == pytest.approx(1.0)
+
+    def test_all_distinct_single_attribute(self):
+        rel = Relation(["A"], [(str(i),) for i in range(8)])
+        # H = log n, p(C_A) = 1 -> RAD = 0.
+        assert rad(rel, ["A"]) == pytest.approx(0.0)
+
+    def test_weighted_formula(self, figure4):
+        # Hand-computed: projection on B has counts {1:2, 2:3}.
+        h = -(2 / 5) * math.log2(2 / 5) - (3 / 5) * math.log2(3 / 5)
+        expected = 1 - (1 / 3) * h / math.log2(5)
+        assert rad(figure4, ["B"]) == pytest.approx(expected)
+
+    def test_unweighted_variant(self, figure4):
+        h = -(2 / 5) * math.log2(2 / 5) - (3 / 5) * math.log2(3 / 5)
+        assert rad(figure4, ["B"], weighted=False) == pytest.approx(
+            1 - h / math.log2(5)
+        )
+
+    def test_width_sensitivity(self, figure4):
+        # Adding a perfectly correlated attribute must not raise RAD:
+        # weighting by |C_A|/m penalizes wider sets with the same entropy.
+        narrow = rad(figure4, ["B"])
+        wide = rad(figure4, ["B", "C"])
+        assert wide < narrow
+
+    def test_small_relations(self):
+        assert rad(Relation(["A"], []), ["A"]) == 0.0
+        assert rad(Relation(["A"], [("x",)]), ["A"]) == 0.0
+
+    def test_ranking_agreement_with_paper(self, figure4):
+        # Duplication of {B,C} beats {A,B} (Proposition 1's conclusion).
+        assert rad(figure4, ["B", "C"]) > rad(figure4, ["A", "B"])
+
+    def test_bounds(self, figure4):
+        for attrs in (["A"], ["B"], ["C"], ["A", "B"], ["B", "C"]):
+            value = rad(figure4, attrs)
+            assert 0.0 <= value <= 1.0
+
+    def test_needs_an_attribute(self, figure4):
+        with pytest.raises(ValueError):
+            rad(figure4, [])

@@ -1,0 +1,183 @@
+"""Tests for the FDEP and TANE miners, individually and against each other."""
+
+import itertools
+
+import pytest
+
+from repro.fd import FD, fdep, holds, tane
+from repro.fd.fdep import agree_sets, negative_cover
+from repro.relation import NULL, Relation
+
+
+@pytest.fixture
+def figure4():
+    return Relation(
+        ["A", "B", "C"],
+        [
+            ("a", "1", "p"),
+            ("a", "1", "r"),
+            ("w", "2", "x"),
+            ("y", "2", "x"),
+            ("z", "2", "x"),
+        ],
+    )
+
+
+def brute_force_minimal_fds(relation):
+    """Reference miner: test every LHS subset, keep minimal valid ones."""
+    names = relation.schema.names
+    result = set()
+    for rhs in names:
+        others = [n for n in names if n != rhs]
+        valid = []
+        for size in range(1, len(others) + 1):
+            for lhs in itertools.combinations(others, size):
+                candidate = FD(set(lhs), {rhs})
+                if any(found.lhs < candidate.lhs for found in valid):
+                    continue
+                if holds(relation, candidate):
+                    valid.append(candidate)
+        result.update(valid)
+    return result
+
+
+class TestAgreeSets:
+    def test_figure4(self, figure4):
+        sets = agree_sets(figure4)
+        assert frozenset({"A", "B"}) in sets  # tuples 0,1 agree on A,B
+        assert frozenset({"B", "C"}) in sets  # tuples 2,3 agree on B,C
+        assert frozenset() in sets  # tuples 0,2 agree nowhere
+
+    def test_pair_count_coverage(self):
+        rel = Relation(["A"], [("x",), ("x",), ("y",)])
+        assert agree_sets(rel) == {frozenset({"A"}), frozenset()}
+
+
+class TestNegativeCover:
+    def test_witnesses_are_maximal(self, figure4):
+        cover = negative_cover(figure4)
+        for witnesses in cover.values():
+            for a, b in itertools.combinations(witnesses, 2):
+                assert not a <= b and not b <= a
+
+    def test_witness_semantics(self, figure4):
+        # {A,B} witnesses the invalidity of A,B -> C (tuples 0,1).
+        assert frozenset({"A", "B"}) in negative_cover(figure4)["C"]
+
+
+class TestFdep:
+    def test_figure4_dependencies(self, figure4):
+        found = set(fdep(figure4))
+        assert found == {FD("A", "B"), FD("C", "B")}
+
+    def test_all_results_hold(self, figure4):
+        for fd in fdep(figure4):
+            assert holds(figure4, fd)
+
+    def test_matches_brute_force(self):
+        rel = Relation(
+            ["A", "B", "C", "D"],
+            [
+                ("a1", "b1", "c1", "d1"),
+                ("a1", "b1", "c2", "d2"),
+                ("a2", "b1", "c1", "d1"),
+                ("a2", "b2", "c2", "d1"),
+                ("a3", "b2", "c1", "d2"),
+            ],
+        )
+        assert set(fdep(rel)) == brute_force_minimal_fds(rel)
+
+    def test_empty_relation(self):
+        assert fdep(Relation(["A", "B"], [])) == []
+
+    def test_constant_attribute_promoted_to_singletons(self):
+        rel = Relation(["A", "B"], [("x", "k"), ("y", "k"), ("z", "k")])
+        found = set(fdep(rel))
+        assert FD("A", "B") in found
+
+    def test_constant_attribute_empty_lhs(self):
+        rel = Relation(["A", "B"], [("x", "k"), ("y", "k")])
+        found = set(fdep(rel, allow_empty_lhs=True))
+        assert FD(set(), {"B"}) in found
+
+    def test_key_discovered(self):
+        rel = Relation(
+            ["K", "X", "Y"],
+            [("k1", "x1", "y1"), ("k2", "x1", "y2"), ("k3", "x2", "y1")],
+        )
+        found = set(fdep(rel))
+        assert FD("K", "X") in found and FD("K", "Y") in found
+
+    def test_nulls_compare_equal(self):
+        rel = Relation(["A", "B"], [(NULL, "x"), (NULL, "x"), ("v", "y")])
+        assert FD("A", "B") in set(fdep(rel))
+
+
+class TestTane:
+    def test_figure4_dependencies(self, figure4):
+        assert set(tane(figure4)) == {FD("A", "B"), FD("C", "B")}
+
+    def test_agrees_with_fdep(self):
+        rel = Relation(
+            ["A", "B", "C", "D"],
+            [
+                ("a1", "b1", "c1", "d1"),
+                ("a1", "b1", "c2", "d2"),
+                ("a2", "b1", "c1", "d1"),
+                ("a2", "b2", "c2", "d1"),
+                ("a3", "b2", "c1", "d2"),
+                ("a3", "b1", "c3", "d3"),
+            ],
+        )
+        assert set(tane(rel)) == set(fdep(rel))
+
+    def test_agrees_with_brute_force_random(self):
+        import random
+
+        rng = random.Random(42)
+        for trial in range(5):
+            rows = [
+                tuple(rng.choice("abc") for _ in range(4)) for _ in range(12)
+            ]
+            rel = Relation(["W", "X", "Y", "Z"], rows)
+            assert set(tane(rel)) == brute_force_minimal_fds(rel), f"trial {trial}"
+
+    def test_empty_relation(self):
+        assert tane(Relation(["A"], [])) == []
+
+    def test_constant_attribute_promotion(self):
+        rel = Relation(["A", "B"], [("x", "k"), ("y", "k"), ("z", "k")])
+        assert FD("A", "B") in set(tane(rel))
+        assert FD(set(), {"B"}) in set(tane(rel, allow_empty_lhs=True))
+
+    def test_max_lhs_size_caps_levels(self):
+        rel = Relation(
+            ["A", "B", "C", "D"],
+            [
+                ("a1", "b1", "c1", "d1"),
+                ("a1", "b2", "c1", "d2"),
+                ("a2", "b1", "c2", "d1"),
+                ("a2", "b2", "c2", "d3"),
+            ],
+        )
+        capped = tane(rel, max_lhs_size=1)
+        assert all(len(fd.lhs) <= 1 for fd in capped)
+
+    def test_results_hold_and_are_minimal(self):
+        import random
+
+        rng = random.Random(7)
+        rows = [tuple(rng.choice("ab") for _ in range(3)) for _ in range(20)]
+        rel = Relation(["X", "Y", "Z"], rows)
+        found = tane(rel)
+        for fd in found:
+            assert holds(rel, fd)
+        for fd in found:
+            for attribute in fd.lhs:
+                if len(fd.lhs) > 1:
+                    smaller = FD(fd.lhs - {attribute}, fd.rhs)
+                    assert not holds(rel, smaller) or any(
+                        other.lhs <= smaller.lhs and other.rhs == fd.rhs
+                        for other in found
+                        if other != fd
+                    )

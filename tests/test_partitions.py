@@ -1,0 +1,100 @@
+"""Unit tests for stripped partitions."""
+
+import pytest
+
+from repro.fd.partitions import Partition, partition_of, product
+from repro.relation import NULL, Relation
+
+
+@pytest.fixture
+def rel():
+    return Relation(
+        ["A", "B", "C"],
+        [
+            ("x", "1", "p"),
+            ("x", "1", "q"),
+            ("y", "1", "p"),
+            ("y", "2", "q"),
+            ("z", "2", "p"),
+        ],
+    )
+
+
+class TestPartitionOf:
+    def test_single_attribute(self, rel):
+        part = partition_of(rel, ["A"])
+        assert part.classes == ((0, 1), (2, 3))  # z is stripped
+
+    def test_strips_singletons(self, rel):
+        part = partition_of(rel, ["A", "B"])
+        assert part.classes == ((0, 1),)
+
+    def test_superkey_detection(self, rel):
+        assert partition_of(rel, ["A", "B", "C"]).is_superkey()
+        assert not partition_of(rel, ["A"]).is_superkey()
+
+    def test_empty_attribute_set_is_one_class(self, rel):
+        part = partition_of(rel, [])
+        assert part.classes == ((0, 1, 2, 3, 4),)
+
+    def test_string_attribute_accepted(self, rel):
+        assert partition_of(rel, "A") == partition_of(rel, ["A"])
+
+    def test_null_equals_null(self):
+        rel = Relation(["A"], [(NULL,), (NULL,), ("x",)])
+        part = partition_of(rel, ["A"])
+        assert part.classes == ((0, 1),)
+
+
+class TestErrorAndCounts:
+    def test_error(self, rel):
+        # pi_A: {0,1},{2,3},{4}: error = (2-1)+(2-1) = 2.
+        assert partition_of(rel, ["A"]).error == 2
+
+    def test_superkey_error_zero(self, rel):
+        assert partition_of(rel, ["A", "B", "C"]).error == 0
+
+    def test_n_classes_counts_stripped(self, rel):
+        assert partition_of(rel, ["A"]).n_classes == 3
+
+    def test_fd_validity_via_error(self, rel):
+        # A -> B fails (tuples 2,3 agree on A, differ on B).
+        pa = partition_of(rel, ["A"])
+        pab = partition_of(rel, ["A", "B"])
+        assert pa.error != pab.error
+        # {A,B} -> A holds trivially.
+        assert pab.error == partition_of(rel, ["A", "B"]).error
+
+
+class TestProduct:
+    def test_matches_direct_partition(self, rel):
+        pa = partition_of(rel, ["A"])
+        pb = partition_of(rel, ["B"])
+        assert product(pa, pb) == partition_of(rel, ["A", "B"])
+
+    def test_commutative(self, rel):
+        pa = partition_of(rel, ["A"])
+        pc = partition_of(rel, ["C"])
+        assert product(pa, pc) == product(pc, pa)
+
+    def test_product_with_self(self, rel):
+        pa = partition_of(rel, ["A"])
+        assert product(pa, pa) == pa
+
+    def test_mismatched_sizes_rejected(self, rel):
+        other = Partition.from_classes([(0, 1)], 2)
+        with pytest.raises(ValueError):
+            product(partition_of(rel, ["A"]), other)
+
+
+class TestRefines:
+    def test_refinement_is_fd(self, rel):
+        # C -> A fails; A,B -> C fails; but {A,B,C} refines everything.
+        pabc = partition_of(rel, ["A", "B", "C"])
+        pa = partition_of(rel, ["A"])
+        assert pabc.refines(pa)
+
+    def test_non_refinement(self, rel):
+        pa = partition_of(rel, ["A"])
+        pb = partition_of(rel, ["B"])
+        assert not pa.refines(pb)  # tuples 2,3 agree on A, differ on B

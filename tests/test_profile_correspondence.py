@@ -1,0 +1,150 @@
+"""Tests for instance profiling and cross-relation correspondences."""
+
+import pytest
+
+from repro.core import profile_relation
+from repro.datasets import db2_sample, dblp
+from repro.relation import NULL, Relation, find_correspondences
+
+
+class TestProfileRelation:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return profile_relation(db2_sample(seed=0).relation)
+
+    def test_counts(self, profile):
+        assert profile.n_tuples == 90
+        assert len(profile.attributes) == 19
+
+    def test_entropy_and_uniformity_bounds(self, profile):
+        for p in profile.attributes:
+            assert p.entropy_bits >= 0.0
+            assert 0.0 <= p.uniformity <= 1.0 + 1e-9
+
+    def test_distinct_counts(self, profile):
+        dept = profile.attribute("DeptNo")
+        assert dept.distinct == 7
+        assert dept.distinct_fraction == pytest.approx(7 / 90)
+
+    def test_top_values_sorted(self, profile):
+        dept = profile.attribute("DeptNo")
+        counts = [count for _, count in dept.top_values]
+        assert counts == sorted(counts, reverse=True)
+        assert dept.top_values[0][1] == 20  # the A00 department dominates
+
+    def test_constant_detection(self):
+        rel = Relation(["A", "B"], [("x", str(i)) for i in range(4)])
+        profile = profile_relation(rel)
+        assert profile.attribute("A").is_constant
+        assert profile.attribute("B").is_key_like
+
+    def test_key_like_requires_all_distinct(self):
+        rel = Relation(["Coin"], [("h",), ("t",), ("h",), ("t",)])
+        profile = profile_relation(rel)
+        coin = profile.attribute("Coin")
+        assert coin.uniformity == pytest.approx(1.0)  # uniform...
+        assert not coin.is_key_like  # ...but not a key
+
+    def test_null_heavy_on_dblp(self):
+        profile = profile_relation(dblp(1500, seed=7))
+        heavy = set(profile.null_heavy(threshold=0.95))
+        assert {"Publisher", "ISBN", "Editor", "Series", "School", "Month"} <= heavy
+
+    def test_render(self, profile):
+        text = profile.render()
+        assert "DeptNo" in text and "attribute" in text
+
+    def test_unknown_attribute(self, profile):
+        with pytest.raises(KeyError):
+            profile.attribute("Nope")
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError):
+            profile_relation(Relation(["A"], []))
+
+
+class TestFindCorrespondences:
+    @pytest.fixture(scope="class")
+    def db2_tables(self):
+        sample = db2_sample(seed=0)
+        return {
+            "EMPLOYEE": sample.employee,
+            "DEPARTMENT": sample.department,
+            "PROJECT": sample.project,
+        }
+
+    def test_foreign_keys_recovered(self, db2_tables):
+        found = find_correspondences(db2_tables)
+        pairs = {
+            frozenset(
+                {
+                    f"{c.left_relation}.{c.left_attribute}",
+                    f"{c.right_relation}.{c.right_attribute}",
+                }
+            )
+            for c in found
+        }
+        assert frozenset({"EMPLOYEE.WorkDepNo", "DEPARTMENT.DepNo"}) in pairs
+        assert frozenset({"DEPARTMENT.DepNo", "PROJECT.DeptNo"}) in pairs
+        assert frozenset({"EMPLOYEE.EmpNo", "PROJECT.RespEmpNo"}) in pairs
+
+    def test_full_containment_scores_one(self, db2_tables):
+        found = find_correspondences(db2_tables)
+        for c in found:
+            if {c.left_attribute, c.right_attribute} == {"WorkDepNo", "DepNo"}:
+                assert c.containment == pytest.approx(1.0)
+                break
+        else:
+            pytest.fail("WorkDepNo ~ DepNo not found")
+
+    def test_sorted_by_containment(self, db2_tables):
+        found = find_correspondences(db2_tables, min_containment=0.1)
+        scores = [c.containment for c in found]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_nulls_are_not_evidence(self):
+        left = Relation(["A"], [(NULL,), (NULL,), ("x",)])
+        right = Relation(["B"], [(NULL,), ("y",)])
+        found = find_correspondences(
+            {"L": left, "R": right}, min_containment=0.0, min_shared=1
+        )
+        assert found == []
+
+    def test_min_shared_filters_tiny_overlaps(self):
+        left = Relation(["A"], [("common",), ("l1",), ("l2",)])
+        right = Relation(["B"], [("common",), ("r1",), ("r2",)])
+        assert find_correspondences({"L": left, "R": right}, min_shared=2) == []
+
+    def test_same_relation_pairs_excluded(self, db2_tables):
+        found = find_correspondences(db2_tables, min_containment=0.0, min_shared=1)
+        for c in found:
+            assert c.left_relation != c.right_relation
+
+    def test_needs_two_relations(self, db2_tables):
+        with pytest.raises(ValueError):
+            find_correspondences({"ONLY": db2_tables["EMPLOYEE"]})
+
+    def test_str(self, db2_tables):
+        found = find_correspondences(db2_tables)
+        assert "containment=" in str(found[0])
+
+
+class TestCliProfile:
+    def test_profile_command(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.relation import write_csv
+
+        path = tmp_path / "r.csv"
+        write_csv(db2_sample(seed=0).relation, path)
+        assert main(["profile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "DeptNo" in out
+        # The join repeats every attribute, so no key candidates here.
+        assert "key candidates" not in out
+
+        keyed = tmp_path / "keyed.csv"
+        write_csv(
+            Relation(["Id", "V"], [(str(i), "x") for i in range(5)]), keyed
+        )
+        main(["profile", str(keyed)])
+        assert "key candidates: ['Id']" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for the information-theory substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infotheory import (
+    entropy,
+    entropy_of_counts,
+    information_loss,
+    jensen_shannon,
+    kl_divergence,
+    max_entropy,
+    mixture,
+    mutual_information_rows,
+)
+
+
+@st.composite
+def sparse_distribution(draw, max_outcomes=8, universe=20):
+    """A random sparse distribution over integer outcomes."""
+    n = draw(st.integers(min_value=1, max_value=max_outcomes))
+    outcomes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=universe - 1),
+            min_size=n, max_size=n, unique=True,
+        )
+    )
+    masses = draw(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=1.0),
+            min_size=n, max_size=n,
+        )
+    )
+    total = sum(masses)
+    return {o: m / total for o, m in zip(outcomes, masses)}
+
+
+positive_weight = st.floats(min_value=1e-3, max_value=10.0)
+
+
+class TestEntropyProperties:
+    @given(sparse_distribution())
+    def test_entropy_bounds(self, p):
+        h = entropy(p)
+        assert -1e-9 <= h <= max_entropy(len(p)) + 1e-9
+
+    @given(sparse_distribution())
+    def test_entropy_of_counts_scale_invariant(self, p):
+        counts = {o: m * 1000 for o, m in p.items()}
+        scaled = {o: c * 7.5 for o, c in counts.items()}
+        assert entropy_of_counts(counts) == (
+            __import__("pytest").approx(entropy_of_counts(scaled))
+        )
+
+    @given(sparse_distribution(), sparse_distribution())
+    def test_mixing_never_reduces_entropy_below_average(self, p, q):
+        # Concavity of entropy: H(mix) >= w H(p) + (1-w) H(q).
+        blended = mixture(p, q, 0.5, 0.5)
+        assert entropy(blended, validate=False) >= (
+            0.5 * entropy(p) + 0.5 * entropy(q) - 1e-9
+        )
+
+
+class TestDivergenceProperties:
+    @given(sparse_distribution())
+    def test_kl_self_is_zero(self, p):
+        assert kl_divergence(p, p) <= 1e-9
+
+    @given(sparse_distribution(), sparse_distribution())
+    def test_kl_nonnegative(self, p, q):
+        blended = mixture(p, q, 0.5, 0.5)  # guarantees support coverage
+        assert kl_divergence(p, blended) >= -1e-12
+
+    @given(sparse_distribution(), sparse_distribution(),
+           positive_weight, positive_weight)
+    def test_js_symmetric(self, p, q, w_p, w_q):
+        forward = jensen_shannon(p, q, w_p, w_q)
+        backward = jensen_shannon(q, p, w_q, w_p)
+        assert abs(forward - backward) <= 1e-9
+
+    @given(sparse_distribution(), sparse_distribution(),
+           positive_weight, positive_weight)
+    def test_js_bounded(self, p, q, w_p, w_q):
+        js = jensen_shannon(p, q, w_p, w_q)
+        assert -1e-12 <= js <= 1.0 + 1e-9
+
+    @given(sparse_distribution(), sparse_distribution())
+    def test_js_zero_iff_equal_supports_and_masses(self, p, q):
+        assert jensen_shannon(p, p) <= 1e-9
+        if set(p) != set(q):
+            assert jensen_shannon(p, q) > 0.0
+
+    @given(sparse_distribution(), sparse_distribution(),
+           positive_weight, positive_weight)
+    def test_information_loss_scaling(self, p, q, w_p, w_q):
+        # delta_I(c*2) = 2 * delta_I(c): homogeneous of degree 1 in weights.
+        base = information_loss(p, q, w_p, w_q)
+        doubled = information_loss(p, q, 2 * w_p, 2 * w_q)
+        assert abs(doubled - 2 * base) <= 1e-6 * max(1.0, doubled)
+
+
+class TestMutualInformationProperties:
+    @given(st.lists(sparse_distribution(), min_size=1, max_size=6))
+    def test_nonnegative_and_bounded_by_prior_entropy(self, rows):
+        priors = [1.0 / len(rows)] * len(rows)
+        info = mutual_information_rows(rows, priors)
+        assert info >= 0.0
+        assert info <= max_entropy(len(rows)) + 1e-9
+
+    @given(sparse_distribution(), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=25)
+    def test_identical_rows_zero_information(self, row, copies):
+        rows = [dict(row) for _ in range(copies)]
+        priors = [1.0 / copies] * copies
+        assert mutual_information_rows(rows, priors) <= 1e-9

@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the relational substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infotheory import SparseDistribution
+from repro.relation import NULL, Relation, natural_join, read_csv, write_csv
+from repro.relation.matrices import build_tuple_view, build_value_view
+
+_value = st.one_of(
+    st.text(min_size=0, max_size=6),
+    st.integers(min_value=-5, max_value=5),
+    st.just(NULL),
+)
+
+
+@st.composite
+def relation(draw, max_rows=10, max_cols=4):
+    arity = draw(st.integers(min_value=1, max_value=max_cols))
+    names = [f"A{i}" for i in range(arity)]
+    n = draw(st.integers(min_value=1, max_value=max_rows))
+    rows = [tuple(draw(_value) for _ in range(arity)) for _ in range(n)]
+    return Relation(names, rows)
+
+
+class TestRelationProperties:
+    @given(relation())
+    def test_project_preserves_cardinality(self, rel):
+        projected = rel.project(list(rel.attributes))
+        assert len(projected) == len(rel)
+
+    @given(relation())
+    def test_distinct_idempotent(self, rel):
+        once = rel.distinct()
+        assert once.distinct() == once
+        assert len(once) <= len(rel)
+
+    @given(relation())
+    def test_take_all_is_identity(self, rel):
+        assert rel.take(range(len(rel))) == rel
+
+    @given(relation())
+    def test_value_count_bounds(self, rel):
+        count = rel.value_count()
+        assert 1 <= count <= len(rel) * rel.arity
+
+    @given(relation())
+    def test_records_round_trip(self, rel):
+        from repro.relation.relation import from_records
+
+        rebuilt = from_records(rel.records(), attributes=rel.attributes)
+        assert rebuilt == rel
+
+    @given(relation())
+    @settings(max_examples=50)
+    def test_self_natural_join_contains_original(self, rel):
+        joined = natural_join(rel, rel)
+        original = set(rel.rows)
+        assert original <= set(joined.rows)
+
+
+class TestCsvProperties:
+    @given(relation())
+    @settings(max_examples=50)
+    def test_round_trip(self, rel):
+        import tempfile
+        from pathlib import Path
+
+        # Stringify non-NULL values first: CSV reads everything as strings.
+        # The empty string maps to NULL in this format (documented lossy
+        # corner), so substitute a marker for it.
+        rows = [
+            tuple(
+                v if v is NULL else (str(v) or "<empty>") for v in row
+            )
+            for row in rel.rows
+        ]
+        stringed = Relation(rel.schema, rows)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "r.csv"
+            write_csv(stringed, path)
+            assert read_csv(path) == stringed
+
+
+class TestViewProperties:
+    @given(relation())
+    @settings(max_examples=60)
+    def test_tuple_view_rows_normalized(self, rel):
+        view = build_tuple_view(rel)
+        for row in view.rows:
+            assert sum(row.values()) == pytest.approx(1.0)
+
+    @given(relation())
+    @settings(max_examples=60)
+    def test_value_view_consistency(self, rel):
+        view = build_value_view(rel)
+        assert sum(view.priors) == pytest.approx(1.0)
+        total_occurrences = sum(
+            sum(support.values()) for support in view.support
+        )
+        assert total_occurrences == len(rel) * rel.arity
+        for value_id, row in enumerate(view.rows):
+            assert sum(row.values()) == pytest.approx(1.0)
+            assert len(row) == view.tuple_counts[value_id]
+
+    @given(relation())
+    @settings(max_examples=40)
+    def test_views_agree_on_value_universe(self, rel):
+        tuple_view = build_tuple_view(rel)
+        value_view = build_value_view(rel)
+        assert tuple_view.n_values == value_view.n_values
+
+
+class TestSparseDistributionProperties:
+    @given(st.dictionaries(st.integers(0, 10), st.floats(0.01, 1.0),
+                           min_size=1, max_size=6))
+    def test_from_counts_normalizes(self, counts):
+        d = SparseDistribution.from_counts(counts)
+        assert sum(d.values()) == pytest.approx(1.0)
+
+    @given(st.dictionaries(st.integers(0, 10), st.floats(0.01, 1.0),
+                           min_size=1, max_size=6))
+    def test_mix_with_self_is_identity(self, counts):
+        d = SparseDistribution.from_counts(counts)
+        blended = d.mix(d, 0.3, 0.7)
+        for outcome in d:
+            assert blended[outcome] == pytest.approx(d[outcome])
+
+    @given(st.dictionaries(st.integers(0, 10), st.floats(0.01, 1.0),
+                           min_size=1, max_size=6),
+           st.dictionaries(st.integers(0, 10), st.floats(0.01, 1.0),
+                           min_size=1, max_size=6))
+    def test_js_metric_axioms(self, counts_a, counts_b):
+        a = SparseDistribution.from_counts(counts_a)
+        b = SparseDistribution.from_counts(counts_b)
+        assert a.js(b) == pytest.approx(b.js(a), abs=1e-9)
+        assert a.js(a) <= 1e-12
+        assert 0.0 <= a.js(b) <= 1.0 + 1e-9

@@ -1,0 +1,84 @@
+"""Tests for the FD-RANK-driven vertical redesign tool."""
+
+import pytest
+
+from repro.core import vertical_redesign
+from repro.datasets import db2_sample
+from repro.relation import Relation, natural_join
+
+
+@pytest.fixture(scope="module")
+def db2_relation():
+    return db2_sample(seed=0).relation
+
+
+@pytest.fixture(scope="module")
+def db2_redesign(db2_relation):
+    return vertical_redesign(db2_relation, max_fragments=4)
+
+
+class TestVerticalRedesign:
+    def test_extracts_fragments(self, db2_redesign):
+        assert 1 <= len(db2_redesign.fragments) <= 4
+        assert db2_redesign.remainder is not None
+
+    def test_saves_storage_cells(self, db2_redesign):
+        assert db2_redesign.cells_after < db2_redesign.cells_before
+        assert db2_redesign.cells_saved_fraction > 0.1
+
+    def test_lossless(self, db2_relation, db2_redesign):
+        rejoined = db2_redesign.remainder
+        for fragment in db2_redesign.fragments.values():
+            rejoined = natural_join(rejoined, fragment)
+        original = {
+            tuple(sorted(zip(db2_relation.schema.names, row)))
+            for row in db2_relation.rows
+        }
+        recovered = {
+            tuple(sorted(zip(rejoined.schema.names, row)))
+            for row in rejoined.rows
+        }
+        assert original == recovered
+
+    def test_attribute_coverage(self, db2_relation, db2_redesign):
+        covered = set(db2_redesign.remainder.attributes)
+        for fragment in db2_redesign.fragments.values():
+            covered |= set(fragment.attributes)
+        assert covered == set(db2_relation.attributes)
+
+    def test_steps_record_redundancy(self, db2_redesign):
+        for step in db2_redesign.steps:
+            assert 0.0 <= step.rad <= 1.0
+            assert step.rtr > 0.0
+            assert step.fragment_tuples <= len(db2_redesign.original)
+
+    def test_render(self, db2_redesign):
+        text = db2_redesign.render()
+        assert "storage cells" in text
+        assert "R1" in text
+
+    def test_no_structure_no_fragments(self):
+        rel = Relation(
+            ["A", "B", "C"],
+            [(f"a{i}", f"b{i}", f"c{i}") for i in range(8)],
+        )
+        result = vertical_redesign(rel)
+        assert result.fragments == {}
+        assert result.remainder == rel
+
+    def test_max_fragments_respected(self, db2_relation):
+        result = vertical_redesign(db2_relation, max_fragments=1)
+        assert len(result.fragments) <= 1
+
+    def test_min_rtr_gates_extraction(self, db2_relation):
+        strict = vertical_redesign(db2_relation, min_rtr=0.99)
+        assert len(strict.fragments) == 0
+
+    def test_invalid_miner_rejected(self, db2_relation):
+        with pytest.raises(ValueError):
+            vertical_redesign(db2_relation, miner="bogus")
+
+    def test_narrow_relation_untouched(self):
+        rel = Relation(["A", "B"], [("x", "1"), ("x", "1"), ("y", "2")])
+        result = vertical_redesign(rel)
+        assert result.fragments == {}

@@ -1,0 +1,231 @@
+"""Unit tests for the relational substrate (schema, relation, join, io)."""
+
+import pytest
+
+from repro.relation import (
+    Attribute,
+    NULL,
+    Relation,
+    Schema,
+    equi_join,
+    natural_join,
+    read_csv,
+    write_csv,
+)
+from repro.relation.relation import from_records
+
+
+@pytest.fixture
+def figure1():
+    """The paper's Figure 1 relation (Ename, City, Zip)."""
+    return Relation(
+        ["Ename", "City", "Zip"],
+        [
+            ("Pat", "Boston", "02139"),
+            ("Pat", "Boston", "02138"),
+            ("Sal", "Boston", "02139"),
+        ],
+    )
+
+
+class TestSchema:
+    def test_names_in_order(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.names == ("A", "B", "C")
+
+    def test_position_lookup(self):
+        schema = Schema(["A", "B"])
+        assert schema.position("B") == 1
+        with pytest.raises(KeyError):
+            schema.position("Z")
+
+    def test_positions_preserve_request_order(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.positions(["C", "A"]) == (2, 0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema(["A", "A"])
+
+    def test_contains_accepts_names_and_attributes(self):
+        schema = Schema([Attribute("A", source="T1")])
+        assert "A" in schema
+        assert Attribute("A", source="T1") in schema
+
+    def test_subset_and_slice(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.subset(["C", "B"]).names == ("C", "B")
+        assert schema[1:].names == ("B", "C")
+
+    def test_renamed(self):
+        schema = Schema([Attribute("A", source="T")])
+        renamed = schema.renamed({"A": "X"})
+        assert renamed.names == ("X",)
+        assert renamed.attribute("X").source == "T"
+
+    def test_source_provenance_kept(self):
+        schema = Schema([Attribute("EmpNo", source="EMPLOYEE")])
+        assert schema.attribute("EmpNo").source == "EMPLOYEE"
+
+
+class TestNullSentinel:
+    def test_singleton(self):
+        from repro.relation.relation import _Null
+
+        assert _Null() is NULL
+
+    def test_falsy_and_repr(self):
+        assert not NULL
+        assert repr(NULL) == "NULL"
+
+
+class TestRelation:
+    def test_len_and_iteration(self, figure1):
+        assert len(figure1) == 3
+        assert list(figure1)[0] == ("Pat", "Boston", "02139")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="arity"):
+            Relation(["A", "B"], [("x",)])
+
+    def test_column(self, figure1):
+        assert figure1.column("City") == ["Boston"] * 3
+
+    def test_domain(self, figure1):
+        assert figure1.domain("Ename") == {"Pat", "Sal"}
+
+    def test_value_count_counts_global_literals(self, figure1):
+        # Pat, Sal, Boston, 02139, 02138 -> 5 distinct literals.
+        assert figure1.value_count() == 5
+
+    def test_project_bag_semantics(self, figure1):
+        projected = figure1.project(["City"])
+        assert len(projected) == 3
+
+    def test_project_distinct(self, figure1):
+        projected = figure1.project(["Ename", "City"], distinct=True)
+        assert len(projected) == 2
+
+    def test_select_and_where(self, figure1):
+        assert len(figure1.select(lambda r: r["Zip"] == "02139")) == 2
+        assert len(figure1.where("Ename", "Sal")) == 1
+
+    def test_distinct(self):
+        rel = Relation(["A"], [("x",), ("x",), ("y",)])
+        assert len(rel.distinct()) == 2
+
+    def test_bag_equality_ignores_order(self, figure1):
+        shuffled = Relation(figure1.schema, list(reversed(figure1.rows)))
+        assert figure1 == shuffled
+
+    def test_drop(self, figure1):
+        assert figure1.drop(["Zip"]).attributes == ("Ename", "City")
+
+    def test_take(self, figure1):
+        assert figure1.take([2]).rows == [("Sal", "Boston", "02139")]
+
+    def test_record_access(self, figure1):
+        assert figure1.record(0)["Ename"] == "Pat"
+        assert sum(1 for _ in figure1.records()) == 3
+
+    def test_extended_does_not_mutate(self, figure1):
+        bigger = figure1.extended([("Lee", "Toronto", "M5S")])
+        assert len(bigger) == 4
+        assert len(figure1) == 3
+
+    def test_null_fraction(self):
+        rel = Relation(["A"], [(NULL,), ("x",), (NULL,), (NULL,)])
+        assert rel.null_fraction("A") == pytest.approx(0.75)
+
+    def test_head_renders_nulls(self):
+        rel = Relation(["A", "B"], [("x", NULL)])
+        assert "·" in rel.head()
+
+    def test_from_records_fills_nulls(self):
+        rel = from_records([{"A": 1}, {"B": 2}])
+        assert rel.attributes == ("A", "B")
+        assert rel.rows[0] == (1, NULL)
+        assert rel.rows[1] == (NULL, 2)
+
+
+class TestJoins:
+    @pytest.fixture
+    def employee(self):
+        return Relation(
+            Schema([Attribute("EmpNo", "E"), Attribute("Name", "E"), Attribute("WorkDepNo", "E")]),
+            [("e1", "Pat", "d1"), ("e2", "Sal", "d1"), ("e3", "Lee", "d2")],
+        )
+
+    @pytest.fixture
+    def department(self):
+        return Relation(
+            Schema([Attribute("DepNo", "D"), Attribute("DepName", "D")]),
+            [("d1", "Sales"), ("d2", "R&D"), ("d3", "Empty")],
+        )
+
+    def test_equi_join_merges_key(self, employee, department):
+        joined = equi_join(employee, department, "WorkDepNo", "DepNo")
+        assert joined.attributes == ("EmpNo", "Name", "WorkDepNo", "DepName")
+        assert len(joined) == 3
+
+    def test_equi_join_fanout(self, department):
+        projects = Relation(
+            ["ProjNo", "DeptNo"], [("p1", "d1"), ("p2", "d1"), ("p3", "d2")]
+        )
+        joined = equi_join(department, projects, "DepNo", "DeptNo", merge_key=False)
+        # d1 matches two projects, d2 one, d3 none -> 3 rows.
+        assert len(joined) == 3
+        assert "DeptNo" in joined.attributes
+
+    def test_equi_join_disambiguates_clashing_names(self):
+        left = Relation(Schema([Attribute("K"), Attribute("X")]), [("k", 1)])
+        right = Relation(
+            Schema([Attribute("J", "R"), Attribute("X", "R")]), [("k", 2)]
+        )
+        joined = equi_join(left, right, "K", "J")
+        assert "R.X" in joined.attributes
+
+    def test_natural_join_single_attribute(self, employee, department):
+        renamed = department.rename({"DepNo": "WorkDepNo"})
+        joined = natural_join(employee, renamed)
+        assert len(joined) == 3
+        assert joined.attributes.count("WorkDepNo") == 1
+
+    def test_natural_join_multi_attribute(self):
+        left = Relation(["A", "B", "X"], [(1, 2, "l1"), (1, 3, "l2")])
+        right = Relation(["A", "B", "Y"], [(1, 2, "r1"), (9, 9, "r2")])
+        joined = natural_join(left, right)
+        assert len(joined) == 1
+        assert joined.rows[0] == (1, 2, "l1", "r1")
+
+    def test_natural_join_requires_shared_attribute(self):
+        with pytest.raises(ValueError, match="shared"):
+            natural_join(Relation(["A"], []), Relation(["B"], []))
+
+
+class TestCsvIO:
+    def test_round_trip(self, tmp_path, figure1):
+        path = tmp_path / "fig1.csv"
+        write_csv(figure1, path)
+        loaded = read_csv(path)
+        assert loaded == figure1
+
+    def test_null_round_trip(self, tmp_path):
+        rel = Relation(["A", "B"], [("x", NULL), (NULL, "y")])
+        path = tmp_path / "nulls.csv"
+        write_csv(rel, path)
+        loaded = read_csv(path)
+        assert loaded.rows[0] == ("x", NULL)
+        assert loaded.rows[1] == (NULL, "y")
+
+    def test_source_tagging(self, tmp_path, figure1):
+        path = tmp_path / "fig1.csv"
+        write_csv(figure1, path)
+        loaded = read_csv(path, source="EMP")
+        assert loaded.schema.attribute("City").source == "EMP"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="header"):
+            read_csv(path)
