@@ -17,6 +17,7 @@ Quickstart::
     print(StructureDiscovery().run(r).render())
 """
 
+from repro.budget import Budget
 from repro.clustering import AIBResult, DCF, DCFTree, Dendrogram, Limbo, aib
 from repro.core import (
     AttributeGroupingResult,
@@ -54,9 +55,17 @@ from repro.fd import (
     minimum_cover,
     tane,
 )
+from repro.errors import (
+    InputError,
+    ReproError,
+    ResourceLimitExceeded,
+    SchemaError,
+    StageFailure,
+)
 from repro.relation import (
     NULL,
     Attribute,
+    IngestReport,
     find_correspondences,
     Relation,
     Schema,
@@ -64,6 +73,7 @@ from repro.relation import (
     build_tuple_view,
     build_value_view,
     equi_join,
+    load_csv,
     natural_join,
     read_csv,
     write_csv,
@@ -75,6 +85,7 @@ __all__ = [
     "AIBResult",
     "Attribute",
     "AttributeGroupingResult",
+    "Budget",
     "DCF",
     "DCFTree",
     "Decomposition",
@@ -83,11 +94,17 @@ __all__ = [
     "DuplicateGroup",
     "FD",
     "HorizontalPartitionResult",
+    "IngestReport",
+    "InputError",
     "Limbo",
     "NULL",
     "RankedFD",
     "Relation",
+    "ReproError",
+    "ResourceLimitExceeded",
     "Schema",
+    "SchemaError",
+    "StageFailure",
     "StructureDiscovery",
     "TupleClusteringResult",
     "ValueClusteringResult",
@@ -109,6 +126,7 @@ __all__ = [
     "holds",
     "horizontal_partition",
     "is_lossless",
+    "load_csv",
     "minimum_cover",
     "natural_join",
     "find_correspondences",

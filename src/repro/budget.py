@@ -1,0 +1,114 @@
+"""Cooperative resource budgets: wall-clock deadlines and work-unit caps.
+
+A :class:`Budget` is created once per run and threaded through the expensive
+loops (FDEP pair scans, TANE lattice levels, LIMBO inserts/assignments).
+Those loops call :meth:`Budget.checkpoint` every few hundred iterations; the
+first checkpoint past the deadline or the unit cap raises
+:class:`repro.errors.ResourceLimitExceeded` instead of letting the miner run
+unbounded.  Checkpoints are cheap (one ``time.monotonic`` call), so the
+granularity is set by the caller's batching, not by the budget itself.
+
+The clock is injectable for deterministic tests: pass any zero-argument
+callable returning seconds.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ResourceLimitExceeded
+
+
+class Budget:
+    """A wall-clock deadline and/or a cap on cooperative work units.
+
+    Parameters
+    ----------
+    deadline:
+        Seconds from construction after which checkpoints raise; ``None``
+        means no time limit.
+    max_units:
+        Total work units (loop iterations, tuple pairs, lattice nodes --
+        whatever the instrumented code counts) after which checkpoints
+        raise; ``None`` means no unit cap.
+    clock:
+        Monotonic-seconds source (injectable for tests).
+    """
+
+    __slots__ = ("deadline", "max_units", "_clock", "_start", "_units")
+
+    def __init__(self, deadline: float | None = None,
+                 max_units: int | None = None, clock=time.monotonic):
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        if max_units is not None and max_units <= 0:
+            raise ValueError("max_units must be positive (or None)")
+        self.deadline = deadline
+        self.max_units = max_units
+        self._clock = clock
+        self._start = clock()
+        self._units = 0
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the budget was created."""
+        return self._clock() - self._start
+
+    @property
+    def units_used(self) -> int:
+        """Work units consumed so far."""
+        return self._units
+
+    def remaining_seconds(self) -> float | None:
+        """Seconds left before the deadline (``None`` = unlimited)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self.elapsed
+
+    def exhausted(self) -> bool:
+        """Whether either limit has already been crossed (non-raising)."""
+        if self.deadline is not None and self.elapsed > self.deadline:
+            return True
+        if self.max_units is not None and self._units > self.max_units:
+            return True
+        return False
+
+    # -- the cooperative checkpoint ----------------------------------------------
+
+    def checkpoint(self, units: int = 1, where: str = "") -> None:
+        """Consume ``units`` and raise if a limit is crossed.
+
+        ``where`` names the call site; it ends up in the error context so
+        reports can say *which* loop ran out of budget.
+        """
+        self._units += units
+        if self.max_units is not None and self._units > self.max_units:
+            raise ResourceLimitExceeded(
+                f"work-unit cap exceeded at {where or 'checkpoint'} "
+                f"({self._units} > {self.max_units} units)",
+                where=where, units=self._units, max_units=self.max_units,
+            )
+        if self.deadline is not None:
+            elapsed = self.elapsed
+            if elapsed > self.deadline:
+                raise ResourceLimitExceeded(
+                    f"deadline exceeded at {where or 'checkpoint'} "
+                    f"({elapsed:.3f}s > {self.deadline:.3f}s)",
+                    where=where, elapsed=elapsed, deadline=self.deadline,
+                )
+
+    def __repr__(self) -> str:
+        limits = []
+        if self.deadline is not None:
+            limits.append(f"deadline={self.deadline}s")
+        if self.max_units is not None:
+            limits.append(f"max_units={self.max_units}")
+        return f"Budget({', '.join(limits) or 'unlimited'})"
+
+
+def checkpoint(budget: Budget | None, units: int = 1, where: str = "") -> None:
+    """``budget.checkpoint`` that tolerates ``budget=None`` (the common case)."""
+    if budget is not None:
+        budget.checkpoint(units=units, where=where)

@@ -10,7 +10,14 @@ Five commands cover the analyst workflow the paper describes:
 * ``dataset``    -- emit the synthetic DB2-sample / DBLP relations as CSV.
 
 CSV conventions follow :mod:`repro.relation.io`: a header row, empty fields
-are NULLs.
+are NULLs.  CSV-consuming commands accept ``--on-error {strict,coerce}``
+(malformed input: fail with a line number vs. repair-and-count) and
+``--deadline SECONDS`` (a wall-clock budget threaded through the miners and
+clustering phases).
+
+Exit codes: 0 success (including degraded ``discover`` runs), 1 other
+library errors, 2 input/usage errors, 3 resource limit exceeded, 130
+interrupted.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.budget import Budget
 from repro.core import (
     StructureDiscovery,
     fd_rank,
@@ -27,12 +35,30 @@ from repro.core import (
 )
 from repro.core.redesign import vertical_redesign
 from repro.datasets import db2_sample, dblp
+from repro.errors import InputError, ReproError, ResourceLimitExceeded
 from repro.fd import fdep, minimum_cover, tane
-from repro.relation import read_csv, write_csv
+from repro.relation import load_csv, write_csv
+
+#: Exit codes for the failure classes the taxonomy distinguishes.
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_INPUT = 2
+EXIT_RESOURCE_LIMIT = 3
+EXIT_INTERRUPT = 130
 
 
 def _add_csv_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("csv", help="input relation (headered CSV; empty field = NULL)")
+    parser.add_argument(
+        "--on-error", choices=("strict", "coerce"), default="strict",
+        help="malformed CSV policy: fail with a line number (strict) or "
+        "repair-and-count (coerce)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; exceeding it aborts with exit code 3 "
+        "(discover degrades instead of aborting)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,6 +75,10 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--phi-v", type=float, default=0.0)
     discover.add_argument("--psi", type=float, default=0.5)
     discover.add_argument("--top", type=int, default=5)
+    discover.add_argument(
+        "--strict-stages", action="store_true",
+        help="fail the run on the first stage failure instead of degrading",
+    )
 
     rank = commands.add_parser("rank", help="rank mined dependencies")
     _add_csv_argument(rank)
@@ -90,36 +120,93 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_args(parser: argparse.ArgumentParser, args) -> None:
+    """Reject out-of-domain parameters up front with usage-style errors.
+
+    Keeps deep library ``ValueError`` tracebacks (negative phi, psi outside
+    [0, 1], ...) from ever being the user's first hint.
+    """
+    def require(condition: bool, message: str) -> None:
+        if not condition:
+            parser.error(message)
+
+    for knob in ("phi_t", "phi_v"):
+        value = getattr(args, knob, None)
+        if value is not None:
+            require(value >= 0.0, f"--{knob.replace('_', '-')} must be >= 0")
+    psi = getattr(args, "psi", None)
+    if psi is not None:
+        require(0.0 <= psi <= 1.0, "--psi must be in [0, 1]")
+    top = getattr(args, "top", None)
+    if top is not None:
+        require(top >= 1, "--top must be >= 1")
+    k = getattr(args, "k", None)
+    if k is not None:
+        require(k >= 2, "--k must be >= 2")
+    deadline = getattr(args, "deadline", None)
+    if deadline is not None:
+        require(deadline > 0.0, "--deadline must be positive")
+    min_rtr = getattr(args, "min_rtr", None)
+    if min_rtr is not None:
+        require(0.0 <= min_rtr <= 1.0, "--min-rtr must be in [0, 1]")
+    max_fragments = getattr(args, "max_fragments", None)
+    if max_fragments is not None:
+        require(max_fragments >= 1, "--max-fragments must be >= 1")
+    n = getattr(args, "n", None)
+    if n is not None:
+        require(n >= 1, "--n must be >= 1")
+
+
+def _load_relation(args):
+    """Read the command's CSV under its policy, reporting repairs to stderr."""
+    relation, report = load_csv(args.csv, on_error=args.on_error)
+    if not report.clean:
+        print(f"repro: {report.summary()}", file=sys.stderr)
+    return relation
+
+
+def _budget_of(args) -> Budget | None:
+    deadline = getattr(args, "deadline", None)
+    return Budget(deadline=deadline) if deadline is not None else None
+
+
 def _cmd_discover(args) -> int:
-    relation = read_csv(args.csv)
+    relation = _load_relation(args)
     report = StructureDiscovery(
-        phi_t=args.phi_t, phi_v=args.phi_v, psi=args.psi
-    ).run(relation)
+        phi_t=args.phi_t, phi_v=args.phi_v, psi=args.psi,
+        strict=args.strict_stages,
+    ).run(relation, budget=_budget_of(args))
     print(report.render(top=args.top))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_rank(args) -> int:
-    relation = read_csv(args.csv)
+    relation = _load_relation(args)
+    budget = _budget_of(args)
     miner = args.miner
     if miner == "auto":
         miner = "fdep" if len(relation) <= 2000 else "tane"
-    fds = fdep(relation) if miner == "fdep" else tane(relation, max_lhs_size=3)
+    if miner == "fdep":
+        fds = fdep(relation, budget=budget)
+    else:
+        fds = tane(relation, max_lhs_size=3, budget=budget)
     cover = minimum_cover(fds, group_rhs=True)
     print(f"{len(fds)} dependencies mined ({miner}); cover of {len(cover)}")
-    grouping = group_attributes(relation, phi_v=args.phi_v)
+    grouping = group_attributes(relation, phi_v=args.phi_v, budget=budget)
     for entry in fd_rank(cover, grouping, psi=args.psi)[: args.top]:
         report = redundancy_report(relation, entry.fd)
         print(
             f"  {entry.fd}  rank={entry.rank:.4f} "
             f"RAD={report['rad']:.3f} RTR={report['rtr']:.3f}"
         )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_partition(args) -> int:
-    relation = read_csv(args.csv)
-    result = horizontal_partition(relation, k=args.k, phi_t=args.phi_t)
+    relation = _load_relation(args)
+    result = horizontal_partition(
+        relation, k=args.k, phi_t=args.phi_t, budget=_budget_of(args)
+    )
     print(f"k = {result.k} "
           f"(relative information loss {result.relative_information_loss:.2%})")
     for index, part in enumerate(
@@ -130,16 +217,17 @@ def _cmd_partition(args) -> int:
             path = f"{args.out}.part{index}.csv"
             write_csv(part, path)
             print(f"    written to {path}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_redesign(args) -> int:
-    relation = read_csv(args.csv)
+    relation = _load_relation(args)
     result = vertical_redesign(
         relation,
         max_fragments=args.max_fragments,
         psi=args.psi,
         min_rtr=args.min_rtr,
+        budget=_budget_of(args),
     )
     print(result.render())
     if args.out:
@@ -151,13 +239,13 @@ def _cmd_redesign(args) -> int:
             path = f"{args.out}.remainder.csv"
             write_csv(result.remainder, path)
             print(f"  written {path}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_profile(args) -> int:
     from repro.core import profile_relation
 
-    relation = read_csv(args.csv)
+    relation = _load_relation(args)
     profile = profile_relation(relation)
     print(profile.render(top=args.top))
     null_heavy = profile.null_heavy()
@@ -166,7 +254,7 @@ def _cmd_profile(args) -> int:
     keys = profile.key_candidates()
     if keys:
         print(f"key candidates: {keys}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_dataset(args) -> int:
@@ -176,7 +264,7 @@ def _cmd_dataset(args) -> int:
         relation = dblp(n_tuples=args.n, seed=args.seed)
     write_csv(relation, args.out)
     print(f"wrote {len(relation)} tuples x {relation.arity} attributes to {args.out}")
-    return 0
+    return EXIT_OK
 
 
 _COMMANDS = {
@@ -190,9 +278,25 @@ _COMMANDS = {
 
 
 def main(argv=None) -> int:
-    """Entry point (returns a process exit code)."""
-    args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    """Entry point (returns a process exit code; never dumps a traceback
+    for the failure classes the taxonomy covers)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate_args(parser, args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return EXIT_INTERRUPT
+    except ResourceLimitExceeded as exc:
+        print(f"repro: resource limit exceeded: {exc}", file=sys.stderr)
+        return EXIT_RESOURCE_LIMIT
+    except InputError as exc:
+        print(f"repro: input error: {exc}", file=sys.stderr)
+        return EXIT_INPUT
+    except ReproError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import heapq
 
+from repro.budget import checkpoint
 from repro.clustering.dcf import DCF, merge, merge_cost
 from repro.clustering.dendrogram import Dendrogram, Merge
 
@@ -66,6 +67,7 @@ def aib(
     min_clusters: int = 1,
     labels=None,
     initial_information: float | None = None,
+    budget=None,
 ) -> AIBResult:
     """Run Agglomerative IB over ``dcfs`` down to ``min_clusters``.
 
@@ -84,6 +86,9 @@ def aib(
         case the merge losses are still exact but ``information_at`` /
         ``information_curve`` report offsets from zero rather than absolute
         information.
+    budget:
+        Optional :class:`repro.budget.Budget`; the quadratic merge loop
+        checkpoints against it per merged cluster.
     """
     n = len(dcfs)
     if n == 0:
@@ -108,6 +113,7 @@ def aib(
     merges: list[Merge] = []
     next_id = n
     while len(active) > min_clusters:
+        checkpoint(budget, units=len(active), where="aib.merge")
         loss, i, j, stamp_i, stamp_j = heapq.heappop(heap)
         if stamps.get(i) != stamp_i or stamps.get(j) != stamp_j:
             continue  # stale entry

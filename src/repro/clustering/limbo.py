@@ -15,10 +15,15 @@ builders make a first pass over the data (Section 6.2's "three passes").
 
 from __future__ import annotations
 
+from repro.budget import checkpoint
 from repro.clustering.aib import AIBResult, aib
 from repro.clustering.dcf import DCF, merge, merge_cost
 from repro.clustering.dcf_tree import DCFTree
 from repro.infotheory.entropy import mutual_information_rows
+from repro.testing.faults import fault_point
+
+#: Object-loop iterations between cooperative budget checkpoints.
+_CHECK_EVERY = 64
 
 #: When Phase 1 must be re-run to respect ``max_summaries``, the threshold is
 #: scaled by this factor per rebuild (BIRCH-style threshold escalation).
@@ -42,9 +47,15 @@ class Limbo:
         with an escalated threshold until the cap is met -- the paper's
         "pick a number of leaves that is sufficiently large" device for
         horizontal partitioning.
+    budget:
+        Optional :class:`repro.budget.Budget`; the Phase-1 insert loop and
+        the Phase-3 association loop checkpoint against it cooperatively
+        and raise :class:`repro.errors.ResourceLimitExceeded` on
+        exhaustion.
     """
 
-    def __init__(self, phi: float = 0.0, branching: int = 4, max_summaries: int | None = None):
+    def __init__(self, phi: float = 0.0, branching: int = 4,
+                 max_summaries: int | None = None, budget=None):
         if phi < 0.0:
             raise ValueError("phi must be non-negative")
         if max_summaries is not None and max_summaries < 1:
@@ -52,6 +63,7 @@ class Limbo:
         self.phi = float(phi)
         self.branching = int(branching)
         self.max_summaries = max_summaries
+        self.budget = budget
         self._rows: list | None = None
         self._priors: list | None = None
         self._supports: list | None = None
@@ -92,14 +104,18 @@ class Limbo:
         self._total_information = mutual_information
         self._threshold = self.phi * mutual_information / len(rows)
 
+        fault_point("limbo.fit")
         tree = DCFTree(self._threshold, branching=self.branching)
         for index, (row, prior) in enumerate(zip(rows, priors)):
+            if index % _CHECK_EVERY == 0:
+                checkpoint(self.budget, units=_CHECK_EVERY, where="limbo.fit")
             support = supports[index] if supports is not None else None
             tree.insert(DCF.singleton(index, prior, row, support=support))
         summaries = tree.leaves()
 
         threshold = self._threshold
         while self.max_summaries is not None and len(summaries) > self.max_summaries:
+            checkpoint(self.budget, units=len(summaries), where="limbo.rebuild")
             threshold = max(threshold * _REBUILD_FACTOR, mutual_information / len(rows) / 64.0)
             tree = DCFTree(threshold, branching=self.branching)
             for dcf in summaries:
@@ -141,7 +157,12 @@ class Limbo:
             [s.conditional for s in self._summaries],
             [s.weight for s in self._summaries],
         )
-        return aib(self._summaries, labels=labels, initial_information=leaf_information)
+        return aib(
+            self._summaries,
+            labels=labels,
+            initial_information=leaf_information,
+            budget=self.budget,
+        )
 
     def representatives(self, k: int) -> list[DCF]:
         """The ``k`` cluster-representative DCFs from Phases 1+2."""
@@ -166,8 +187,15 @@ class Limbo:
         reps = list(representatives)
         if not reps:
             raise ValueError("need at least one representative")
+        fault_point("limbo.assign")
         assignment = []
-        for row, prior in zip(rows, priors):
+        for index, (row, prior) in enumerate(zip(rows, priors)):
+            if index % _CHECK_EVERY == 0:
+                checkpoint(
+                    self.budget,
+                    units=_CHECK_EVERY * len(reps),
+                    where="limbo.assign",
+                )
             singleton = DCF(prior, row)
             best_index, best_cost = 0, merge_cost(reps[0], singleton)
             for index in range(1, len(reps)):

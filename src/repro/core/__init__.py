@@ -14,7 +14,12 @@ from repro.core.decompose import (
     redundancy_report,
 )
 from repro.core.dedupe import DedupeResult, eliminate_duplicates
-from repro.core.discovery import DiscoveryReport, StructureDiscovery
+from repro.core.discovery import (
+    DiscoveryReport,
+    StageOutcome,
+    StructureDiscovery,
+    deterministic_sample,
+)
 from repro.core.fd_rank import RankedFD, fd_rank
 from repro.core.horizontal import (
     HorizontalPartitionResult,
@@ -50,7 +55,9 @@ __all__ = [
     "RedesignResult",
     "RedesignStep",
     "RelationProfile",
+    "StageOutcome",
     "StructureDiscovery",
+    "deterministic_sample",
     "TupleClusteringResult",
     "ValueClusteringResult",
     "ValueGroup",

@@ -82,6 +82,7 @@ def group_attributes(
     phi_a: float = 0.0,
     value_clustering: ValueClusteringResult | None = None,
     include_all_groups: bool = False,
+    budget=None,
 ) -> AttributeGroupingResult:
     """Cluster the attributes of ``A^D`` by shared duplicate values.
 
@@ -102,7 +103,9 @@ def group_attributes(
     if value_clustering is None:
         if relation is None:
             raise ValueError("pass either a relation or a value_clustering")
-        value_clustering = cluster_values(relation, phi_v=phi_v, phi_t=phi_t)
+        value_clustering = cluster_values(
+            relation, phi_v=phi_v, phi_t=phi_t, budget=budget
+        )
 
     groups = (
         value_clustering.groups
@@ -124,7 +127,7 @@ def group_attributes(
         DCF.singleton(i, prior, row, support=dict(counts))
         for i, (row, counts) in enumerate(zip(matrix_f.rows, matrix_f.counts))
     ]
-    result = aib(dcfs, labels=matrix_f.attribute_names)
+    result = aib(dcfs, labels=matrix_f.attribute_names, budget=budget)
     return AttributeGroupingResult(
         matrix_f=matrix_f,
         aib_result=result,

@@ -1,24 +1,147 @@
-"""One-call structure discovery: the analyst-facing driver.
+"""One-call structure discovery: the analyst-facing, *resilient* driver.
 
 Chains the paper's pipeline -- tuple clustering, value clustering, attribute
 grouping, dependency mining, minimum cover, FD-RANK -- and renders a compact
 text report of everything a data (re)designer would want to see.
+
+Every stage runs under a **stage guard**: failures and budget exhaustion are
+caught, a deterministic fallback is attempted (the *degradation ladder*),
+and the outcome is recorded as a :class:`StageOutcome` so the report's
+health section explains exactly what ran, what degraded, and which fallback
+was applied -- instead of losing the whole run to one bad stage.  Pass
+``strict=True`` to get the old all-or-nothing behaviour as a
+:class:`repro.errors.StageFailure`.
+
+The degradation ladder:
+
+====================  ==========================================
+stage                 fallback
+====================  ==========================================
+tuple_clustering      exact-duplicate scan (hash identical rows)
+value_clustering      exact clustering of a deterministic sample
+attribute_grouping    none (rank degrades to cover order)
+mining                FDEP over a deterministic tuple sample
+cover                 the raw mined dependency list
+rank                  cover order, unranked (singleton grouping)
+====================  ==========================================
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 
+from repro.budget import Budget
 from repro.core.attribute_grouping import AttributeGroupingResult, group_attributes
 from repro.core.decompose import redundancy_report
 from repro.core.fd_rank import RankedFD, fd_rank
-from repro.core.tuple_clustering import TupleClusteringResult, cluster_tuples
+from repro.core.tuple_clustering import (
+    DuplicateGroup,
+    TupleClusteringResult,
+    cluster_tuples,
+)
 from repro.core.value_clustering import ValueClusteringResult, cluster_values
+from repro.errors import ResourceLimitExceeded, StageFailure
 from repro.fd import fdep, minimum_cover, tane
 from repro.relation import Relation
+from repro.testing.faults import fault_point
 
 #: Above this tuple count the quadratic FDEP miner is swapped for TANE.
 _FDEP_TUPLE_LIMIT = 2000
+
+#: Deterministic-sample size used by degraded mining / value clustering.
+_SAMPLE_CAP = 150
+
+#: The six pipeline stages, in execution order.
+STAGES = (
+    "tuple_clustering",
+    "value_clustering",
+    "attribute_grouping",
+    "mining",
+    "cover",
+    "rank",
+)
+
+
+@dataclass
+class StageOutcome:
+    """How one pipeline stage fared.
+
+    ``status`` is ``"ok"`` (primary path succeeded), ``"degraded"`` (primary
+    failed but a fallback produced a usable result) or ``"failed"`` (every
+    rung of the ladder failed; the stage's default empty result was used).
+    """
+
+    stage: str
+    status: str
+    detail: str = ""
+    fallback: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def render(self) -> str:
+        line = f"  [{self.status:>8}] {self.stage}"
+        if self.detail:
+            line += f": {self.detail}"
+        if self.fallback:
+            line += f" (fallback: {self.fallback})"
+        return line
+
+
+def deterministic_sample(relation: Relation, cap: int = _SAMPLE_CAP) -> Relation:
+    """An evenly-strided, order-stable sample of at most ``cap`` tuples.
+
+    Deterministic by construction (no RNG), so degraded runs are exactly
+    reproducible.
+    """
+    n = len(relation)
+    if n <= cap:
+        return relation
+    stride = n / cap
+    indices = [min(int(i * stride), n - 1) for i in range(cap)]
+    return relation.take(sorted(set(indices)))
+
+
+def _exact_duplicate_groups(relation: Relation) -> TupleClusteringResult:
+    """Fallback tuple clustering: group *identical* rows by hashing.
+
+    Finds exact duplicates only (phi_t = 0 semantics) without LIMBO; the
+    ``view``/``limbo`` fields are ``None`` to mark the degraded origin.
+    """
+    buckets: dict = {}
+    for index, row in enumerate(relation.rows):
+        buckets.setdefault(row, []).append(index)
+    assignment = [0] * len(relation)
+    groups = []
+    for summary_index, (_, members) in enumerate(sorted(
+        buckets.items(), key=lambda item: item[1][0]
+    )):
+        for tuple_index in members:
+            assignment[tuple_index] = summary_index
+        if len(members) > 1:
+            groups.append(
+                DuplicateGroup(tuple_indices=members, summary_index=summary_index)
+            )
+    return TupleClusteringResult(
+        relation=relation,
+        view=None,
+        limbo=None,
+        assignment=assignment,
+        duplicate_groups=groups,
+    )
+
+
+def _unranked_cover(cover) -> list[RankedFD]:
+    """Fallback ranking: the cover in canonical order, all ranks infinite.
+
+    Matches FD-RANK's semantics for a grouping in which nothing ever merges
+    (singleton grouping): no dependency qualifies, so every rank stays at
+    the (here unbounded) maximum.
+    """
+    ordered = sorted(cover, key=lambda fd: fd.sort_key())
+    return [RankedFD(fd=fd, rank=math.inf, gathered_loss=None) for fd in ordered]
 
 
 @dataclass
@@ -32,10 +155,36 @@ class DiscoveryReport:
     dependencies: list
     cover: list
     ranked: list
+    outcomes: list = field(default_factory=list)
 
     def top_dependencies(self, count: int = 5) -> list[RankedFD]:
         """The ``count`` best-ranked dependencies."""
         return self.ranked[:count]
+
+    # -- health ------------------------------------------------------------------
+
+    def outcome(self, stage: str) -> StageOutcome | None:
+        """The recorded outcome of one stage, if the stage ran."""
+        for outcome in self.outcomes:
+            if outcome.stage == stage:
+                return outcome
+        return None
+
+    @property
+    def healthy(self) -> bool:
+        """Whether every stage took its primary path."""
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def health(self) -> str:
+        """The pipeline-health section: one line per stage."""
+        if not self.outcomes:
+            return "Pipeline health: (no stages recorded)"
+        label = "all stages ok" if self.healthy else "DEGRADED"
+        lines = [f"Pipeline health: {label}"]
+        lines += [outcome.render() for outcome in self.outcomes]
+        return "\n".join(lines)
+
+    # -- rendering ---------------------------------------------------------------
 
     def render(self, top: int = 5) -> str:
         """A human-readable summary of the discovered structure."""
@@ -57,21 +206,39 @@ class DiscoveryReport:
             lines.append("")
             lines.append(f"Top-{top} ranked dependencies (ascending rank):")
             for ranked in self.ranked[:top]:
-                report = redundancy_report(self.relation, ranked.fd)
-                lines.append(
-                    f"  {ranked.fd}  rank={ranked.rank:.4f} "
-                    f"RAD={report['rad']:.3f} RTR={report['rtr']:.3f}"
+                rank = (
+                    "unranked" if math.isinf(ranked.rank)
+                    else f"{ranked.rank:.4f}"
                 )
+                try:
+                    report = redundancy_report(self.relation, ranked.fd)
+                    measures = (
+                        f"RAD={report['rad']:.3f} RTR={report['rtr']:.3f}"
+                    )
+                except Exception:
+                    measures = "RAD=? RTR=?"
+                lines.append(f"  {ranked.fd}  rank={rank} {measures}")
+        lines += ["", self.health()]
         return "\n".join(lines)
 
 
 class StructureDiscovery:
-    """Configurable pipeline driver.
+    """Configurable, resilient pipeline driver.
 
     Parameters mirror the individual tools; see
     :func:`repro.core.tuple_clustering.cluster_tuples`,
     :func:`repro.core.value_clustering.cluster_values` and
     :func:`repro.core.fd_rank.fd_rank`.
+
+    Additional robustness knobs:
+
+    strict:
+        When true, any stage failure is re-raised as
+        :class:`repro.errors.StageFailure` instead of degrading (the
+        pre-resilience behaviour).
+    budget:
+        A default :class:`repro.budget.Budget` applied to every ``run``
+        (``run``'s own ``budget`` argument overrides it).
     """
 
     def __init__(
@@ -81,6 +248,8 @@ class StructureDiscovery:
         double_clustering_phi_t: float | None = None,
         psi: float = 0.5,
         miner: str = "auto",
+        strict: bool = False,
+        budget: Budget | None = None,
     ):
         if miner not in ("auto", "fdep", "tane"):
             raise ValueError("miner must be 'auto', 'fdep' or 'tane'")
@@ -89,26 +258,170 @@ class StructureDiscovery:
         self.double_clustering_phi_t = double_clustering_phi_t
         self.psi = psi
         self.miner = miner
+        self.strict = strict
+        self.budget = budget
 
-    def run(self, relation: Relation) -> DiscoveryReport:
-        """Execute the full pipeline on ``relation``."""
-        tuples = cluster_tuples(relation, phi_t=self.phi_t)
-        values = cluster_values(
-            relation, phi_v=self.phi_v, phi_t=self.double_clustering_phi_t
+    # -- the stage guard ---------------------------------------------------------
+
+    def _guarded(self, stage, outcomes, primary, fallbacks=(), default=None):
+        """Run ``primary`` under the stage guard.
+
+        ``fallbacks`` is a sequence of ``(name, thunk)`` rungs tried in
+        order when the primary path raises; the first rung that succeeds
+        marks the stage ``degraded``.  When every rung fails the stage is
+        ``failed`` and ``default`` is returned.  ``KeyboardInterrupt``
+        always propagates (the CLI maps it to exit code 130).
+        """
+        try:
+            fault_point(f"discovery.{stage}")
+            result = primary()
+            outcomes.append(StageOutcome(stage=stage, status="ok"))
+            return result
+        except KeyboardInterrupt:
+            raise
+        except ResourceLimitExceeded as exc:
+            detail = f"budget exhausted: {exc}"
+            cause = exc
+        except Exception as exc:
+            detail = f"{type(exc).__name__}: {exc}"
+            cause = exc
+        if self.strict:
+            raise StageFailure(
+                f"stage {stage!r} failed: {detail}",
+                stage=stage, cause=detail,
+            ) from cause
+        for name, thunk in fallbacks:
+            try:
+                result = thunk()
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                detail += f"; fallback {name!r} also failed ({exc})"
+                continue
+            outcomes.append(
+                StageOutcome(stage=stage, status="degraded",
+                             detail=detail, fallback=name)
+            )
+            return result
+        outcomes.append(StageOutcome(stage=stage, status="failed", detail=detail))
+        return default
+
+    # -- the pipeline ------------------------------------------------------------
+
+    def run(self, relation: Relation, budget: Budget | None = None) -> DiscoveryReport:
+        """Execute the full pipeline on ``relation``.
+
+        Never raises on stage failures unless ``strict`` is set; consult
+        :attr:`DiscoveryReport.outcomes` / :meth:`DiscoveryReport.health`
+        for what actually happened.
+        """
+        budget = budget if budget is not None else self.budget
+        outcomes: list[StageOutcome] = []
+
+        tuples = self._guarded(
+            "tuple_clustering", outcomes,
+            primary=lambda: cluster_tuples(
+                relation, phi_t=self.phi_t, budget=budget
+            ),
+            fallbacks=[
+                ("exact-duplicate scan", lambda: _exact_duplicate_groups(relation)),
+            ],
+            default=TupleClusteringResult(
+                relation=relation, view=None, limbo=None,
+                assignment=[], duplicate_groups=[],
+            ),
         )
-        grouping = None
-        if values.duplicate_groups:
-            grouping = group_attributes(value_clustering=values)
 
-        miner = self.miner
-        if miner == "auto":
-            miner = "fdep" if len(relation) <= _FDEP_TUPLE_LIMIT else "tane"
-        dependencies = fdep(relation) if miner == "fdep" else tane(relation)
-        cover = minimum_cover(dependencies)
+        values = self._guarded(
+            "value_clustering", outcomes,
+            primary=lambda: cluster_values(
+                relation, phi_v=self.phi_v,
+                phi_t=self.double_clustering_phi_t, budget=budget,
+            ),
+            fallbacks=[
+                (
+                    f"exact clustering of a {_SAMPLE_CAP}-tuple sample",
+                    lambda: cluster_values(
+                        deterministic_sample(relation), phi_v=0.0, phi_t=None
+                    ),
+                ),
+            ],
+            default=ValueClusteringResult(
+                relation=relation, view=None, limbo=None, groups=[],
+            ),
+        )
+
+        grouping = None
+        grouping_failed = False
+        if values.duplicate_groups:
+            grouping = self._guarded(
+                "attribute_grouping", outcomes,
+                primary=lambda: group_attributes(
+                    value_clustering=values, budget=budget
+                ),
+                default=None,
+            )
+            grouping_failed = grouping is None
+        else:
+            outcomes.append(StageOutcome(
+                stage="attribute_grouping", status="ok",
+                detail="skipped: no duplicate value groups to cluster",
+            ))
+
+        dependencies = self._guarded(
+            "mining", outcomes,
+            primary=lambda: self._mine(relation, budget),
+            fallbacks=[
+                (
+                    f"FDEP over a {_SAMPLE_CAP}-tuple deterministic sample",
+                    lambda: fdep(deterministic_sample(relation)),
+                ),
+            ],
+            default=[],
+        )
+
+        cover = self._guarded(
+            "cover", outcomes,
+            primary=lambda: minimum_cover(dependencies),
+            fallbacks=[
+                ("raw mined dependencies", lambda: list(dependencies)),
+            ],
+            default=[],
+        )
 
         ranked: list = []
-        if grouping is not None and cover:
-            ranked = fd_rank(cover, grouping, psi=self.psi)
+        if cover and grouping is not None:
+            ranked = self._guarded(
+                "rank", outcomes,
+                primary=lambda: fd_rank(cover, grouping, psi=self.psi),
+                fallbacks=[
+                    ("cover order, unranked (singleton grouping)",
+                     lambda: _unranked_cover(cover)),
+                ],
+                default=[],
+            )
+        elif cover and grouping_failed:
+            # The grouping stage *failed* (rather than having nothing to
+            # group): keep the cover visible in rank position anyway.
+            ranked = self._guarded(
+                "rank", outcomes,
+                primary=lambda: self._rank_without_grouping(cover),
+                default=[],
+            )
+            last = outcomes[-1]
+            if last.stage == "rank" and last.ok:
+                last.status = "degraded"
+                last.detail = "attribute grouping failed upstream"
+                last.fallback = "cover order, unranked (singleton grouping)"
+        else:
+            reason = (
+                "no dependencies to rank" if not cover
+                else "no attribute grouping (nothing to rank against)"
+            )
+            outcomes.append(StageOutcome(
+                stage="rank", status="ok", detail=f"skipped: {reason}",
+            ))
+
         return DiscoveryReport(
             relation=relation,
             tuple_clustering=tuples,
@@ -117,4 +430,23 @@ class StructureDiscovery:
             dependencies=dependencies,
             cover=cover,
             ranked=ranked,
+            outcomes=outcomes,
         )
+
+    def _mine(self, relation: Relation, budget: Budget | None) -> list:
+        """The configured miner over the full relation (budgeted)."""
+        miner = self.miner
+        if miner == "auto":
+            miner = "fdep" if len(relation) <= _FDEP_TUPLE_LIMIT else "tane"
+        if miner == "fdep":
+            return fdep(relation, budget=budget)
+        return tane(relation, budget=budget)
+
+    def _rank_without_grouping(self, cover) -> list[RankedFD]:
+        """Rank when attribute grouping is unavailable: cover order.
+
+        A real grouping never materialized (the stage failed upstream or
+        there was nothing to group), so this *primary* path is already the
+        singleton-grouping semantics -- every dependency unqualified.
+        """
+        return _unranked_cover(cover)

@@ -122,6 +122,7 @@ def horizontal_partition(
     max_summaries: int = 100,
     branching: int = 4,
     value_scope: str = "global",
+    budget=None,
 ) -> HorizontalPartitionResult:
     """Horizontally partition a relation into ``k`` (or a suggested ``k``)
     sub-relations of similar tuples.
@@ -131,7 +132,9 @@ def horizontal_partition(
     none is given, and Phase 3 assigns every tuple to a partition.
     """
     view = build_tuple_view(relation, value_scope=value_scope)
-    limbo = Limbo(phi=phi_t, branching=branching, max_summaries=max_summaries).fit(
+    limbo = Limbo(
+        phi=phi_t, branching=branching, max_summaries=max_summaries, budget=budget
+    ).fit(
         view.rows, view.priors, mutual_information=view.mutual_information()
     )
     aib_result = limbo.merge_sequence()

@@ -109,6 +109,7 @@ def vertical_redesign(
     phi_v: float = 0.0,
     phi_t: float | None = None,
     miner: str = "auto",
+    budget=None,
 ) -> RedesignResult:
     """Propose a vertical decomposition driven by FD-RANK.
 
@@ -129,7 +130,7 @@ def vertical_redesign(
             break
         chosen = _best_dependency(
             remainder, psi=psi, min_rtr=min_rtr, phi_v=phi_v, phi_t=phi_t,
-            miner=miner,
+            miner=miner, budget=budget,
         )
         if chosen is None:
             break
@@ -158,20 +159,22 @@ def vertical_redesign(
     return result
 
 
-def _best_dependency(remainder, psi, min_rtr, phi_v, phi_t, miner):
+def _best_dependency(remainder, psi, min_rtr, phi_v, phi_t, miner, budget=None):
     """The best-ranked qualified dependency worth decomposing by, if any."""
     selected = miner
     if selected == "auto":
         selected = "fdep" if len(remainder) <= _FDEP_TUPLE_LIMIT else "tane"
     if selected == "fdep":
-        fds = fdep(remainder)
+        fds = fdep(remainder, budget=budget)
     else:
-        fds = tane(remainder, max_lhs_size=3)
+        fds = tane(remainder, max_lhs_size=3, budget=budget)
     cover = minimum_cover(fds, group_rhs=True)
     if not cover:
         return None
     try:
-        grouping = group_attributes(remainder, phi_v=phi_v, phi_t=phi_t)
+        grouping = group_attributes(
+            remainder, phi_v=phi_v, phi_t=phi_t, budget=budget
+        )
     except ValueError:
         return None  # no duplicate value groups left to exploit
     for entry in fd_rank(cover, grouping, psi=psi):

@@ -66,6 +66,7 @@ def cluster_tuples(
     phi_t: float = 0.0,
     branching: int = 4,
     value_scope: str = "global",
+    budget=None,
 ) -> TupleClusteringResult:
     """Run the duplicate-tuple procedure of Section 6.1.1.
 
@@ -77,7 +78,7 @@ def cluster_tuples(
        candidate duplicate groups.
     """
     view = build_tuple_view(relation, value_scope=value_scope)
-    limbo = Limbo(phi=phi_t, branching=branching).fit(
+    limbo = Limbo(phi=phi_t, branching=branching, budget=budget).fit(
         view.rows, view.priors, mutual_information=view.mutual_information()
     )
     summaries = limbo.summaries

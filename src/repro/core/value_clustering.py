@@ -94,6 +94,7 @@ def cluster_values(
     phi_t: float | None = None,
     branching: int = 4,
     value_scope: str = "global",
+    budget=None,
 ) -> ValueClusteringResult:
     """Run the attribute-value clustering procedure of Section 6.2.
 
@@ -113,7 +114,7 @@ def cluster_values(
     tuple_clusters = None
     if phi_t is not None:
         tuple_view = build_tuple_view(relation, value_scope=value_scope)
-        tuple_limbo = Limbo(phi=phi_t, branching=branching).fit(
+        tuple_limbo = Limbo(phi=phi_t, branching=branching, budget=budget).fit(
             tuple_view.rows,
             tuple_view.priors,
             mutual_information=tuple_view.mutual_information(),
@@ -130,7 +131,7 @@ def cluster_values(
     view = build_value_view(
         relation, value_scope=value_scope, tuple_clusters=tuple_clusters
     )
-    limbo = Limbo(phi=phi_v, branching=branching).fit(
+    limbo = Limbo(phi=phi_v, branching=branching, budget=budget).fit(
         view.rows,
         view.priors,
         supports=view.support,

@@ -1,0 +1,78 @@
+"""Structured exception taxonomy for the resilient runtime.
+
+Every failure the library raises deliberately derives from
+:class:`ReproError` and carries machine-readable ``context`` (file, line,
+stage name, budget numbers, ...) so callers -- the CLI, the stage guards in
+:mod:`repro.core.discovery`, tests -- can react without parsing messages.
+
+Hierarchy::
+
+    ReproError
+    ├── InputError              malformed external input (CSV rows, encodings)
+    │   └── SchemaError         header/schema-level problems
+    ├── ResourceLimitExceeded   a Budget deadline or work-unit cap was hit
+    └── StageFailure            a pipeline stage died (wraps the cause)
+
+``InputError`` and ``SchemaError`` also subclass :class:`ValueError` so
+pre-existing ``except ValueError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all deliberate library errors.
+
+    ``context`` holds machine-readable keyword details; keys with ``None``
+    values are dropped so the dict only reflects what is actually known.
+    """
+
+    def __init__(self, message: str, **context):
+        super().__init__(message)
+        self.message = message
+        self.context = {k: v for k, v in context.items() if v is not None}
+
+    def __str__(self) -> str:
+        return self.message
+
+
+class InputError(ReproError, ValueError):
+    """Malformed external input: ragged rows, bad encodings, missing files.
+
+    ``path`` and ``line`` (1-based, header = line 1) locate the problem when
+    known; both live in :attr:`ReproError.context` as well.
+    """
+
+    def __init__(self, message: str, path=None, line: int | None = None, **context):
+        super().__init__(message, path=str(path) if path is not None else None,
+                         line=line, **context)
+        self.path = str(path) if path is not None else None
+        self.line = line
+
+
+class SchemaError(InputError):
+    """A header/schema-level problem: duplicate or blank attribute names."""
+
+
+class ResourceLimitExceeded(ReproError):
+    """A :class:`repro.budget.Budget` deadline or work-unit cap was hit.
+
+    Context keys: ``where`` (the checkpoint site), ``elapsed``/``deadline``
+    (seconds) or ``units``/``max_units``, whichever limit fired.
+    """
+
+    def __init__(self, message: str, where: str = "", **context):
+        super().__init__(message, where=where or None, **context)
+        self.where = where
+
+
+class StageFailure(ReproError):
+    """A discovery-pipeline stage failed (raised only in strict mode).
+
+    ``stage`` names the stage; the triggering exception is chained as
+    ``__cause__`` and summarized in ``context['cause']``.
+    """
+
+    def __init__(self, message: str, stage: str = "", **context):
+        super().__init__(message, stage=stage or None, **context)
+        self.stage = stage

@@ -21,11 +21,16 @@ from __future__ import annotations
 
 from itertools import combinations
 
+from repro.budget import checkpoint
 from repro.fd.dependency import FD
 from repro.fd.partitions import partition_of
+from repro.testing.faults import fault_point
+
+#: Pair-scan iterations between cooperative budget checkpoints.
+_CHECK_EVERY = 512
 
 
-def agree_sets(relation) -> set[frozenset]:
+def agree_sets(relation, budget=None) -> set[frozenset]:
     """All distinct agree sets of tuple pairs.
 
     Computed from the stripped partitions of single attributes rather than
@@ -44,7 +49,10 @@ def agree_sets(relation) -> set[frozenset]:
                 signatures[a][row] = class_id
 
     result: set[frozenset] = set()
-    for i, j in combinations(range(n), 2):
+    fault_point("fd.fdep.pairs")
+    for pair_index, (i, j) in enumerate(combinations(range(n), 2)):
+        if pair_index % _CHECK_EVERY == 0:
+            checkpoint(budget, units=_CHECK_EVERY, where="fdep.agree_sets")
         agree = frozenset(
             names[a]
             for a in range(len(names))
@@ -64,7 +72,7 @@ def _maximal_sets(sets) -> list[frozenset]:
     return maximal
 
 
-def negative_cover(relation) -> dict[str, list[frozenset]]:
+def negative_cover(relation, budget=None) -> dict[str, list[frozenset]]:
     """Per-attribute maximal invalid LHSs (the witnesses).
 
     ``negative_cover(r)[A]`` lists the maximal agree sets of pairs that
@@ -72,14 +80,16 @@ def negative_cover(relation) -> dict[str, list[frozenset]]:
     """
     names = relation.schema.names
     witnesses: dict[str, set] = {name: set() for name in names}
-    for agree in agree_sets(relation):
+    for agree in agree_sets(relation, budget=budget):
         for name in names:
             if name not in agree:
                 witnesses[name].add(agree)
     return {name: _maximal_sets(sets) for name, sets in witnesses.items()}
 
 
-def _minimal_hitting_sets(complements: list[frozenset], limit: int | None) -> list[frozenset]:
+def _minimal_hitting_sets(
+    complements: list[frozenset], limit: int | None, budget=None
+) -> list[frozenset]:
     """Minimal sets intersecting every complement, by depth-first search.
 
     ``complements`` lists, for each witness, the attributes a valid LHS may
@@ -91,6 +101,7 @@ def _minimal_hitting_sets(complements: list[frozenset], limit: int | None) -> li
     ordered = sorted(complements, key=len)
 
     def search(current: frozenset, remaining: list[frozenset]) -> None:
+        checkpoint(budget, where="fdep.hitting_sets")
         if limit is not None and len(results) >= limit:
             return
         unhit = [c for c in remaining if not (current & c)]
@@ -116,6 +127,7 @@ def fdep(
     relation,
     allow_empty_lhs: bool = False,
     max_lhs_per_attribute: int | None = None,
+    budget=None,
 ) -> list[FD]:
     """Mine all minimal functional dependencies holding on the instance.
 
@@ -132,17 +144,23 @@ def fdep(
     max_lhs_per_attribute:
         Optional cap on minimal LHSs enumerated per RHS attribute (a safety
         valve for pathological instances; ``None`` = exhaustive).
+    budget:
+        Optional :class:`repro.budget.Budget`; the quadratic pair scan and
+        the hitting-set search checkpoint against it cooperatively and
+        raise :class:`repro.errors.ResourceLimitExceeded` when it runs out.
     """
     names = relation.schema.names
     if len(relation) == 0:
         return []
-    cover = negative_cover(relation)
+    cover = negative_cover(relation, budget=budget)
     result: list[FD] = []
     for name in names:
         witnesses = cover[name]
         others = frozenset(n for n in names if n != name)
         complements = [others - witness for witness in witnesses]
-        for lhs in _minimal_hitting_sets(complements, max_lhs_per_attribute):
+        for lhs in _minimal_hitting_sets(
+            complements, max_lhs_per_attribute, budget=budget
+        ):
             if lhs:
                 result.append(FD(lhs, {name}))
             elif allow_empty_lhs:

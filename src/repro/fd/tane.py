@@ -15,12 +15,17 @@ from __future__ import annotations
 
 from itertools import combinations
 
+from repro.budget import checkpoint
 from repro.fd.dependency import FD
 from repro.fd.partitions import Partition, partition_of, product
+from repro.testing.faults import fault_point
 
 
 def tane(
-    relation, max_lhs_size: int | None = None, allow_empty_lhs: bool = False
+    relation,
+    max_lhs_size: int | None = None,
+    allow_empty_lhs: bool = False,
+    budget=None,
 ) -> list[FD]:
     """Mine all minimal functional dependencies ``X -> A`` of the instance.
 
@@ -35,6 +40,10 @@ def tane(
         As in :func:`repro.fd.fdep`: constant attributes yield ``{} -> A``
         when ``True``; by default the empty LHS is promoted to every
         singleton, matching the form the paper reports.
+    budget:
+        Optional :class:`repro.budget.Budget`; partition construction and
+        each lattice level checkpoint against it cooperatively and raise
+        :class:`repro.errors.ResourceLimitExceeded` when it runs out.
     """
     names = tuple(relation.schema.names)
     n = len(relation)
@@ -44,6 +53,7 @@ def tane(
 
     partitions: dict[frozenset, Partition] = {}
     for name in names:
+        checkpoint(budget, units=n, where="tane.partition_of")
         partitions[frozenset([name])] = partition_of(relation, [name])
     empty = frozenset()
     partitions[empty] = partition_of(relation, [])
@@ -74,6 +84,8 @@ def tane(
     level: list[frozenset] = [frozenset([name]) for name in names]
     level_number = 1
     while level:
+        fault_point("fd.tane.level")
+        checkpoint(budget, units=len(level), where="tane.level")
         # -- compute dependencies at this level ---------------------------------
         for x in level:
             cplus[x] = frozenset.intersection(
@@ -118,6 +130,7 @@ def tane(
                 if all(candidate - {a} in set(survivors) for a in candidate):
                     next_level.add(candidate)
                     if candidate not in partitions:
+                        checkpoint(budget, units=n, where="tane.product")
                         partitions[candidate] = product(
                             partitions[x], partitions[y]
                         )

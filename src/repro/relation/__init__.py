@@ -8,7 +8,7 @@ relations, joins, CSV I/O, and the matrix builders (``M``, ``N``, ``O``,
 """
 
 from repro.relation.correspondence import Correspondence, find_correspondences
-from repro.relation.io import read_csv, write_csv
+from repro.relation.io import IngestReport, load_csv, read_csv, write_csv
 from repro.relation.join import equi_join, natural_join
 from repro.relation.matrices import (
     MatrixF,
@@ -24,6 +24,7 @@ from repro.relation.schema import Attribute, Schema
 __all__ = [
     "Attribute",
     "Correspondence",
+    "IngestReport",
     "MatrixF",
     "NULL",
     "Relation",
@@ -35,6 +36,7 @@ __all__ = [
     "build_value_view",
     "equi_join",
     "find_correspondences",
+    "load_csv",
     "natural_join",
     "read_csv",
     "write_csv",

@@ -1,41 +1,223 @@
-"""CSV input/output for relations.
+"""CSV input/output for relations, hardened against messy real-world files.
 
 All values round-trip as strings; the empty field encodes :data:`NULL`.
 Consequently an empty-*string* value is indistinguishable from NULL in this
 format and reads back as NULL -- the one (documented) lossy corner.
+
+Ingestion runs under one of two policies:
+
+* ``on_error="strict"`` (default) -- ragged rows, blank or duplicate
+  headers, and undecodable bytes raise :class:`repro.errors.InputError` /
+  :class:`repro.errors.SchemaError` with the offending line number;
+* ``on_error="coerce"`` -- problems are repaired deterministically (short
+  rows padded with NULL, long rows truncated, blank headers named
+  ``column_N``, duplicate headers suffixed ``name.2``, bad bytes replaced)
+  and counted in the accompanying :class:`IngestReport`.
+
+A UTF-8 byte-order mark on the first header cell is stripped under both
+policies -- a BOM is never data.
 """
 
 from __future__ import annotations
 
 import csv
+from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.errors import InputError, SchemaError
 from repro.relation.relation import NULL, Relation
 from repro.relation.schema import Attribute, Schema
+from repro.testing.faults import fault_point
 
 #: CSV rendering of the NULL sentinel.
 _NULL_FIELD = ""
 
+_POLICIES = ("strict", "coerce")
 
-def read_csv(path, source: str | None = None) -> Relation:
-    """Load a relation from a headered CSV file.
+
+@dataclass
+class IngestReport:
+    """What happened while loading one CSV file.
+
+    ``clean`` is true when nothing had to be repaired or skipped; the CLI
+    prints :meth:`summary` to stderr otherwise so coerced loads stay
+    auditable.
+    """
+
+    path: str
+    policy: str
+    rows_loaded: int = 0
+    padded_rows: int = 0
+    truncated_rows: int = 0
+    skipped_rows: int = 0
+    header_repairs: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    @property
+    def repaired_rows(self) -> int:
+        """Rows whose arity had to be fixed (padded + truncated)."""
+        return self.padded_rows + self.truncated_rows
+
+    @property
+    def clean(self) -> bool:
+        return (
+            not self.repaired_rows
+            and not self.skipped_rows
+            and not self.header_repairs
+            and not self.notes
+        )
+
+    def summary(self) -> str:
+        parts = [f"loaded {self.rows_loaded} rows from {self.path}"]
+        if self.padded_rows:
+            parts.append(f"padded {self.padded_rows} short row(s) with NULL")
+        if self.truncated_rows:
+            parts.append(f"truncated {self.truncated_rows} long row(s)")
+        if self.skipped_rows:
+            parts.append(f"skipped {self.skipped_rows} blank row(s)")
+        parts.extend(self.header_repairs)
+        parts.extend(self.notes)
+        return "; ".join(parts)
+
+
+def _clean_header(raw: list, path: Path, policy: str, report: IngestReport) -> list[str]:
+    """Validate/repair the header row; returns the final attribute names."""
+    header = list(raw)
+    if header and header[0].startswith("\ufeff"):
+        header[0] = header[0].lstrip("\ufeff")
+
+    names: list[str] = []
+    seen: set[str] = set()
+    for position, cell in enumerate(header, start=1):
+        name = cell.strip()
+        if not name:
+            if policy == "strict":
+                raise SchemaError(
+                    f"{path}: header cell {position} is blank",
+                    path=path, line=1, column=position,
+                )
+            name = f"column_{position}"
+            while name in seen:
+                name += "_"
+            report.header_repairs.append(
+                f"named blank header cell {position} {name!r}"
+            )
+        if name in seen:
+            if policy == "strict":
+                stripped = [cell.strip() for cell in header]
+                duplicates = sorted(
+                    {n for n in stripped if stripped.count(n) > 1}
+                )
+                raise SchemaError(
+                    f"{path}: duplicate header name(s) {duplicates}",
+                    path=path, line=1, duplicates=duplicates,
+                )
+            suffix = 2
+            while f"{name}.{suffix}" in seen:
+                suffix += 1
+            renamed = f"{name}.{suffix}"
+            report.header_repairs.append(
+                f"renamed duplicate header {name!r} to {renamed!r}"
+            )
+            name = renamed
+        seen.add(name)
+        names.append(name)
+    return names
+
+
+def load_csv(path, source: str | None = None,
+             on_error: str = "strict") -> tuple[Relation, IngestReport]:
+    """Load a relation from a headered CSV file, with an ingestion report.
 
     Empty fields become :data:`NULL`; everything else stays a string (the
     tools are generic over value semantics, so no type sniffing is done).
+    ``on_error`` selects the ``"strict"`` or ``"coerce"`` policy described
+    in the module docstring.
     """
+    if on_error not in _POLICIES:
+        raise ValueError(f"on_error must be one of {_POLICIES}, got {on_error!r}")
     path = Path(path)
-    with path.open(newline="", encoding="utf-8") as handle:
+    report = IngestReport(path=str(path), policy=on_error)
+    errors = "strict" if on_error == "strict" else "replace"
+    try:
+        handle = path.open(newline="", encoding="utf-8", errors=errors)
+    except OSError as exc:
+        raise InputError(f"cannot open {path}: {exc.strerror or exc}",
+                         path=path) from exc
+    with handle:
         reader = csv.reader(handle)
         try:
-            header = next(reader)
-        except StopIteration:
-            raise ValueError(f"{path} is empty; expected a header row") from None
-        schema = Schema([Attribute(name, source) for name in header])
-        rows = [
-            tuple(NULL if field == _NULL_FIELD else field for field in record)
-            for record in reader
-        ]
-    return Relation(schema, rows)
+            try:
+                raw_header = next(reader)
+            except StopIteration:
+                raise InputError(
+                    f"{path} is empty; expected a header row", path=path, line=1
+                ) from None
+            if not any(cell.strip() for cell in raw_header):
+                raise SchemaError(
+                    f"{path}: header row is blank", path=path, line=1
+                )
+            names = _clean_header(raw_header, path, on_error, report)
+            schema = Schema([Attribute(name, source) for name in names])
+            arity = len(schema)
+
+            rows: list[tuple] = []
+            for record in reader:
+                record = fault_point("io.read_csv.row", record)
+                if not record:
+                    # A zero-field record is a blank line, not an all-NULL
+                    # tuple (that one still has its commas).
+                    if on_error == "strict":
+                        raise InputError(
+                            f"{path}:{reader.line_num}: blank line inside data",
+                            path=path, line=reader.line_num,
+                        )
+                    report.skipped_rows += 1
+                    continue
+                if len(record) != arity:
+                    if on_error == "strict":
+                        raise InputError(
+                            f"{path}:{reader.line_num}: row has "
+                            f"{len(record)} field(s), header has {arity}",
+                            path=path, line=reader.line_num,
+                            expected=arity, got=len(record),
+                        )
+                    if len(record) < arity:
+                        record = record + [_NULL_FIELD] * (arity - len(record))
+                        report.padded_rows += 1
+                    else:
+                        record = record[:arity]
+                        report.truncated_rows += 1
+                rows.append(
+                    tuple(NULL if field_ == _NULL_FIELD else field_
+                          for field_ in record)
+                )
+        except UnicodeDecodeError as exc:
+            raise InputError(
+                f"{path} is not valid UTF-8 (byte offset {exc.start}); "
+                f"re-encode the file or load with on_error='coerce'",
+                path=path, byte_offset=exc.start,
+            ) from exc
+        except csv.Error as exc:
+            raise InputError(
+                f"{path}:{reader.line_num}: malformed CSV: {exc}",
+                path=path, line=reader.line_num,
+            ) from exc
+    report.rows_loaded = len(rows)
+    if on_error == "coerce" and any(
+        "�" in f for row in rows for f in row if isinstance(f, str)
+    ):
+        report.notes.append(
+            "data contains U+FFFD replacement characters "
+            "(undecodable bytes were coerced)"
+        )
+    return Relation(schema, rows), report
+
+
+def read_csv(path, source: str | None = None, on_error: str = "strict") -> Relation:
+    """Load a relation from a headered CSV file (see :func:`load_csv`)."""
+    relation, _ = load_csv(path, source=source, on_error=on_error)
+    return relation
 
 
 def write_csv(relation: Relation, path) -> None:

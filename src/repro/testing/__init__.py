@@ -1,0 +1,11 @@
+"""Deterministic testing utilities: the fault-injection harness."""
+
+from repro.testing.faults import (
+    FAULT_POINTS,
+    Fault,
+    active_faults,
+    fault_point,
+    inject,
+)
+
+__all__ = ["FAULT_POINTS", "Fault", "active_faults", "fault_point", "inject"]

@@ -1,0 +1,99 @@
+"""CLI-level resilience: exit codes, flags, validation, degraded discover."""
+
+import pytest
+
+from repro.cli import (
+    EXIT_INPUT,
+    EXIT_INTERRUPT,
+    EXIT_OK,
+    EXIT_RESOURCE_LIMIT,
+    main,
+)
+from repro.datasets import db2_sample
+from repro.testing import inject
+from repro.relation import write_csv
+
+
+@pytest.fixture
+def db2_csv(tmp_path):
+    path = tmp_path / "db2.csv"
+    write_csv(db2_sample(seed=0).relation, path)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_missing_file_is_input_error(self, capsys):
+        assert main(["profile", "/no/such/file.csv"]) == EXIT_INPUT
+        err = capsys.readouterr().err
+        assert "input error" in err
+        assert "Traceback" not in err
+
+    def test_ragged_csv_strict_is_input_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2,3\n")
+        assert main(["profile", str(path)]) == EXIT_INPUT
+        assert "input error" in capsys.readouterr().err
+
+    def test_ragged_csv_coerce_succeeds_and_reports(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2,3\n4,5\n")
+        assert main(["profile", str(path), "--on-error", "coerce"]) == EXIT_OK
+        assert "truncated 1 long row(s)" in capsys.readouterr().err
+
+    def test_deadline_exceeded_is_exit_3(self, db2_csv, capsys):
+        # The tane.level delay makes the budget check fire deterministically.
+        with inject("fd.tane.level", delay=0.03):
+            code = main(["rank", db2_csv, "--miner", "tane",
+                         "--deadline", "0.02"])
+        assert code == EXIT_RESOURCE_LIMIT
+        err = capsys.readouterr().err
+        assert "resource limit exceeded" in err
+        assert "Traceback" not in err
+
+    def test_keyboard_interrupt_is_exit_130(self, db2_csv, capsys):
+        with inject("limbo.fit", raises=KeyboardInterrupt):
+            code = main(["partition", db2_csv, "--k", "2"])
+        assert code == EXIT_INTERRUPT
+        assert "interrupted" in capsys.readouterr().err
+
+
+class TestDegradedDiscover:
+    @pytest.mark.parametrize("stage", [
+        "tuple_clustering", "value_clustering", "attribute_grouping",
+        "mining", "cover", "rank",
+    ])
+    def test_discover_exits_zero_per_injected_stage(self, db2_csv, capsys, stage):
+        with inject(f"discovery.{stage}", raises=RuntimeError("injected")):
+            assert main(["discover", db2_csv]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "Pipeline health: DEGRADED" in out
+        assert stage in out
+
+    def test_strict_stages_flag_fails_fast(self, db2_csv, capsys):
+        with inject("discovery.mining", raises=RuntimeError("injected")):
+            code = main(["discover", db2_csv, "--strict-stages"])
+        assert code == 1
+        assert "mining" in capsys.readouterr().err
+
+
+class TestParameterValidation:
+    @pytest.mark.parametrize("argv", [
+        ["discover", "x.csv", "--psi", "1.5"],
+        ["discover", "x.csv", "--phi-t", "-1"],
+        ["discover", "x.csv", "--top", "0"],
+        ["rank", "x.csv", "--psi", "-0.1"],
+        ["rank", "x.csv", "--phi-v", "-2"],
+        ["partition", "x.csv", "--k", "1"],
+        ["redesign", "x.csv", "--min-rtr", "2"],
+        ["redesign", "x.csv", "--max-fragments", "0"],
+        ["profile", "x.csv", "--deadline", "0"],
+        ["dataset", "dblp", "--out", "x.csv", "--n", "0"],
+    ])
+    def test_out_of_domain_parameters_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(argv)
+        assert info.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_valid_edge_values_accepted(self, db2_csv):
+        assert main(["rank", db2_csv, "--psi", "1.0", "--top", "1"]) == EXIT_OK

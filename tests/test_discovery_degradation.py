@@ -1,0 +1,129 @@
+"""Graceful degradation of the discovery pipeline, proven by fault injection."""
+
+import pytest
+
+from repro import Budget, Relation, StructureDiscovery
+from repro.core.discovery import STAGES, deterministic_sample
+from repro.errors import StageFailure
+from repro.testing import inject
+
+
+@pytest.fixture(scope="module")
+def relation():
+    from repro.datasets import db2_sample
+
+    return db2_sample(seed=0).relation
+
+
+#: The fallback each stage is expected to apply when its primary path dies
+#: (None = the stage has no ladder rung and reports ``failed``).
+EXPECTED_FALLBACK = {
+    "tuple_clustering": "exact-duplicate scan",
+    "value_clustering": "sample",
+    "attribute_grouping": None,
+    "mining": "FDEP",
+    "cover": "raw mined dependencies",
+    "rank": "singleton grouping",
+}
+
+
+class TestStageGuards:
+    @pytest.mark.parametrize("stage", STAGES)
+    def test_injected_failure_degrades_not_dies(self, relation, stage):
+        with inject(f"discovery.{stage}", raises=RuntimeError("injected")) as fault:
+            report = StructureDiscovery().run(relation)
+        assert fault.fired == 1
+        outcome = report.outcome(stage)
+        assert outcome is not None
+        expected = EXPECTED_FALLBACK[stage]
+        if expected is None:
+            assert outcome.status == "failed"
+        else:
+            assert outcome.status == "degraded"
+            assert expected in outcome.fallback
+        assert not report.healthy
+        # The report still renders, and its health section names the stage.
+        rendered = report.render()
+        assert "Pipeline health: DEGRADED" in rendered
+        assert stage in rendered
+
+    @pytest.mark.parametrize("stage", STAGES)
+    def test_strict_mode_raises_stage_failure(self, relation, stage):
+        with inject(f"discovery.{stage}", raises=RuntimeError("injected")):
+            with pytest.raises(StageFailure) as info:
+                StructureDiscovery(strict=True).run(relation)
+        assert info.value.stage == stage
+
+    def test_healthy_run_reports_all_ok(self, relation):
+        report = StructureDiscovery().run(relation)
+        assert report.healthy
+        assert [o.stage for o in report.outcomes] == list(STAGES)
+        assert "Pipeline health: all stages ok" in report.render()
+
+    def test_keyboard_interrupt_propagates(self, relation):
+        with inject("discovery.mining", raises=KeyboardInterrupt):
+            with pytest.raises(KeyboardInterrupt):
+                StructureDiscovery().run(relation)
+
+    def test_grouping_failure_degrades_rank_to_cover_order(self, relation):
+        with inject("discovery.attribute_grouping", raises=RuntimeError("x")):
+            report = StructureDiscovery().run(relation)
+        assert report.attribute_grouping is None
+        assert report.cover
+        # The cover is still surfaced, unranked, in deterministic order.
+        assert [r.fd for r in report.ranked] == sorted(
+            report.cover, key=lambda fd: fd.sort_key()
+        )
+        assert all(r.gathered_loss is None for r in report.ranked)
+        assert report.outcome("rank").status == "degraded"
+
+    def test_double_fault_marks_stage_failed(self, relation):
+        # Kill the miner AND its sample fallback (FDEP's pair scan).
+        with inject("discovery.mining", raises=RuntimeError("primary")):
+            with inject("fd.fdep.pairs", raises=RuntimeError("fallback too")):
+                report = StructureDiscovery().run(relation)
+        outcome = report.outcome("mining")
+        assert outcome.status == "failed"
+        assert "fallback" in outcome.detail
+        assert report.dependencies == []
+        assert report.render()  # still renders
+
+
+class TestBudgetedRun:
+    def test_exhausted_budget_yields_degraded_report(self, relation):
+        report = StructureDiscovery().run(relation, budget=Budget(max_units=1))
+        assert not report.healthy
+        outcome = report.outcome("tuple_clustering")
+        assert outcome.status == "degraded"
+        assert "budget exhausted" in outcome.detail
+        assert report.render()
+
+    def test_constructor_budget_is_default(self, relation):
+        discovery = StructureDiscovery(budget=Budget(max_units=1))
+        assert not discovery.run(relation).healthy
+
+    def test_mining_over_budget_falls_back_to_sampled_fdep(self, relation):
+        # Let clustering run unbudgeted; starve only the miner via a delay
+        # fault right before TANE's first level with a tiny deadline.
+        discovery = StructureDiscovery(miner="tane")
+        with inject("fd.tane.level", delay=0.05):
+            report = discovery.run(relation, budget=Budget(deadline=0.04))
+        outcome = report.outcome("mining")
+        assert outcome.status == "degraded"
+        assert "FDEP" in outcome.fallback
+        assert report.dependencies  # the sampled miner still found FDs
+
+
+class TestDeterministicSample:
+    def test_small_relation_returned_whole(self):
+        r = Relation(["A"], [("1",), ("2",)])
+        assert deterministic_sample(r, cap=10) is r
+
+    def test_sample_is_capped_and_stable(self):
+        rows = [(str(i), str(i % 7)) for i in range(1000)]
+        r = Relation(["A", "B"], rows)
+        first = deterministic_sample(r, cap=50)
+        second = deterministic_sample(r, cap=50)
+        assert len(first) == 50
+        assert first.rows == second.rows
+        assert first.schema == r.schema

@@ -1,0 +1,131 @@
+"""The error taxonomy and the cooperative Budget."""
+
+import pytest
+
+from repro.budget import Budget, checkpoint
+from repro.errors import (
+    InputError,
+    ReproError,
+    ResourceLimitExceeded,
+    SchemaError,
+    StageFailure,
+)
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(InputError, ReproError)
+        assert issubclass(SchemaError, InputError)
+        assert issubclass(ResourceLimitExceeded, ReproError)
+        assert issubclass(StageFailure, ReproError)
+
+    def test_input_errors_are_value_errors(self):
+        # Pre-taxonomy call sites used `except ValueError`; keep them working.
+        assert issubclass(InputError, ValueError)
+        assert issubclass(SchemaError, ValueError)
+
+    def test_context_is_machine_readable(self):
+        exc = InputError("bad row", path="/tmp/x.csv", line=7, got=3)
+        assert exc.path == "/tmp/x.csv"
+        assert exc.line == 7
+        assert exc.context == {"path": "/tmp/x.csv", "line": 7, "got": 3}
+        assert str(exc) == "bad row"
+
+    def test_none_context_values_dropped(self):
+        exc = ReproError("x", a=None, b=1)
+        assert exc.context == {"b": 1}
+
+    def test_stage_failure_carries_stage(self):
+        exc = StageFailure("stage 'mining' failed", stage="mining")
+        assert exc.stage == "mining"
+        assert exc.context["stage"] == "mining"
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestBudget:
+    def test_deadline_fires_deterministically(self):
+        clock = FakeClock()
+        budget = Budget(deadline=5.0, clock=clock)
+        budget.checkpoint(where="loop")  # within deadline
+        clock.now += 5.01
+        with pytest.raises(ResourceLimitExceeded) as info:
+            budget.checkpoint(where="loop")
+        assert info.value.context["where"] == "loop"
+        assert info.value.context["deadline"] == 5.0
+
+    def test_unit_cap_fires(self):
+        budget = Budget(max_units=100)
+        budget.checkpoint(units=100, where="scan")
+        with pytest.raises(ResourceLimitExceeded) as info:
+            budget.checkpoint(units=1, where="scan")
+        assert info.value.context["max_units"] == 100
+        assert budget.units_used == 101
+
+    def test_unlimited_budget_never_raises(self):
+        budget = Budget()
+        for _ in range(1000):
+            budget.checkpoint(units=10**6)
+        assert not budget.exhausted()
+
+    def test_exhausted_is_non_raising(self):
+        clock = FakeClock()
+        budget = Budget(deadline=1.0, clock=clock)
+        assert not budget.exhausted()
+        clock.now += 2.0
+        assert budget.exhausted()
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(deadline=0)
+        with pytest.raises(ValueError):
+            Budget(max_units=-1)
+
+    def test_module_checkpoint_tolerates_none(self):
+        checkpoint(None, units=5, where="anywhere")  # must not raise
+
+    def test_remaining_seconds(self):
+        clock = FakeClock()
+        budget = Budget(deadline=10.0, clock=clock)
+        clock.now += 4.0
+        assert budget.remaining_seconds() == pytest.approx(6.0)
+        assert Budget().remaining_seconds() is None
+
+
+class TestBudgetedAlgorithms:
+    def test_fdep_respects_unit_cap(self):
+        from repro.datasets import db2_sample
+        from repro.fd import fdep
+
+        relation = db2_sample(seed=0).relation
+        with pytest.raises(ResourceLimitExceeded):
+            fdep(relation, budget=Budget(max_units=10))
+
+    def test_tane_respects_unit_cap(self):
+        from repro.datasets import db2_sample
+        from repro.fd import tane
+
+        relation = db2_sample(seed=0).relation
+        with pytest.raises(ResourceLimitExceeded):
+            tane(relation, budget=Budget(max_units=10))
+
+    def test_limbo_respects_unit_cap(self):
+        from repro.core.tuple_clustering import cluster_tuples
+        from repro.datasets import db2_sample
+
+        relation = db2_sample(seed=0).relation
+        with pytest.raises(ResourceLimitExceeded):
+            cluster_tuples(relation, budget=Budget(max_units=10))
+
+    def test_generous_budget_changes_nothing(self):
+        from repro.datasets import db2_sample
+        from repro.fd import fdep
+
+        relation = db2_sample(seed=0).relation
+        assert fdep(relation) == fdep(relation, budget=Budget(deadline=300.0))

@@ -1,0 +1,100 @@
+"""Semantics of the deterministic fault-injection harness."""
+
+import time
+
+import pytest
+
+from repro.testing import FAULT_POINTS, active_faults, fault_point, inject
+
+
+class TestFaultPoint:
+    def test_noop_without_active_faults(self):
+        assert fault_point("discovery.mining", {"x": 1}) == {"x": 1}
+        assert fault_point("discovery.mining") is None
+
+    def test_raise_action(self):
+        with inject("discovery.mining", raises=RuntimeError("boom")) as fault:
+            with pytest.raises(RuntimeError, match="boom"):
+                fault_point("discovery.mining")
+        assert fault.hits == 1
+        assert fault.fired == 1
+
+    def test_raise_action_accepts_exception_class(self):
+        with inject("discovery.mining", raises=KeyError):
+            with pytest.raises(KeyError):
+                fault_point("discovery.mining")
+
+    def test_corrupt_action_transforms_value(self):
+        with inject("io.read_csv.row", corrupt=lambda row: row[:-1]):
+            assert fault_point("io.read_csv.row", ["a", "b", "c"]) == ["a", "b"]
+
+    def test_delay_action_sleeps(self):
+        with inject("limbo.fit", delay=0.02):
+            start = time.monotonic()
+            fault_point("limbo.fit")
+            assert time.monotonic() - start >= 0.02
+
+    def test_after_skips_early_hits(self):
+        with inject("fd.tane.level", raises=RuntimeError, after=2) as fault:
+            fault_point("fd.tane.level")
+            fault_point("fd.tane.level")
+            with pytest.raises(RuntimeError):
+                fault_point("fd.tane.level")
+        assert fault.hits == 3
+        assert fault.fired == 1
+
+    def test_limit_caps_firing(self):
+        with inject("io.read_csv.row", corrupt=lambda v: "X", limit=1) as fault:
+            assert fault_point("io.read_csv.row", "a") == "X"
+            assert fault_point("io.read_csv.row", "b") == "b"
+        assert fault.fired == 1
+
+    def test_deactivated_on_exit(self):
+        with inject("discovery.cover", raises=RuntimeError):
+            pass
+        fault_point("discovery.cover")  # must not raise
+        assert active_faults() == {}
+
+    def test_nesting_arms_multiple_points(self):
+        with inject("discovery.cover", raises=RuntimeError):
+            with inject("discovery.rank", raises=KeyError):
+                assert set(active_faults()) == {"discovery.cover", "discovery.rank"}
+                with pytest.raises(KeyError):
+                    fault_point("discovery.rank")
+                with pytest.raises(RuntimeError):
+                    fault_point("discovery.cover")
+
+
+class TestInjectValidation:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            with inject("discovery.typo", raises=RuntimeError):
+                pass
+
+    def test_actionless_injection_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            with inject("discovery.mining"):
+                pass
+
+    def test_registry_covers_every_discovery_stage(self):
+        from repro.core.discovery import STAGES
+
+        for stage in STAGES:
+            assert f"discovery.{stage}" in FAULT_POINTS
+
+
+class TestIngestionFaultPoint:
+    def test_row_corruption_flows_through_reader(self, tmp_path):
+        from repro.errors import InputError
+        from repro.relation import load_csv
+
+        path = tmp_path / "x.csv"
+        path.write_text("a,b\n1,2\n3,4\n")
+        corrupt = lambda row: row + ["extra"]  # noqa: E731
+        with inject("io.read_csv.row", corrupt=corrupt, after=1):
+            with pytest.raises(InputError):
+                load_csv(path)
+        with inject("io.read_csv.row", corrupt=corrupt, after=1):
+            relation, report = load_csv(path, on_error="coerce")
+        assert len(relation) == 2
+        assert report.truncated_rows == 1

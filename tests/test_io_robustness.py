@@ -1,0 +1,138 @@
+"""Ingestion edge cases: ragged rows, BOM, CRLF, headers, encodings."""
+
+import pytest
+
+from repro.errors import InputError, SchemaError
+from repro.relation import NULL, load_csv, read_csv
+
+
+def write_bytes(tmp_path, data: bytes, name="data.csv"):
+    path = tmp_path / name
+    path.write_bytes(data)
+    return path
+
+
+def write_text(tmp_path, text: str, name="data.csv"):
+    return write_bytes(tmp_path, text.encode("utf-8"), name=name)
+
+
+class TestRaggedRows:
+    def test_short_row_strict_raises_with_line(self, tmp_path):
+        path = write_text(tmp_path, "a,b,c\n1,2,3\n4,5\n")
+        with pytest.raises(InputError) as info:
+            read_csv(path)
+        assert info.value.line == 3
+        assert "3" in str(info.value)
+
+    def test_long_row_strict_raises(self, tmp_path):
+        path = write_text(tmp_path, "a,b\n1,2,3\n")
+        with pytest.raises(InputError) as info:
+            read_csv(path)
+        assert info.value.context["expected"] == 2
+        assert info.value.context["got"] == 3
+
+    def test_short_row_coerced_padded_with_null(self, tmp_path):
+        path = write_text(tmp_path, "a,b,c\n1,2\n")
+        relation, report = load_csv(path, on_error="coerce")
+        assert relation.rows == [("1", "2", NULL)]
+        assert report.padded_rows == 1
+        assert not report.clean
+
+    def test_long_row_coerced_truncated(self, tmp_path):
+        path = write_text(tmp_path, "a,b\n1,2,3,4\n")
+        relation, report = load_csv(path, on_error="coerce")
+        assert relation.rows == [("1", "2")]
+        assert report.truncated_rows == 1
+
+    def test_blank_interior_line(self, tmp_path):
+        path = write_text(tmp_path, "a,b\n1,2\n\n3,4\n")
+        with pytest.raises(InputError):
+            read_csv(path)
+        relation, report = load_csv(path, on_error="coerce")
+        assert len(relation) == 2
+        assert report.skipped_rows == 1
+
+
+class TestHeaders:
+    def test_bom_stripped_from_first_header_cell(self, tmp_path):
+        path = write_bytes(tmp_path, b"\xef\xbb\xbfa,b\n1,2\n")
+        relation = read_csv(path)
+        assert relation.schema.names == ("a", "b")
+
+    def test_duplicate_headers_strict_rejected(self, tmp_path):
+        path = write_text(tmp_path, "a,b,a\n1,2,3\n")
+        with pytest.raises(SchemaError) as info:
+            read_csv(path)
+        assert info.value.context["duplicates"] == ["a"]
+
+    def test_duplicate_headers_coerced_renamed(self, tmp_path):
+        path = write_text(tmp_path, "a,b,a,a\n1,2,3,4\n")
+        relation, report = load_csv(path, on_error="coerce")
+        assert relation.schema.names == ("a", "b", "a.2", "a.3")
+        assert len(report.header_repairs) == 2
+
+    def test_blank_header_cell_strict_rejected(self, tmp_path):
+        path = write_text(tmp_path, "a,,c\n1,2,3\n")
+        with pytest.raises(SchemaError) as info:
+            read_csv(path)
+        assert info.value.context["column"] == 2
+
+    def test_blank_header_cell_coerced_named(self, tmp_path):
+        path = write_text(tmp_path, "a,,c\n1,2,3\n")
+        relation, _ = load_csv(path, on_error="coerce")
+        assert relation.schema.names == ("a", "column_2", "c")
+
+    def test_fully_blank_header_rejected_both_policies(self, tmp_path):
+        path = write_text(tmp_path, ",,\n1,2,3\n")
+        for policy in ("strict", "coerce"):
+            with pytest.raises(SchemaError):
+                read_csv(path, on_error=policy)
+
+
+class TestEncodingsAndFormats:
+    def test_empty_file(self, tmp_path):
+        path = write_text(tmp_path, "")
+        with pytest.raises(InputError):
+            read_csv(path)
+        # Still a ValueError for pre-taxonomy callers.
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_crlf_line_endings(self, tmp_path):
+        path = write_bytes(tmp_path, b"a,b\r\n1,2\r\n3,4\r\n")
+        relation = read_csv(path)
+        assert relation.rows == [("1", "2"), ("3", "4")]
+
+    def test_bad_encoding_strict_raises(self, tmp_path):
+        path = write_bytes(tmp_path, b"a,b\n1,caf\xe9\n")  # latin-1 bytes
+        with pytest.raises(InputError) as info:
+            read_csv(path)
+        assert "UTF-8" in str(info.value)
+
+    def test_bad_encoding_coerced_replaced(self, tmp_path):
+        path = write_bytes(tmp_path, b"a,b\n1,caf\xe9\n")
+        relation, report = load_csv(path, on_error="coerce")
+        assert relation.rows[0][0] == "1"
+        assert "�" in relation.rows[0][1]
+        assert report.notes
+
+    def test_all_null_rows_survive(self, tmp_path):
+        path = write_text(tmp_path, "a,b,c\n,,\n,,\n")
+        relation = read_csv(path)
+        assert len(relation) == 2
+        assert all(value is NULL for row in relation.rows for value in row)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InputError):
+            read_csv(tmp_path / "missing.csv")
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        path = write_text(tmp_path, "a\n1\n")
+        with pytest.raises(ValueError):
+            read_csv(path, on_error="ignore")
+
+    def test_clean_load_reports_clean(self, tmp_path):
+        path = write_text(tmp_path, "a,b\n1,2\n")
+        _, report = load_csv(path)
+        assert report.clean
+        assert report.rows_loaded == 1
