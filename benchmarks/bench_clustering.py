@@ -1,0 +1,269 @@
+"""Machine-readable clustering benchmark: sparse oracle vs. dense kernels.
+
+Runs the ``test_scaling_limbo.py`` sweep (three LIMBO phases over growing
+DBLP slices) under both numeric backends, plus two AIB microbenchmarks (the
+full merge loop over leaf summaries and the one-shot pairwise cost matrix),
+and writes the results as JSON -- the committed ``BENCH_clustering.json`` is
+the performance baseline future changes are judged against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_clustering.py
+    PYTHONPATH=src python benchmarks/bench_clustering.py --smoke \
+        --check-speedup 1.0   # CI gate: dense must not lose to sparse
+
+See ``docs/PERFORMANCE.md`` for the JSON schema and interpretation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import kernels
+from repro.clustering import Limbo, aib, merge_cost
+from repro.datasets import dblp
+from repro.relation import build_tuple_view
+
+#: Bump when the JSON layout changes.
+SCHEMA_VERSION = 1
+
+FULL = {"sizes": (1000, 2000, 4000, 8000), "aib_leaves": 512,
+        "pairwise_n": 512, "repeats": 3, "phi": 1.0}
+#: The smoke preset lowers ``phi`` so Phase 2 has enough summaries for the
+#: kernels to matter even at CI-friendly input sizes.
+SMOKE = {"sizes": (500, 1000), "aib_leaves": 192, "pairwise_n": 192,
+         "repeats": 1, "phi": 0.5}
+
+MAX_SUMMARIES = 200
+K = 5
+
+
+def best_of(repeats, fn):
+    """Minimum wall-clock over ``repeats`` runs (noise-robust) + last result."""
+    elapsed, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = min(elapsed, time.perf_counter() - start)
+    return elapsed, result
+
+
+def timed_phases(view, backend, phi):
+    """Per-phase wall-clock of one LIMBO run under ``backend``."""
+    timings = {}
+    start = time.perf_counter()
+    limbo = Limbo(phi=phi, max_summaries=MAX_SUMMARIES, backend=backend).fit(
+        view.rows, view.priors, mutual_information=view.mutual_information()
+    )
+    timings["phase1_s"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sequence = limbo.merge_sequence()
+    timings["phase2_s"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    representatives = sequence.clusters(min(K, len(limbo.summaries)))
+    assignment = limbo.assign(representatives)
+    timings["phase3_s"] = time.perf_counter() - start
+
+    timings["total_s"] = sum(timings.values())
+    timings["summaries"] = len(limbo.summaries)
+    return timings, assignment
+
+
+def run_limbo_sweep(relation, sizes, repeats, phi):
+    """Three backends per size: the oracle, forced kernels, and the shipped
+    ``auto`` default (kernels only where their thresholds say they win)."""
+    rows = []
+    for size in sizes:
+        view = build_tuple_view(relation.take(range(size)))
+        entry = {"n_tuples": size, "backends": {}}
+        assignments = {}
+        for backend in ("sparse", "dense", "auto"):
+            best = None
+            for _ in range(repeats):
+                timings, assignment = timed_phases(view, backend, phi)
+                if best is None or timings["total_s"] < best["total_s"]:
+                    best = timings
+                assignments[backend] = assignment
+            entry["backends"][backend] = best
+        sparse_total = entry["backends"]["sparse"]["total_s"]
+        entry["speedup_dense"] = sparse_total / entry["backends"]["dense"]["total_s"]
+        entry["speedup_auto"] = sparse_total / entry["backends"]["auto"]["total_s"]
+        entry["assignments_identical"] = (
+            assignments["sparse"] == assignments["dense"] == assignments["auto"]
+        )
+        rows.append(entry)
+        print(
+            f"  limbo n={size}: sparse {sparse_total:.3f}s"
+            f"  dense {entry['backends']['dense']['total_s']:.3f}s"
+            f" ({entry['speedup_dense']:.2f}x)"
+            f"  auto {entry['backends']['auto']['total_s']:.3f}s"
+            f" ({entry['speedup_auto']:.2f}x)"
+            f"  parity={entry['assignments_identical']}"
+        )
+    return rows
+
+
+def leaf_summaries(relation, n_leaves):
+    """Phase-1 leaf DCFs to feed the AIB microbenchmarks."""
+    view = build_tuple_view(relation)
+    limbo = Limbo(phi=0.0).fit(
+        view.rows, view.priors, mutual_information=view.mutual_information()
+    )
+    leaves = limbo.summaries
+    if len(leaves) < n_leaves:
+        raise SystemExit(
+            f"need {n_leaves} leaf summaries, Phase 1 produced {len(leaves)}; "
+            "increase the input slice"
+        )
+    return leaves[:n_leaves]
+
+
+def run_aib_micro(leaves, repeats):
+    results = {}
+    sequences = {}
+    for backend in ("sparse", "dense"):
+        elapsed, result = best_of(repeats, lambda b=backend: aib(leaves, backend=b))
+        results[f"{backend}_s"] = elapsed
+        sequences[backend] = [
+            (m.left, m.right, m.parent, m.loss) for m in result.dendrogram.merges
+        ]
+    results["n_leaves"] = len(leaves)
+    results["speedup"] = results["sparse_s"] / results["dense_s"]
+    results["merge_sequences_identical"] = sequences["sparse"] == sequences["dense"]
+    print(
+        f"  aib n={len(leaves)}: sparse {results['sparse_s']:.3f}s"
+        f"  dense {results['dense_s']:.3f}s  speedup {results['speedup']:.2f}x"
+        f"  parity={results['merge_sequences_identical']}"
+    )
+    return results
+
+
+def run_pairwise_micro(leaves, repeats):
+    def sparse():
+        n = len(leaves)
+        out = [[0.0] * n for _ in range(n)]
+        for i in range(n - 1):
+            for j in range(i + 1, n):
+                out[i][j] = out[j][i] = merge_cost(leaves[i], leaves[j])
+        return out
+
+    def dense():
+        return kernels.pairwise_merge_costs(kernels.DenseDCFSet.pack(leaves))
+
+    sparse_s, sparse_matrix = best_of(repeats, sparse)
+    dense_s, dense_matrix = best_of(repeats, dense)
+    max_diff = float(np.abs(np.asarray(sparse_matrix) - dense_matrix).max())
+    results = {
+        "n": len(leaves),
+        "sparse_s": sparse_s,
+        "dense_s": dense_s,
+        "speedup": sparse_s / dense_s,
+        "max_abs_diff": max_diff,
+    }
+    print(
+        f"  pairwise n={len(leaves)}: sparse {sparse_s:.3f}s"
+        f"  dense {dense_s:.3f}s  speedup {results['speedup']:.2f}x"
+        f"  max|diff|={max_diff:.2e}"
+    )
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_clustering.json"),
+        help="output JSON path (default: ./BENCH_clustering.json)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small preset for CI (fewer tuples/leaves, one repeat)",
+    )
+    parser.add_argument(
+        "--check-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero unless the dense AIB speedup is at least X "
+        "and the largest LIMBO sweep size is not slower than sparse",
+    )
+    args = parser.parse_args(argv)
+
+    preset = SMOKE if args.smoke else FULL
+    relation = dblp(n_tuples=max(max(preset["sizes"]), 1000), seed=7)
+
+    print(f"LIMBO sweep (phi={preset['phi']}, max_summaries={MAX_SUMMARIES}):")
+    sweep = run_limbo_sweep(
+        relation, preset["sizes"], preset["repeats"], preset["phi"]
+    )
+
+    print("AIB merge-loop microbenchmark:")
+    leaves = leaf_summaries(
+        relation.take(range(min(len(relation), 1000))), preset["aib_leaves"]
+    )
+    aib_micro = run_aib_micro(leaves, preset["repeats"])
+
+    print("Pairwise cost-matrix microbenchmark:")
+    pairwise = run_pairwise_micro(leaves[: preset["pairwise_n"]], preset["repeats"])
+
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "preset": "smoke" if args.smoke else "full",
+            "sizes": list(preset["sizes"]),
+            "phi": preset["phi"],
+            "max_summaries": MAX_SUMMARIES,
+            "k": K,
+            "aib_leaves": preset["aib_leaves"],
+            "pairwise_n": preset["pairwise_n"],
+            "repeats": preset["repeats"],
+            "dataset": "dblp(seed=7)",
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "limbo_sweep": sweep,
+        "aib": aib_micro,
+        "pairwise": pairwise,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    if not aib_micro["merge_sequences_identical"]:
+        print("FAIL: backends disagree on the AIB merge sequence", file=sys.stderr)
+        return 1
+    if not all(entry["assignments_identical"] for entry in sweep):
+        print("FAIL: backends disagree on Phase-3 assignments", file=sys.stderr)
+        return 1
+    if args.check_speedup is not None:
+        if aib_micro["speedup"] < args.check_speedup:
+            print(
+                f"FAIL: dense AIB speedup {aib_micro['speedup']:.2f}x "
+                f"< required {args.check_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        largest = sweep[-1]
+        if largest["speedup_auto"] < 1.0:
+            print(
+                f"FAIL: the shipped auto backend at n={largest['n_tuples']} "
+                f"is slower than sparse ({largest['speedup_auto']:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"speedup gate passed: aib {aib_micro['speedup']:.2f}x >= "
+            f"{args.check_speedup:.2f}x, auto sweep {largest['speedup_auto']:.2f}x >= 1.0"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""Backend parity: sparse oracle vs. vectorized kernels on the paper figures.
+
+Both numeric backends must produce bit-identical dendrogram merge sequences
+(merge pairs, parent ids and quantized losses) and identical Phase-3
+assignments on the inputs behind Figures 10 and 14-18.  The shared loss grid
+(:data:`repro.clustering.dcf.LOSS_QUANTUM_BITS`) is what makes this exact:
+mathematically equal costs land on the same float in either backend, so the
+``(loss, node ids)`` tie-break picks the same merge everywhere.
+"""
+
+import pytest
+
+from conftest import format_table
+
+from repro.clustering import DCF, Limbo, aib
+from repro.core.value_clustering import cluster_values
+from repro.relation import Relation, build_matrix_f, build_tuple_view
+
+
+@pytest.fixture(scope="module")
+def figure4():
+    return Relation(
+        ["A", "B", "C"],
+        [
+            ("a", "1", "p"),
+            ("a", "1", "r"),
+            ("w", "2", "x"),
+            ("y", "2", "x"),
+            ("z", "2", "x"),
+        ],
+    )
+
+
+def _merge_tuples(result):
+    return [
+        (m.left, m.right, m.parent, m.loss) for m in result.dendrogram.merges
+    ]
+
+
+def _attribute_dcfs(relation, phi_v, phi_t=None):
+    """The attribute-grouping DCFs, as ``group_attributes`` builds them."""
+    values = cluster_values(relation, phi_v=phi_v, phi_t=phi_t)
+    matrix_f = build_matrix_f(
+        values.view, [g.value_ids for g in values.duplicate_groups]
+    )
+    prior = 1.0 / len(matrix_f.attribute_names)
+    return [
+        DCF.singleton(i, prior, row, support=dict(counts))
+        for i, (row, counts) in enumerate(zip(matrix_f.rows, matrix_f.counts))
+    ]
+
+
+def _assert_aib_parity(dcfs):
+    sparse = aib(dcfs, backend="sparse")
+    dense = aib(dcfs, backend="dense")
+    assert _merge_tuples(sparse) == _merge_tuples(dense)
+    return sparse
+
+
+def _assert_limbo_parity(relation, phi=1.0, k=3, max_summaries=150):
+    view = build_tuple_view(relation)
+    outcomes = {}
+    for backend in ("sparse", "dense"):
+        limbo = Limbo(phi=phi, max_summaries=max_summaries, backend=backend).fit(
+            view.rows, view.priors,
+            mutual_information=view.mutual_information(),
+        )
+        sequence = limbo.merge_sequence()
+        k_eff = min(k, len(limbo.summaries))
+        assignment = limbo.assign(sequence.clusters(k_eff))
+        outcomes[backend] = (_merge_tuples(sequence), assignment)
+    assert outcomes["sparse"][0] == outcomes["dense"][0]
+    assert outcomes["sparse"][1] == outcomes["dense"][1]
+    return len(outcomes["sparse"][0]), len(outcomes["sparse"][1])
+
+
+def test_backend_parity_fig10(figure4, reporter):
+    dcfs = _attribute_dcfs(figure4, phi_v=0.0)
+    _assert_aib_parity(dcfs)
+    n_merges, n_assigned = _assert_limbo_parity(figure4, phi=0.0)
+    reporter(
+        "backend_parity_fig10",
+        "Backend parity -- Figure 10 input",
+        format_table(
+            ["check", "result"],
+            [
+                ["attribute merge sequence", "bit-identical"],
+                [f"tuple merges ({n_merges}) + assignments ({n_assigned})",
+                 "bit-identical"],
+            ],
+        ),
+    )
+
+
+def test_backend_parity_fig14(db2, reporter):
+    dcfs = _attribute_dcfs(db2.relation, phi_v=0.0)
+    sparse = _assert_aib_parity(dcfs)
+    n_merges, n_assigned = _assert_limbo_parity(db2.relation, phi=0.5, k=3)
+    reporter(
+        "backend_parity_fig14",
+        "Backend parity -- Figure 14 input (DB2 sample)",
+        format_table(
+            ["check", "result"],
+            [
+                [f"attribute merges ({len(sparse.dendrogram.merges)})",
+                 "bit-identical"],
+                [f"tuple merges ({n_merges}) + assignments ({n_assigned})",
+                 "bit-identical"],
+            ],
+        ),
+    )
+
+
+@pytest.mark.parametrize("cluster", ["conference", "journal", "misc"])
+def test_backend_parity_fig16_to_18(cluster, dblp_partitions, reporter):
+    """Figures 16-18: the three DBLP horizontal partitions."""
+    relation = getattr(dblp_partitions, cluster)
+    dcfs = _attribute_dcfs(relation, phi_v=1.0, phi_t=0.5)
+    sparse = _assert_aib_parity(dcfs)
+    n_merges, n_assigned = _assert_limbo_parity(
+        relation, phi=1.0, k=3, max_summaries=100
+    )
+    reporter(
+        f"backend_parity_{cluster}",
+        f"Backend parity -- DBLP {cluster} partition (Figures 16-18)",
+        format_table(
+            ["check", "result"],
+            [
+                [f"attribute merges ({len(sparse.dendrogram.merges)})",
+                 "bit-identical"],
+                [f"tuple merges ({n_merges}) + assignments ({n_assigned})",
+                 "bit-identical"],
+            ],
+        ),
+    )

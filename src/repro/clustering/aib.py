@@ -9,12 +9,21 @@ Implementation: a lazy-deletion min-heap over candidate pairs.  Each cluster
 carries a version stamp; heap entries referencing a stale stamp are skipped
 on pop.  Ties in loss break deterministically on (loss, node ids) so results
 are reproducible.
+
+Two interchangeable numeric backends drive the heap: the sparse pure-Python
+``merge_cost`` path (the correctness oracle) and the vectorized
+:mod:`repro.kernels` engine, which batches the O(n^2) initial build and the
+per-merge candidate recomputation over a packed NumPy matrix.  ``backend=
+"auto"`` (the default) picks the kernels once the input is large enough for
+them to win; both backends produce the same merge sequence (ties still break
+on ``(loss, node ids)``).
 """
 
 from __future__ import annotations
 
 import heapq
 
+from repro import kernels
 from repro.budget import checkpoint
 from repro.clustering.dcf import DCF, merge, merge_cost
 from repro.clustering.dendrogram import Dendrogram, Merge
@@ -68,6 +77,7 @@ def aib(
     labels=None,
     initial_information: float | None = None,
     budget=None,
+    backend: str = "auto",
 ) -> AIBResult:
     """Run Agglomerative IB over ``dcfs`` down to ``min_clusters``.
 
@@ -89,8 +99,14 @@ def aib(
     budget:
         Optional :class:`repro.budget.Budget`; the quadratic merge loop
         checkpoints against it per merged cluster.
+    backend:
+        ``"auto"`` (default), ``"sparse"`` or ``"dense"``.  ``auto`` uses
+        the vectorized :mod:`repro.kernels` engine for inputs of at least
+        :data:`repro.kernels.DENSE_MIN_OBJECTS` clusters and the sparse
+        pure-Python oracle otherwise.
     """
     n = len(dcfs)
+    kernels.validate_backend(backend)
     if n == 0:
         raise ValueError("aib needs at least one cluster")
     if not 1 <= min_clusters <= n:
@@ -99,6 +115,26 @@ def aib(
     if initial_information is None:
         initial_information = 0.0
 
+    dense_index = None
+    if backend != "sparse" and n >= 2:
+        dense_index = kernels.shared_index(dcfs)
+        if not kernels.use_dense(
+            backend, n, n_columns=len(dense_index), maximum=kernels.DENSE_MAX_OBJECTS
+        ):
+            dense_index = None
+
+    if dense_index is not None:
+        merges = _merge_sequence_dense(dcfs, min_clusters, budget, dense_index)
+    else:
+        merges = _merge_sequence_sparse(dcfs, min_clusters, budget)
+
+    dendrogram = Dendrogram(n, merges, labels=labels)
+    return AIBResult(list(dcfs), dendrogram, initial_information)
+
+
+def _merge_sequence_sparse(dcfs, min_clusters, budget) -> list[Merge]:
+    """The greedy merge loop over sparse dict DCFs (the correctness oracle)."""
+    n = len(dcfs)
     active: dict[int, DCF] = dict(enumerate(dcfs))
     stamps: dict[int, int] = {i: 0 for i in active}
     heap: list[tuple[float, int, int, int, int]] = []
@@ -131,6 +167,36 @@ def aib(
                 (merge_cost(other_dcf, merged), a, b, stamps[a], stamps[b]),
             )
         next_id += 1
+    return merges
 
-    dendrogram = Dendrogram(n, merges, labels=labels)
-    return AIBResult(list(dcfs), dendrogram, initial_information)
+
+def _merge_sequence_dense(dcfs, min_clusters, budget, index) -> list[Merge]:
+    """The same greedy policy over the packed :class:`DenseMergeEngine`.
+
+    The lazy-deletion heap is replaced by a :class:`CandidateMatrix` whose
+    ``best()`` reproduces the heap's pop order exactly, including the
+    ``(loss, node ids)`` tie-break; the ``delta_I`` evaluations are batched
+    per node instead of being computed pair by pair.
+    """
+    n = len(dcfs)
+    engine = kernels.DenseMergeEngine(dcfs, index=index)
+    candidates = kernels.CandidateMatrix(2 * n - 1)
+    for i in range(n - 1):
+        candidates.fill_row(i, engine.costs(i, range(i + 1, n)))
+
+    alive = set(range(n))
+    merges: list[Merge] = []
+    next_id = n
+    while len(alive) > min_clusters:
+        checkpoint(budget, units=len(alive), where="aib.merge")
+        i, j, loss = candidates.best()
+        engine.merge(i, j, next_id)
+        alive.discard(i)
+        alive.discard(j)
+        merges.append(Merge(left=i, right=j, parent=next_id, loss=loss))
+        others = sorted(alive)
+        alive.add(next_id)
+        new_costs = engine.costs(next_id, others) if others else ()
+        candidates.merge(i, j, next_id, others, new_costs)
+        next_id += 1
+    return merges

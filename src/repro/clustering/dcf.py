@@ -30,6 +30,35 @@ from collections.abc import Mapping
 
 _LOG2 = math.log(2.0)
 
+#: Mantissa bits kept when snapping a ``delta_I`` to the shared loss grid.
+LOSS_QUANTUM_BITS = 30
+
+#: Losses below this many bits snap to exactly zero.  Roundoff noise on a
+#: mathematically zero ``delta_I`` is summation-order dependent (~1e-14 at
+#: worst), and a *relative* grid cannot collapse noise around zero; the
+#: absolute floor does, far below any loss the paper's figures resolve.
+LOSS_FLOOR = 2.0 ** -40
+
+
+def quantize_loss(loss: float) -> float:
+    """Snap a loss to the shared ``2**-30`` relative grid (floored at zero).
+
+    Both numeric backends (this sparse module and :mod:`repro.kernels`)
+    round every ``delta_I`` they emit to this grid.  Mathematically equal
+    costs evaluated in different summation orders land on the same float, so
+    the deterministic ``(loss, node ids)`` tie-break picks the same merge
+    regardless of backend; the perturbation (at most ``2**-31`` relative,
+    ~5e-10, plus the :data:`LOSS_FLOOR` around zero) is far below anything
+    the paper's figures resolve.
+    """
+    if loss < LOSS_FLOOR:
+        return 0.0
+    mantissa, exponent = math.frexp(loss)
+    return math.ldexp(
+        round(math.ldexp(mantissa, LOSS_QUANTUM_BITS)),
+        exponent - LOSS_QUANTUM_BITS,
+    )
+
 
 def _xlogx(x: float) -> float:
     return x * math.log(x) if x > 0.0 else 0.0
@@ -51,7 +80,7 @@ class DCF:
         Section 6.2); ``None`` for plain DCFs.
     """
 
-    __slots__ = ("weight", "mass", "members", "support", "_mass_log_sum")
+    __slots__ = ("weight", "mass", "members", "support", "_mass_log_sum", "_entropy")
 
     def __init__(
         self,
@@ -69,6 +98,7 @@ class DCF:
         self.members = list(members)
         self.support = dict(support) if support is not None else None
         self._mass_log_sum = math.fsum(_xlogx(m) for m in self.mass.values())
+        self._entropy = None
 
     @classmethod
     def singleton(
@@ -85,6 +115,7 @@ class DCF:
         duplicate.members = list(self.members)
         duplicate.support = dict(self.support) if self.support is not None else None
         duplicate._mass_log_sum = self._mass_log_sum
+        duplicate._entropy = self._entropy
         return duplicate
 
     # -- views ---------------------------------------------------------------------
@@ -100,10 +131,23 @@ class DCF:
         """Number of summarized objects."""
         return len(self.members)
 
+    @property
+    def mass_log_sum(self) -> float:
+        """Cached ``S = sum_k m_k ln m_k`` (maintained additively on merge).
+
+        The per-cluster term both the sparse ``merge_cost`` and the
+        :mod:`repro.kernels` row caches build on -- ``H(p(T|c))`` derives
+        from it in O(1), so no consumer ever rescans the support.
+        """
+        return self._mass_log_sum
+
     def entropy_bits(self) -> float:
-        """Entropy (bits) of ``p(T|c)``."""
-        w = self.weight
-        return (w * math.log(w) - self._mass_log_sum) / (w * _LOG2)
+        """Entropy (bits) of ``p(T|c)``; computed once and cached until the
+        cluster is next mutated by ``absorb``."""
+        if self._entropy is None:
+            w = self.weight
+            self._entropy = (w * math.log(w) - self._mass_log_sum) / (w * _LOG2)
+        return self._entropy
 
     def __repr__(self) -> str:
         return (
@@ -127,6 +171,7 @@ class DCF:
             mass[column] = merged
             delta += _xlogx(merged) - _xlogx(m_self)
         self._mass_log_sum += delta
+        self._entropy = None
         self.weight += other.weight
         self.members.extend(other.members)
         if other.support is not None:
@@ -160,7 +205,7 @@ def merge_cost(dcf_a: DCF, dcf_b: DCF) -> float:
         + dcf_b._mass_log_sum
         - overlap
     ) / _LOG2
-    return max(loss, 0.0)
+    return quantize_loss(max(loss, 0.0))
 
 
 def merge(dcf_a: DCF, dcf_b: DCF) -> DCF:
@@ -177,6 +222,7 @@ def merge(dcf_a: DCF, dcf_b: DCF) -> DCF:
     merged.members = list(dcf_a.members)
     merged.support = dict(dcf_a.support) if dcf_a.support is not None else None
     merged._mass_log_sum = dcf_a._mass_log_sum
+    merged._entropy = None
     merged.absorb(dcf_b)
     return merged
 

@@ -14,6 +14,7 @@ over the distinct objects -- the equivalence Section 5.2 notes.
 
 from __future__ import annotations
 
+from repro import kernels
 from repro.clustering.dcf import DCF, merge_cost
 
 #: Numeric slack so that delta_I of *identical* objects (which is zero up to
@@ -47,15 +48,23 @@ class DCFTree:
     branching:
         Maximum entries per node (the paper's ``B``; default 4 as in
         Section 8).
+    backend:
+        ``"auto"`` (default), ``"sparse"`` or ``"dense"``.  The closest-
+        entry scan batches its ``delta_I`` evaluations through
+        :func:`repro.kernels.closest_entry` once a node holds at least
+        :data:`repro.kernels.DENSE_MIN_ENTRIES` entries (``auto``) or
+        always (``dense``); with the default branching factor of 4 the
+        sparse scan is cheaper and ``auto`` keeps it.
     """
 
-    def __init__(self, threshold: float, branching: int = 4):
+    def __init__(self, threshold: float, branching: int = 4, backend: str = "auto"):
         if threshold < 0.0:
             raise ValueError("threshold must be non-negative")
         if branching < 2:
             raise ValueError("branching factor must be at least 2")
         self.threshold = float(threshold)
         self.branching = int(branching)
+        self.backend = kernels.validate_backend(backend)
         self._root = _Node()
         self.n_inserted = 0
         self.n_absorbed = 0  # objects merged into an existing entry
@@ -100,6 +109,10 @@ class DCFTree:
         return summary
 
     def _closest(self, entries: list[DCF], dcf: DCF) -> tuple[int, float]:
+        if kernels.use_dense(
+            self.backend, len(entries), minimum=kernels.DENSE_MIN_ENTRIES
+        ):
+            return kernels.closest_entry(entries, dcf)
         best_index, best_cost = 0, merge_cost(entries[0], dcf)
         for index in range(1, len(entries)):
             cost = merge_cost(entries[index], dcf)

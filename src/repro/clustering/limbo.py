@@ -15,6 +15,7 @@ builders make a first pass over the data (Section 6.2's "three passes").
 
 from __future__ import annotations
 
+from repro import kernels
 from repro.budget import checkpoint
 from repro.clustering.aib import AIBResult, aib
 from repro.clustering.dcf import DCF, merge, merge_cost
@@ -52,10 +53,16 @@ class Limbo:
         the Phase-3 association loop checkpoint against it cooperatively
         and raise :class:`repro.errors.ResourceLimitExceeded` on
         exhaustion.
+    backend:
+        ``"auto"`` (default), ``"sparse"`` or ``"dense"``; threaded through
+        to the DCF-tree scans (Phase 1), AIB (Phase 2) and the association
+        loop (Phase 3).  ``auto`` lets each phase pick the vectorized
+        :mod:`repro.kernels` path when its input is large enough to win.
     """
 
     def __init__(self, phi: float = 0.0, branching: int = 4,
-                 max_summaries: int | None = None, budget=None):
+                 max_summaries: int | None = None, budget=None,
+                 backend: str = "auto"):
         if phi < 0.0:
             raise ValueError("phi must be non-negative")
         if max_summaries is not None and max_summaries < 1:
@@ -64,6 +71,7 @@ class Limbo:
         self.branching = int(branching)
         self.max_summaries = max_summaries
         self.budget = budget
+        self.backend = kernels.validate_backend(backend)
         self._rows: list | None = None
         self._priors: list | None = None
         self._supports: list | None = None
@@ -105,7 +113,7 @@ class Limbo:
         self._threshold = self.phi * mutual_information / len(rows)
 
         fault_point("limbo.fit")
-        tree = DCFTree(self._threshold, branching=self.branching)
+        tree = DCFTree(self._threshold, branching=self.branching, backend=self.backend)
         for index, (row, prior) in enumerate(zip(rows, priors)):
             if index % _CHECK_EVERY == 0:
                 checkpoint(self.budget, units=_CHECK_EVERY, where="limbo.fit")
@@ -117,7 +125,7 @@ class Limbo:
         while self.max_summaries is not None and len(summaries) > self.max_summaries:
             checkpoint(self.budget, units=len(summaries), where="limbo.rebuild")
             threshold = max(threshold * _REBUILD_FACTOR, mutual_information / len(rows) / 64.0)
-            tree = DCFTree(threshold, branching=self.branching)
+            tree = DCFTree(threshold, branching=self.branching, backend=self.backend)
             for dcf in summaries:
                 tree.insert(dcf)
             summaries = tree.leaves()
@@ -162,6 +170,7 @@ class Limbo:
             labels=labels,
             initial_information=leaf_information,
             budget=self.budget,
+            backend=self.backend,
         )
 
     def representatives(self, k: int) -> list[DCF]:
@@ -188,6 +197,11 @@ class Limbo:
         if not reps:
             raise ValueError("need at least one representative")
         fault_point("limbo.assign")
+        packed = None
+        if kernels.use_dense(
+            self.backend, len(reps), minimum=kernels.DENSE_MIN_REPRESENTATIVES
+        ):
+            packed = kernels.DenseDCFSet.pack(reps)
         assignment = []
         for index, (row, prior) in enumerate(zip(rows, priors)):
             if index % _CHECK_EVERY == 0:
@@ -196,12 +210,19 @@ class Limbo:
                     units=_CHECK_EVERY * len(reps),
                     where="limbo.assign",
                 )
+            if packed is not None:
+                if prior <= 0.0:
+                    raise ValueError("cluster prior must be positive")
+                mass = {key: prior * p for key, p in row.items() if p > 0.0}
+                costs = kernels.merge_cost_many(packed, mass, prior)
+                assignment.append(int(costs.argmin()))
+                continue
             singleton = DCF(prior, row)
             best_index, best_cost = 0, merge_cost(reps[0], singleton)
-            for index in range(1, len(reps)):
-                cost = merge_cost(reps[index], singleton)
+            for rep_index in range(1, len(reps)):
+                cost = merge_cost(reps[rep_index], singleton)
                 if cost < best_cost:
-                    best_index, best_cost = index, cost
+                    best_index, best_cost = rep_index, cost
             assignment.append(best_index)
         return assignment
 

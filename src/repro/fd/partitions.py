@@ -13,6 +13,7 @@ two key facts make them the workhorse of dependency mining:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 
 @dataclass(frozen=True)
@@ -44,19 +45,35 @@ class Partition:
         """All classes are singletons -- the attribute set is a superkey."""
         return not self.classes
 
+    @cached_property
+    def labels(self) -> list:
+        """Row -> class-index label array (``-1`` for stripped singletons).
+
+        Computed once per partition and reused by every ``refines`` /
+        ``product`` call touching it, replacing the per-call dict builds the
+        TANE lattice search used to pay for on each of its O(|lattice|)
+        partition operations.
+        """
+        labels = [-1] * self.n_rows
+        for class_index, members in enumerate(self.classes):
+            for row in members:
+                labels[row] = class_index
+        return labels
+
     def refines(self, other: "Partition") -> bool:
         """Whether every class of ``self`` lies within a class of ``other``.
 
         ``pi_X`` refining ``pi_A`` is exactly the statement ``X -> A``.
         """
-        owner = {}
-        for class_index, members in enumerate(other.classes):
-            for row in members:
-                owner[row] = class_index
+        labels = other.labels
         for members in self.classes:
-            first = owner.get(members[0], ("single", members[0]))
+            first = labels[members[0]]
+            if first < 0:
+                # A stripped singleton of ``other`` cannot contain a class
+                # with two or more members.
+                return False
             for row in members[1:]:
-                if owner.get(row, ("single", row)) != first:
+                if labels[row] != first:
                     return False
         return True
 
@@ -87,16 +104,13 @@ def product(left: Partition, right: Partition) -> Partition:
     """
     if left.n_rows != right.n_rows:
         raise ValueError("partitions must cover the same relation")
-    label: dict = {}
-    for class_index, members in enumerate(left.classes):
-        for row in members:
-            label[row] = class_index
+    label = left.labels
     classes = []
     for members in right.classes:
         sub: dict = {}
         for row in members:
-            owner = label.get(row)
-            if owner is not None:
+            owner = label[row]
+            if owner >= 0:
                 sub.setdefault(owner, []).append(row)
         classes.extend(group for group in sub.values() if len(group) > 1)
     return Partition.from_classes(classes, left.n_rows)

@@ -1,0 +1,58 @@
+"""Vectorized numeric kernels for the clustering engine.
+
+The sparse pure-Python implementations in :mod:`repro.clustering.dcf` are
+exact and cheap for small inputs, but the AIB/LIMBO hot paths evaluate the
+pairwise merge cost ``delta_I`` (paper Eq. 3) O(n^2) times.  This package
+packs DCF conditionals into dense NumPy row matrices over a shared support
+index and batches those evaluations:
+
+* :class:`DenseDCFSet` -- a read-only packed view of a fixed DCF collection
+  (LIMBO Phase-3 representatives, tree entries, ...).
+* :class:`DenseMergeEngine` -- an incrementally growing packed store backing
+  the dense AIB merge loop (rows are appended as clusters merge).
+* :func:`merge_cost_many` / :func:`pairwise_merge_costs` /
+  :func:`closest_entry` -- the batched ``delta_I`` kernels.
+* :func:`use_dense` / :func:`validate_backend` -- the ``backend=`` knob
+  shared by :func:`repro.clustering.aib`, :class:`repro.clustering.DCFTree`
+  and :class:`repro.clustering.Limbo`.
+
+The sparse path remains the correctness oracle: ``backend="auto"`` (the
+default everywhere) selects it for tiny inputs, and every kernel agrees with
+:func:`repro.clustering.dcf.merge_cost` to within floating-point roundoff.
+"""
+
+from repro.kernels.dense import (
+    BACKENDS,
+    DENSE_MAX_CELLS,
+    DENSE_MAX_OBJECTS,
+    DENSE_MIN_ENTRIES,
+    DENSE_MIN_OBJECTS,
+    DENSE_MIN_REPRESENTATIVES,
+    CandidateMatrix,
+    DenseDCFSet,
+    DenseMergeEngine,
+    closest_entry,
+    merge_cost_many,
+    pairwise_merge_costs,
+    shared_index,
+    use_dense,
+    validate_backend,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CandidateMatrix",
+    "DENSE_MAX_CELLS",
+    "DENSE_MAX_OBJECTS",
+    "DENSE_MIN_ENTRIES",
+    "DENSE_MIN_OBJECTS",
+    "DENSE_MIN_REPRESENTATIVES",
+    "DenseDCFSet",
+    "DenseMergeEngine",
+    "closest_entry",
+    "merge_cost_many",
+    "pairwise_merge_costs",
+    "shared_index",
+    "use_dense",
+    "validate_backend",
+]

@@ -1,0 +1,423 @@
+"""Dense/packed DCF representations and batched ``delta_I`` kernels.
+
+All kernels work in *joint-mass* space (``m_k = p(c) * p(k|c)``), the same
+representation the sparse :class:`repro.clustering.dcf.DCF` uses, and
+evaluate the information loss of Eq. 3 through the entropy identity
+
+    delta_I(a, b) * ln 2 = W ln W - w_a ln w_a - w_b ln w_b
+                           + S_a + S_b - S_merged
+
+with ``W = w_a + w_b`` and ``S = sum_k m_k ln m_k`` -- the vectorized twin
+of the ``H(p_bar) - pi H(p) - pi H(q)`` Jensen-Shannon form.  Because
+columns outside the support of the *query* operand cancel between ``S_a``
+and ``S_merged``, every kernel restricts its column gather to the query's
+support: cost is ``O(rows * |supp(query)|)`` in vectorized element
+operations, mirroring the smaller-operand trick of the sparse path.
+
+Zero masses are handled with the ``0 ln 0 = 0`` convention throughout, so
+zero-mass columns and disjoint supports agree exactly with the sparse
+implementation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.clustering.dcf import LOSS_FLOOR, LOSS_QUANTUM_BITS
+
+_LOG2 = math.log(2.0)
+
+#: Legal values of the ``backend=`` knob.
+BACKENDS = ("auto", "sparse", "dense")
+
+#: ``backend="auto"`` switches AIB to the dense engine at this many clusters.
+DENSE_MIN_OBJECTS = 32
+
+#: ``backend="auto"`` switches a DCF-tree node scan to the batched kernel at
+#: this many entries (below it the NumPy call overhead dominates).
+DENSE_MIN_ENTRIES = 8
+
+#: ``backend="auto"`` packs LIMBO Phase-3 representatives at this many reps.
+DENSE_MIN_REPRESENTATIVES = 8
+
+#: ``backend="auto"`` falls back to sparse when the packed matrix would
+#: exceed this many cells (the dense AIB engine allocates ~2n rows).
+DENSE_MAX_CELLS = 50_000_000
+
+#: ``backend="auto"`` caps the dense AIB engine at this many starting
+#: clusters: the candidate matrix is O((2n)^2) memory.  AIB inputs are
+#: normally LIMBO leaf summaries (hundreds), far below the cap.
+DENSE_MAX_OBJECTS = 2048
+
+
+def validate_backend(backend: str) -> str:
+    """Check a ``backend=`` knob value, returning it unchanged."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {'/'.join(BACKENDS)}, got {backend!r}"
+        )
+    return backend
+
+
+def use_dense(
+    backend: str,
+    n: int,
+    n_columns: int | None = None,
+    minimum: int = DENSE_MIN_OBJECTS,
+    maximum: int | None = None,
+) -> bool:
+    """Resolve the knob for a call site over ``n`` objects.
+
+    ``auto`` picks the dense kernels once ``n`` reaches ``minimum``, stays
+    at or below ``maximum`` (when given), and the packed matrix fits within
+    :data:`DENSE_MAX_CELLS`; explicit values are always honored.
+    """
+    validate_backend(backend)
+    if backend == "sparse":
+        return False
+    if backend == "dense":
+        return True
+    if n < minimum:
+        return False
+    if maximum is not None and n > maximum:
+        return False
+    if n_columns is not None and 2 * n * n_columns > DENSE_MAX_CELLS:
+        return False
+    return True
+
+
+def _quantize(losses: np.ndarray) -> np.ndarray:
+    """Vectorized twin of :func:`repro.clustering.dcf.quantize_loss`.
+
+    ``frexp``/``ldexp`` are exact and ``np.rint`` rounds half-to-even like
+    Python's ``round``, so this produces bitwise the same grid points as the
+    scalar version -- the property the cross-backend tie-break relies on.
+    """
+    mantissa, exponent = np.frexp(losses)
+    snapped = np.ldexp(
+        np.rint(np.ldexp(mantissa, LOSS_QUANTUM_BITS)),
+        exponent - LOSS_QUANTUM_BITS,
+    )
+    snapped[losses < LOSS_FLOOR] = 0.0
+    return snapped
+
+
+def _xlogx(values: np.ndarray) -> np.ndarray:
+    """Elementwise ``x ln x`` with ``0 ln 0 = 0``."""
+    values = np.asarray(values, dtype=np.float64)
+    out = np.zeros_like(values)
+    positive = values > 0.0
+    np.log(values, out=out, where=positive)
+    out *= values
+    return out
+
+
+def _xlogx_scalar(x: float) -> float:
+    return x * math.log(x) if x > 0.0 else 0.0
+
+
+def shared_index(dcfs) -> dict:
+    """A deterministic column index over the union of the DCFs' supports.
+
+    Columns are sorted when the keys allow it (value/group ids are ints
+    everywhere in this codebase); unsortable key mixes keep first-seen
+    order, which is still deterministic for deterministic inputs.
+    """
+    keys: dict = {}
+    for dcf in dcfs:
+        for key in dcf.mass:
+            if key not in keys:
+                keys[key] = len(keys)
+    try:
+        ordered = sorted(keys)
+    except TypeError:
+        return keys
+    return {key: position for position, key in enumerate(ordered)}
+
+
+def _gather_columns(index: dict, mass) -> tuple[list, np.ndarray]:
+    """Positions and values of a sparse mass dict under a column index.
+
+    Columns absent from the index are dropped: their ``m ln m`` contribution
+    to ``S_merged`` cancels against ``S_query`` exactly, so they never affect
+    the cost (disjoint-support columns are free).
+    """
+    columns: list = []
+    values: list = []
+    get = index.get
+    for key, m in mass.items():
+        if m <= 0.0:
+            continue
+        position = get(key)
+        if position is not None:
+            columns.append(position)
+            values.append(m)
+    return columns, np.asarray(values, dtype=np.float64)
+
+
+class DenseDCFSet:
+    """A packed, read-only view of a fixed collection of DCFs.
+
+    Attributes
+    ----------
+    index:
+        ``{column key: matrix column}`` shared by all rows.
+    matrix:
+        ``(n, d)`` float64 joint masses; row ``r`` is ``dcfs[r]``.
+    weights:
+        ``(n,)`` cluster priors ``p(c)``.
+    wlogw / row_log_sums:
+        Cached ``w ln w`` and ``S = sum m ln m`` per row -- computed once at
+        pack time, never per pairwise call.
+    """
+
+    __slots__ = ("index", "matrix", "weights", "wlogw", "row_log_sums", "supports")
+
+    def __init__(self, index: dict, matrix: np.ndarray, weights: np.ndarray):
+        self.index = index
+        self.matrix = np.asarray(matrix, dtype=np.float64)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self.wlogw = _xlogx(self.weights)
+        self.row_log_sums = _xlogx(self.matrix).sum(axis=1)
+        #: Per-row nonzero columns, for support-restricted pairwise scans.
+        self.supports = [np.flatnonzero(row) for row in self.matrix]
+
+    @classmethod
+    def pack(cls, dcfs, index: dict | None = None) -> "DenseDCFSet":
+        """Pack a DCF collection over a shared (or provided) column index."""
+        dcfs = list(dcfs)
+        if not dcfs:
+            raise ValueError("cannot pack zero DCFs")
+        if index is None:
+            index = shared_index(dcfs)
+        matrix = np.zeros((len(dcfs), len(index)), dtype=np.float64)
+        weights = np.empty(len(dcfs), dtype=np.float64)
+        for r, dcf in enumerate(dcfs):
+            weights[r] = dcf.weight
+            row = matrix[r]
+            for key, m in dcf.mass.items():
+                position = index.get(key)
+                if position is not None:
+                    row[position] = m
+        return cls(index, matrix, weights)
+
+    def __len__(self) -> int:
+        return self.matrix.shape[0]
+
+
+def merge_cost_many(dense: DenseDCFSet, mass, weight: float) -> np.ndarray:
+    """``delta_I`` (bits) of merging one DCF into every row of ``dense``.
+
+    ``mass`` is the query's sparse joint-mass mapping
+    ``{column: p(c) p(t|c)}`` and ``weight`` its prior.  Runs in
+    ``O(n * |supp(query)|)`` vectorized element operations.
+    """
+    columns, values = _gather_columns(dense.index, mass)
+    base = _xlogx(dense.weights + weight) - dense.wlogw - _xlogx_scalar(weight)
+    if columns:
+        sub = dense.matrix[:, columns]
+        base += _xlogx(values).sum()
+        base += (_xlogx(sub) - _xlogx(sub + values)).sum(axis=1)
+    return _quantize(np.maximum(base / _LOG2, 0.0))
+
+
+def pairwise_merge_costs(dense: DenseDCFSet) -> np.ndarray:
+    """The full symmetric ``(n, n)`` matrix of pairwise merge costs (bits).
+
+    Row ``i`` is computed against rows ``i+1..n`` restricted to row ``i``'s
+    support, then mirrored; the diagonal is zero.
+    """
+    n = len(dense)
+    matrix, weights, wlogw = dense.matrix, dense.weights, dense.wlogw
+    out = np.zeros((n, n), dtype=np.float64)
+    for i in range(n - 1):
+        columns = dense.supports[i]
+        values = matrix[i, columns]
+        sub = matrix[i + 1 :, columns]
+        losses = (
+            _xlogx(weights[i + 1 :] + weights[i])
+            - wlogw[i + 1 :]
+            - wlogw[i]
+            + dense.row_log_sums[i]
+            + (_xlogx(sub) - _xlogx(sub + values)).sum(axis=1)
+        ) / _LOG2
+        np.maximum(losses, 0.0, out=losses)
+        losses = _quantize(losses)
+        out[i, i + 1 :] = losses
+        out[i + 1 :, i] = losses
+    return out
+
+
+def closest_entry(entries, dcf) -> tuple[int, float]:
+    """Index and cost of the entry closest to ``dcf`` (minimum ``delta_I``).
+
+    The batched twin of the DCF-tree's sparse node scan: packs only the
+    columns in ``supp(dcf)``, so cost is ``O(|entries| * |supp(dcf)|)``
+    regardless of how wide the entries' own supports are.  Ties resolve to
+    the lowest index, exactly like the sparse strict-``<`` loop.
+    """
+    keys = list(dcf.mass)
+    values = np.fromiter(dcf.mass.values(), dtype=np.float64, count=len(keys))
+    sub = np.empty((len(entries), len(keys)), dtype=np.float64)
+    for r, entry in enumerate(entries):
+        get = entry.mass.get
+        sub[r] = [get(key, 0.0) for key in keys]
+    weights = np.fromiter(
+        (entry.weight for entry in entries), dtype=np.float64, count=len(entries)
+    )
+    costs = (
+        _xlogx(weights + dcf.weight)
+        - _xlogx(weights)
+        - _xlogx_scalar(dcf.weight)
+        + _xlogx(values).sum()
+        + (_xlogx(sub) - _xlogx(sub + values)).sum(axis=1)
+    ) / _LOG2
+    np.maximum(costs, 0.0, out=costs)
+    costs = _quantize(costs)
+    best = int(np.argmin(costs))
+    return best, float(costs[best])
+
+
+class DenseMergeEngine:
+    """Incrementally growing packed store backing the dense AIB loop.
+
+    Rows are preallocated for up to ``2n - 1`` nodes so merged clusters get
+    fresh ids ``n, n+1, ...`` exactly as the sparse loop assigns them.  Per
+    node the engine caches the prior, ``w ln w``, ``S = sum m ln m`` and the
+    support column array, all computed once at construction or merge time.
+    """
+
+    __slots__ = ("index", "matrix", "weights", "wlogw", "log_sums", "supports")
+
+    def __init__(self, dcfs, index: dict | None = None):
+        dcfs = list(dcfs)
+        if not dcfs:
+            raise ValueError("cannot build a merge engine over zero DCFs")
+        self.index = shared_index(dcfs) if index is None else index
+        n = len(dcfs)
+        capacity = 2 * n - 1
+        d = len(self.index)
+        self.matrix = np.zeros((capacity, d), dtype=np.float64)
+        self.weights = np.zeros(capacity, dtype=np.float64)
+        self.wlogw = np.zeros(capacity, dtype=np.float64)
+        self.log_sums = np.zeros(capacity, dtype=np.float64)
+        self.supports: list = [None] * capacity
+        for r, dcf in enumerate(dcfs):
+            row = self.matrix[r]
+            for key, m in dcf.mass.items():
+                row[self.index[key]] = m
+            self.weights[r] = dcf.weight
+            self.wlogw[r] = _xlogx_scalar(dcf.weight)
+            self.supports[r] = np.flatnonzero(row)
+            self.log_sums[r] = _xlogx(row[self.supports[r]]).sum()
+
+    @property
+    def n_columns(self) -> int:
+        return self.matrix.shape[1]
+
+    def merge(self, i: int, j: int, new_id: int) -> None:
+        """Materialize the merged cluster of nodes ``i`` and ``j`` at ``new_id``."""
+        row = self.matrix[new_id]
+        np.add(self.matrix[i], self.matrix[j], out=row)
+        weight = self.weights[i] + self.weights[j]
+        self.weights[new_id] = weight
+        self.wlogw[new_id] = _xlogx_scalar(weight)
+        support = np.union1d(self.supports[i], self.supports[j])
+        self.supports[new_id] = support
+        self.log_sums[new_id] = _xlogx(row[support]).sum()
+
+    def costs(self, node: int, others) -> np.ndarray:
+        """Merge costs (bits) of ``node`` against each node id in ``others``.
+
+        Restricted to ``node``'s support columns while that support is
+        narrow; once it covers most of the index the full-width single-pass
+        form (using the cached per-row ``S``) is cheaper and is used
+        instead.  Either way a freshly merged cluster is compared against
+        all survivors in one vectorized sweep.
+        """
+        others = np.asarray(others, dtype=np.intp)
+        columns = self.supports[node]
+        if 2 * columns.size > self.n_columns:
+            # Wide support: one xlogx pass over full rows beats two passes
+            # over the gathered submatrix.
+            merged = self.matrix[others] + self.matrix[node]
+            tail = self.log_sums[others] - _xlogx(merged).sum(axis=1)
+        else:
+            sub = self.matrix[np.ix_(others, columns)]
+            tail = (_xlogx(sub) - _xlogx(sub + self.matrix[node, columns])).sum(axis=1)
+        losses = (
+            _xlogx(self.weights[others] + self.weights[node])
+            - self.wlogw[others]
+            - self.wlogw[node]
+            + self.log_sums[node]
+            + tail
+        ) / _LOG2
+        return _quantize(np.maximum(losses, 0.0))
+
+
+class CandidateMatrix:
+    """Pairwise candidate store with cached per-row minima.
+
+    The dense twin of the sparse AIB loop's lazy-deletion heap.  Cell
+    ``(a, b)`` (``a < b``, both alive) holds the merge cost computed when
+    the younger node was born; dead and unborn pairs are ``+inf``.
+    :meth:`best` returns the lexicographically smallest ``(cost, a, b)``
+    triple -- ``np.argmin``'s first-occurrence rule over id-ordered rows and
+    columns implements exactly the heap's ``(loss, node ids)`` tie-break, so
+    the selected merge sequence is identical.
+    """
+
+    __slots__ = ("costs", "row_min", "row_argmin")
+
+    def __init__(self, capacity: int):
+        self.costs = np.full((capacity, capacity), np.inf, dtype=np.float64)
+        self.row_min = np.full(capacity, np.inf, dtype=np.float64)
+        self.row_argmin = np.zeros(capacity, dtype=np.intp)
+
+    def fill_row(self, a: int, costs: np.ndarray) -> None:
+        """Set the costs of pairs ``(a, a+1 .. a+len(costs))``."""
+        self.costs[a, a + 1 : a + 1 + costs.size] = costs
+        self._rescan(a)
+
+    def _rescan(self, a: int) -> None:
+        row = self.costs[a]
+        b = int(np.argmin(row))
+        self.row_min[a] = row[b]
+        self.row_argmin[a] = b
+
+    def best(self) -> tuple[int, int, float]:
+        """The minimum-cost alive pair ``(a, b, cost)``, heap-tie-broken."""
+        a = int(np.argmin(self.row_min))
+        return a, int(self.row_argmin[a]), float(self.row_min[a])
+
+    def merge(self, i: int, j: int, new_id: int, others, new_costs) -> None:
+        """Retire ``i``/``j``, add ``new_id``'s pairs, refresh cached minima.
+
+        ``others`` are the surviving node ids and ``new_costs`` their costs
+        against the merged cluster (pairs ``(other, new_id)``, since
+        ``new_id`` is always the largest id).
+        """
+        costs = self.costs
+        costs[i, :] = np.inf
+        costs[:, i] = np.inf
+        costs[j, :] = np.inf
+        costs[:, j] = np.inf
+        self.row_min[i] = self.row_min[j] = np.inf
+        stale = np.flatnonzero(
+            (self.row_argmin == i) | (self.row_argmin == j)
+        )
+        if len(others):
+            others = np.asarray(others, dtype=np.intp)
+            new_costs = np.asarray(new_costs, dtype=np.float64)
+            costs[others, new_id] = new_costs
+            # Strict < keeps the smaller column id on ties (new_id is the
+            # largest id, so the incumbent wins them, as in the heap).
+            better = new_costs < self.row_min[others]
+            improved = others[better]
+            self.row_min[improved] = new_costs[better]
+            self.row_argmin[improved] = new_id
+        for a in stale:
+            if a != i and a != j:
+                self._rescan(int(a))

@@ -170,3 +170,87 @@ class TestValueClusteringIntegration:
         for summary in limbo.summaries:
             if frozenset(summary.members) == frozenset({ids["a"], ids["1"]}):
                 assert summary.support == {"A": 2, "B": 2}
+
+
+class RecordingBudget:
+    """Fake budget capturing every cooperative checkpoint call."""
+
+    def __init__(self):
+        self.calls = []
+
+    def checkpoint(self, units=1, where=""):
+        self.calls.append((units, where))
+
+
+class TestAssignCheckpointCadence:
+    """Regression for the Phase-3 loop-variable shadowing bug.
+
+    The inner representative scan used to reuse the outer object loop's
+    ``index`` variable; these tests pin the checkpoint cadence (one call per
+    ``_CHECK_EVERY`` objects, charged ``_CHECK_EVERY * len(reps)`` units) so
+    any reintroduction of the shadowing -- or a silent cadence change --
+    fails loudly.
+    """
+
+    @staticmethod
+    def _fitted_limbo(n_objects, budget=None, backend="auto"):
+        rows = [{i % 7: 0.5, (i % 7) + 7: 0.5} for i in range(n_objects)]
+        priors = [1.0 / n_objects] * n_objects
+        limbo = Limbo(phi=0.0, budget=budget, backend=backend)
+        return limbo.fit(rows, priors), rows, priors
+
+    def test_sparse_path_cadence(self):
+        from repro.clustering.limbo import _CHECK_EVERY
+
+        n = 3 * _CHECK_EVERY + 5
+        limbo, rows, priors = self._fitted_limbo(n)
+        budget = RecordingBudget()
+        limbo.budget = budget
+        reps = [s.copy() for s in limbo.summaries[:3]]  # below the dense min
+        limbo.assign(reps)
+        assign_calls = [c for c in budget.calls if c[1] == "limbo.assign"]
+        assert len(assign_calls) == -(-n // _CHECK_EVERY)  # ceil
+        assert all(units == _CHECK_EVERY * len(reps) for units, _ in assign_calls)
+
+    def test_dense_path_cadence_matches_sparse(self):
+        from repro import kernels
+        from repro.clustering.limbo import _CHECK_EVERY
+
+        n = 2 * _CHECK_EVERY
+        limbo, rows, priors = self._fitted_limbo(n)
+        reps = [s.copy() for s in limbo.summaries[: kernels.DENSE_MIN_REPRESENTATIVES]]
+        counts = {}
+        for backend in ("sparse", "dense"):
+            budget = RecordingBudget()
+            limbo.budget = budget
+            limbo.backend = backend
+            limbo.assign(reps)
+            counts[backend] = [c for c in budget.calls if c[1] == "limbo.assign"]
+        assert counts["sparse"] == counts["dense"]
+        assert len(counts["sparse"]) == n // _CHECK_EVERY
+
+    def test_assignment_unaffected_by_many_representatives(self):
+        from repro.clustering.limbo import _CHECK_EVERY
+
+        # With len(reps) > _CHECK_EVERY the old shadowed index would have
+        # desynchronized anything reading it after the inner scan; every
+        # object must still land on its own (zero-cost) representative.
+        n = _CHECK_EVERY + 6
+        rows = [{i: 1.0} for i in range(n)]
+        priors = [1.0 / n] * n
+        limbo = Limbo(phi=0.0, backend="sparse").fit(rows, priors)
+        reps = limbo.summaries
+        assert len(reps) > _CHECK_EVERY
+        assignment = limbo.assign(reps)
+        assert len(assignment) == n
+        assert all(reps[a].members == [i] for i, a in enumerate(assignment))
+
+    def test_backends_agree_on_assignment(self):
+        limbo, rows, priors = self._fitted_limbo(40)
+        reps = [s.copy() for s in limbo.summaries]
+        sparse = dense = None
+        limbo.backend = "sparse"
+        sparse = limbo.assign(reps)
+        limbo.backend = "dense"
+        dense = limbo.assign(reps)
+        assert sparse == dense

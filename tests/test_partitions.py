@@ -98,3 +98,96 @@ class TestRefines:
         pa = partition_of(rel, ["A"])
         pb = partition_of(rel, ["B"])
         assert not pa.refines(pb)  # tuples 2,3 agree on A, differ on B
+
+
+def _refines_reference(left: Partition, right: Partition) -> bool:
+    """The original dict-based refinement check, kept as the parity oracle."""
+    owner = {}
+    for class_index, members in enumerate(right.classes):
+        for row in members:
+            owner[row] = class_index
+    for members in left.classes:
+        first = owner.get(members[0], ("single", members[0]))
+        for row in members[1:]:
+            if owner.get(row, ("single", row)) != first:
+                return False
+    return True
+
+
+def _product_reference(left: Partition, right: Partition) -> Partition:
+    """The original dict-based TANE product, kept as the parity oracle."""
+    label: dict = {}
+    for class_index, members in enumerate(left.classes):
+        for row in members:
+            label[row] = class_index
+    classes = []
+    for members in right.classes:
+        sub: dict = {}
+        for row in members:
+            owner = label.get(row)
+            if owner is not None:
+                sub.setdefault(owner, []).append(row)
+        classes.extend(group for group in sub.values() if len(group) > 1)
+    return Partition.from_classes(classes, left.n_rows)
+
+
+class TestLabelArrayParity:
+    """The label-array fast paths agree with the dict-based reference."""
+
+    @staticmethod
+    def _random_relation(seed, n_rows=60, n_attributes=4, cardinality=5):
+        import random
+
+        rng = random.Random(seed)
+        names = [f"A{i}" for i in range(n_attributes)]
+        rows = [
+            tuple(str(rng.randrange(cardinality)) for _ in names)
+            for _ in range(n_rows)
+        ]
+        return Relation(names, rows)
+
+    def test_labels_round_trip(self, rel):
+        part = partition_of(rel, ["A"])
+        labels = part.labels
+        for class_index, members in enumerate(part.classes):
+            assert all(labels[row] == class_index for row in members)
+        covered = {row for members in part.classes for row in members}
+        for row in range(part.n_rows):
+            if row not in covered:
+                assert labels[row] == -1
+
+    def test_refines_matches_reference_on_random_relations(self):
+        for seed in range(8):
+            relation = self._random_relation(seed)
+            names = relation.schema.names
+            partitions = [partition_of(relation, [a]) for a in names]
+            partitions.append(partition_of(relation, names[:2]))
+            partitions.append(partition_of(relation, names))
+            for left in partitions:
+                for right in partitions:
+                    assert left.refines(right) == _refines_reference(left, right), (
+                        seed, left, right,
+                    )
+
+    def test_product_matches_reference_on_random_relations(self):
+        for seed in range(8):
+            relation = self._random_relation(seed, n_rows=80)
+            names = relation.schema.names
+            partitions = [partition_of(relation, [a]) for a in names]
+            for left in partitions:
+                for right in partitions:
+                    fast = product(left, right)
+                    assert fast == _product_reference(left, right), (seed, left, right)
+
+    def test_product_matches_direct_partition(self):
+        for seed in (3, 4):
+            relation = self._random_relation(seed, n_rows=50)
+            names = relation.schema.names
+            for a in names:
+                for b in names:
+                    if a == b:
+                        continue
+                    combined = product(
+                        partition_of(relation, [a]), partition_of(relation, [b])
+                    )
+                    assert combined == partition_of(relation, [a, b])
