@@ -62,6 +62,7 @@ from repro.errors import (
     SchemaError,
     StageFailure,
 )
+from repro.parallel import ShardedExecutor
 from repro.relation import (
     NULL,
     Attribute,
@@ -104,6 +105,7 @@ __all__ = [
     "ResourceLimitExceeded",
     "Schema",
     "SchemaError",
+    "ShardedExecutor",
     "StageFailure",
     "StructureDiscovery",
     "TupleClusteringResult",

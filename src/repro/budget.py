@@ -8,6 +8,22 @@ first checkpoint past the deadline or the unit cap raises
 unbounded.  Checkpoints are cheap (one ``time.monotonic`` call), so the
 granularity is set by the caller's batching, not by the budget itself.
 
+Deadlines are **absolute**: the budget captures ``deadline_at = now +
+deadline`` once at construction and every check compares the clock against
+that fixed instant.  This is what makes budgets meaningful under sharded
+parallel execution (:mod:`repro.parallel`): a budget pickled into a worker
+process re-anchors the *remaining* wall-clock allowance (via ``time.time``,
+which is comparable across processes, unlike per-process monotonic epochs)
+and the *remaining* unit allowance, so no worker can restart the clock or
+the counter from zero.
+
+Work units compose shard-local-then-summed: each shard accounts for its own
+iterations and the coordinating process folds them back in with
+:meth:`Budget.charge` as shard results arrive.  The first charge that
+crosses the cap raises, so a parallel run can overshoot by at most one
+shard's units -- not by ``workers x checkpoint-cadence`` as naive
+per-process counters would allow.
+
 The clock is injectable for deterministic tests: pass any zero-argument
 callable returning seconds.
 """
@@ -35,7 +51,8 @@ class Budget:
         Monotonic-seconds source (injectable for tests).
     """
 
-    __slots__ = ("deadline", "max_units", "_clock", "_start", "_units")
+    __slots__ = ("deadline", "max_units", "_clock", "_start", "_deadline_at",
+                 "_units")
 
     def __init__(self, deadline: float | None = None,
                  max_units: int | None = None, clock=time.monotonic):
@@ -47,6 +64,7 @@ class Budget:
         self.max_units = max_units
         self._clock = clock
         self._start = clock()
+        self._deadline_at = None if deadline is None else self._start + deadline
         self._units = 0
 
     # -- accounting --------------------------------------------------------------
@@ -63,13 +81,19 @@ class Budget:
 
     def remaining_seconds(self) -> float | None:
         """Seconds left before the deadline (``None`` = unlimited)."""
-        if self.deadline is None:
+        if self._deadline_at is None:
             return None
-        return self.deadline - self.elapsed
+        return self._deadline_at - self._clock()
+
+    def remaining_units(self) -> int | None:
+        """Work units left under the cap (``None`` = unlimited)."""
+        if self.max_units is None:
+            return None
+        return max(0, self.max_units - self._units)
 
     def exhausted(self) -> bool:
         """Whether either limit has already been crossed (non-raising)."""
-        if self.deadline is not None and self.elapsed > self.deadline:
+        if self._deadline_at is not None and self._clock() > self._deadline_at:
             return True
         if self.max_units is not None and self._units > self.max_units:
             return True
@@ -90,14 +114,59 @@ class Budget:
                 f"({self._units} > {self.max_units} units)",
                 where=where, units=self._units, max_units=self.max_units,
             )
-        if self.deadline is not None:
+        if self._deadline_at is not None and self._clock() > self._deadline_at:
             elapsed = self.elapsed
-            if elapsed > self.deadline:
-                raise ResourceLimitExceeded(
-                    f"deadline exceeded at {where or 'checkpoint'} "
-                    f"({elapsed:.3f}s > {self.deadline:.3f}s)",
-                    where=where, elapsed=elapsed, deadline=self.deadline,
-                )
+            raise ResourceLimitExceeded(
+                f"deadline exceeded at {where or 'checkpoint'} "
+                f"({elapsed:.3f}s > {self.deadline:.3f}s)",
+                where=where, elapsed=elapsed, deadline=self.deadline,
+            )
+
+    def charge(self, units: int, where: str = "") -> None:
+        """Fold a shard's locally-counted units back into this budget.
+
+        Semantically identical to :meth:`checkpoint`; the separate name
+        marks the shard-local-then-summed accounting sites in
+        :mod:`repro.parallel`, where ``units`` is a whole shard's count
+        rather than one cadence step.
+        """
+        self.checkpoint(units=units, where=where)
+
+    # -- process portability -----------------------------------------------------
+
+    def __getstate__(self):
+        """Serialize the *remaining* allowance, wall-clock anchored.
+
+        Monotonic epochs are per-process state; a pickled budget instead
+        carries its remaining deadline plus a ``time.time`` stamp so the
+        receiving process (a :mod:`repro.parallel` worker, possibly under
+        the ``spawn`` start method) resumes with whatever allowance is
+        genuinely left -- including queue time spent in transit.
+        """
+        return {
+            "deadline": self.deadline,
+            "max_units": self.max_units,
+            "remaining_seconds": self.remaining_seconds(),
+            "remaining_units": self.remaining_units(),
+            "wall_at": time.time(),
+        }
+
+    def __setstate__(self, state) -> None:
+        self.deadline = state["deadline"]
+        self.max_units = state["max_units"]
+        self._clock = time.monotonic
+        self._start = self._clock()
+        remaining = state["remaining_seconds"]
+        if remaining is None:
+            self._deadline_at = None
+        else:
+            in_transit = max(0.0, time.time() - state["wall_at"])
+            self._deadline_at = self._start + remaining - in_transit
+        if state["remaining_units"] is None:
+            self._units = 0
+        else:
+            # Re-anchor the counter so the cap reflects what is left.
+            self._units = (self.max_units or 0) - state["remaining_units"]
 
     def __repr__(self) -> str:
         limits = []
@@ -112,3 +181,9 @@ def checkpoint(budget: Budget | None, units: int = 1, where: str = "") -> None:
     """``budget.checkpoint`` that tolerates ``budget=None`` (the common case)."""
     if budget is not None:
         budget.checkpoint(units=units, where=where)
+
+
+def charge(budget: Budget | None, units: int, where: str = "") -> None:
+    """``budget.charge`` that tolerates ``budget=None`` (the common case)."""
+    if budget is not None:
+        budget.charge(units=units, where=where)

@@ -47,6 +47,29 @@ EXIT_RESOURCE_LIMIT = 3
 EXIT_INTERRUPT = 130
 
 
+def _workers_arg(value: str):
+    """argparse type for ``--workers``: ``auto`` or a positive integer."""
+    if value == "auto":
+        return "auto"
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--workers must be 'auto' or a positive integer, got {value!r}"
+        )
+    if count < 1:
+        raise argparse.ArgumentTypeError("--workers must be >= 1")
+    return count
+
+
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=_workers_arg, default=None, metavar="N",
+        help="parallel worker processes ('auto' = one per core; default: "
+        "sequential execution); any N produces bit-identical output",
+    )
+
+
 def _add_csv_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("csv", help="input relation (headered CSV; empty field = NULL)")
     parser.add_argument(
@@ -79,9 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict-stages", action="store_true",
         help="fail the run on the first stage failure instead of degrading",
     )
+    _add_workers_argument(discover)
 
     rank = commands.add_parser("rank", help="rank mined dependencies")
     _add_csv_argument(rank)
+    _add_workers_argument(rank)
     rank.add_argument("--psi", type=float, default=0.5)
     rank.add_argument("--phi-v", type=float, default=0.0)
     rank.add_argument(
@@ -174,31 +199,42 @@ def _cmd_discover(args) -> int:
     relation = _load_relation(args)
     report = StructureDiscovery(
         phi_t=args.phi_t, phi_v=args.phi_v, psi=args.psi,
-        strict=args.strict_stages,
+        strict=args.strict_stages, workers=args.workers,
     ).run(relation, budget=_budget_of(args))
     print(report.render(top=args.top))
     return EXIT_OK
 
 
 def _cmd_rank(args) -> int:
+    from repro.parallel import ShardedExecutor
+
     relation = _load_relation(args)
     budget = _budget_of(args)
-    miner = args.miner
-    if miner == "auto":
-        miner = "fdep" if len(relation) <= 2000 else "tane"
-    if miner == "fdep":
-        fds = fdep(relation, budget=budget)
-    else:
-        fds = tane(relation, max_lhs_size=3, budget=budget)
-    cover = minimum_cover(fds, group_rhs=True)
-    print(f"{len(fds)} dependencies mined ({miner}); cover of {len(cover)}")
-    grouping = group_attributes(relation, phi_v=args.phi_v, budget=budget)
-    for entry in fd_rank(cover, grouping, psi=args.psi)[: args.top]:
-        report = redundancy_report(relation, entry.fd)
-        print(
-            f"  {entry.fd}  rank={entry.rank:.4f} "
-            f"RAD={report['rad']:.3f} RTR={report['rtr']:.3f}"
+    executor = None
+    if args.workers is not None:
+        executor = ShardedExecutor(workers=args.workers, budget=budget)
+    try:
+        miner = args.miner
+        if miner == "auto":
+            miner = "fdep" if len(relation) <= 2000 else "tane"
+        if miner == "fdep":
+            fds = fdep(relation, budget=budget, executor=executor)
+        else:
+            fds = tane(relation, max_lhs_size=3, budget=budget, executor=executor)
+        cover = minimum_cover(fds, group_rhs=True)
+        print(f"{len(fds)} dependencies mined ({miner}); cover of {len(cover)}")
+        grouping = group_attributes(
+            relation, phi_v=args.phi_v, budget=budget, executor=executor
         )
+        for entry in fd_rank(cover, grouping, psi=args.psi)[: args.top]:
+            report = redundancy_report(relation, entry.fd)
+            print(
+                f"  {entry.fd}  rank={entry.rank:.4f} "
+                f"RAD={report['rad']:.3f} RTR={report['rtr']:.3f}"
+            )
+    finally:
+        if executor is not None:
+            executor.close()
     return EXIT_OK
 
 

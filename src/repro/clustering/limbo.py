@@ -58,11 +58,18 @@ class Limbo:
         to the DCF-tree scans (Phase 1), AIB (Phase 2) and the association
         loop (Phase 3).  ``auto`` lets each phase pick the vectorized
         :mod:`repro.kernels` path when its input is large enough to win.
+    executor:
+        Optional :class:`repro.parallel.ShardedExecutor`.  When given,
+        Phase 1 runs the *sharded* algorithm (per-shard summarization, then
+        a cross-shard merge) and Phase 3 associates objects in parallel
+        blocks.  The shard layout depends only on the input size and the
+        executor's ``shard_size``, never on its worker count, so any
+        ``workers=N`` produces bit-identical results to ``workers=1``.
     """
 
     def __init__(self, phi: float = 0.0, branching: int = 4,
                  max_summaries: int | None = None, budget=None,
-                 backend: str = "auto"):
+                 backend: str = "auto", executor=None):
         if phi < 0.0:
             raise ValueError("phi must be non-negative")
         if max_summaries is not None and max_summaries < 1:
@@ -72,6 +79,7 @@ class Limbo:
         self.max_summaries = max_summaries
         self.budget = budget
         self.backend = kernels.validate_backend(backend)
+        self.executor = executor
         self._rows: list | None = None
         self._priors: list | None = None
         self._supports: list | None = None
@@ -113,13 +121,16 @@ class Limbo:
         self._threshold = self.phi * mutual_information / len(rows)
 
         fault_point("limbo.fit")
-        tree = DCFTree(self._threshold, branching=self.branching, backend=self.backend)
-        for index, (row, prior) in enumerate(zip(rows, priors)):
-            if index % _CHECK_EVERY == 0:
-                checkpoint(self.budget, units=_CHECK_EVERY, where="limbo.fit")
-            support = supports[index] if supports is not None else None
-            tree.insert(DCF.singleton(index, prior, row, support=support))
-        summaries = tree.leaves()
+        if self.executor is not None:
+            summaries = self._fit_sharded(rows, priors, supports)
+        else:
+            tree = DCFTree(self._threshold, branching=self.branching, backend=self.backend)
+            for index, (row, prior) in enumerate(zip(rows, priors)):
+                if index % _CHECK_EVERY == 0:
+                    checkpoint(self.budget, units=_CHECK_EVERY, where="limbo.fit")
+                support = supports[index] if supports is not None else None
+                tree.insert(DCF.singleton(index, prior, row, support=support))
+            summaries = tree.leaves()
 
         threshold = self._threshold
         while self.max_summaries is not None and len(summaries) > self.max_summaries:
@@ -133,6 +144,49 @@ class Limbo:
         self._rows, self._priors, self._supports = rows, priors, supports
         self._summaries = summaries
         return self
+
+    def _fit_sharded(self, rows, priors, supports) -> list[DCF]:
+        """Sharded Phase 1: per-shard summarization + cross-shard merge.
+
+        The shard layout is :func:`repro.parallel.shards.shard_bounds` of
+        ``(len(rows), executor.shard_size)`` -- a pure function of the
+        input, so every worker count executes identical shards.  At
+        ``threshold <= 0`` (the ``phi = 0`` degenerate case) the merge step
+        groups shard leaves by their members' original rows -- keys taken
+        from the untouched input, so no accumulated float noise can split a
+        group; at positive thresholds the shard leaves are re-inserted into
+        a fresh DCF-tree with the same threshold, the same device the
+        ``max_summaries`` rebuild loop already uses.
+        """
+        from repro.parallel import shards, tasks
+
+        bounds = shards.shard_bounds(len(rows), self.executor.shard_size)
+        payloads = [
+            (
+                start,
+                rows[start:stop],
+                priors[start:stop],
+                supports[start:stop] if supports is not None else None,
+                self._threshold,
+                self.branching,
+                self.backend,
+            )
+            for start, stop in bounds
+        ]
+        shard_leaves = self.executor.map(
+            tasks.fit_shard,
+            payloads,
+            units=[stop - start for start, stop in bounds],
+            where="limbo.fit",
+            budget=self.budget,
+        )
+        if self._threshold <= 0.0:
+            return merge_identical_leaves(shard_leaves, rows)
+        tree = DCFTree(self._threshold, branching=self.branching, backend=self.backend)
+        for leaves in shard_leaves:
+            for leaf in leaves:
+                tree.insert(leaf)
+        return tree.leaves()
 
     @property
     def summaries(self) -> list[DCF]:
@@ -197,34 +251,23 @@ class Limbo:
         if not reps:
             raise ValueError("need at least one representative")
         fault_point("limbo.assign")
-        packed = None
-        if kernels.use_dense(
-            self.backend, len(reps), minimum=kernels.DENSE_MIN_REPRESENTATIVES
-        ):
-            packed = kernels.DenseDCFSet.pack(reps)
-        assignment = []
-        for index, (row, prior) in enumerate(zip(rows, priors)):
-            if index % _CHECK_EVERY == 0:
-                checkpoint(
-                    self.budget,
-                    units=_CHECK_EVERY * len(reps),
+        if self.executor is not None and self.executor.parallel:
+            from repro.parallel import shards, tasks
+
+            bounds = shards.shard_bounds(len(rows), self.executor.shard_size)
+            if len(bounds) > 1:
+                blocks = self.executor.map(
+                    tasks.assign_block,
+                    [
+                        (reps, rows[start:stop], priors[start:stop], self.backend)
+                        for start, stop in bounds
+                    ],
+                    units=[(stop - start) * len(reps) for start, stop in bounds],
                     where="limbo.assign",
+                    budget=self.budget,
                 )
-            if packed is not None:
-                if prior <= 0.0:
-                    raise ValueError("cluster prior must be positive")
-                mass = {key: prior * p for key, p in row.items() if p > 0.0}
-                costs = kernels.merge_cost_many(packed, mass, prior)
-                assignment.append(int(costs.argmin()))
-                continue
-            singleton = DCF(prior, row)
-            best_index, best_cost = 0, merge_cost(reps[0], singleton)
-            for rep_index in range(1, len(reps)):
-                cost = merge_cost(reps[rep_index], singleton)
-                if cost < best_cost:
-                    best_index, best_cost = rep_index, cost
-            assignment.append(best_index)
-        return assignment
+                return [index for block in blocks for index in block]
+        return assign_rows(reps, rows, priors, self.backend, budget=self.budget)
 
     def cluster(self, k: int) -> list[int]:
         """Run Phases 2+3 and return a cluster index per fitted object."""
@@ -247,6 +290,97 @@ class Limbo:
     def _require_fitted(self) -> None:
         if self._summaries is None:
             raise RuntimeError("call fit() first")
+
+
+def assign_rows(representatives, rows, priors, backend, budget=None) -> list[int]:
+    """Associate each row with its closest representative (Phase 3 core).
+
+    The single implementation behind both the sequential
+    :meth:`Limbo.assign` path and the parallel ``assign_block`` task: each
+    object's assignment depends only on its own row, so block boundaries
+    cannot change any result.
+    """
+    reps = list(representatives)
+    packed = None
+    if kernels.use_dense(
+        backend, len(reps), minimum=kernels.DENSE_MIN_REPRESENTATIVES
+    ):
+        packed = kernels.DenseDCFSet.pack(reps)
+    assignment = []
+    for index, (row, prior) in enumerate(zip(rows, priors)):
+        if index % _CHECK_EVERY == 0:
+            checkpoint(
+                budget,
+                units=_CHECK_EVERY * len(reps),
+                where="limbo.assign",
+            )
+        if packed is not None:
+            if prior <= 0.0:
+                raise ValueError("cluster prior must be positive")
+            mass = {key: prior * p for key, p in row.items() if p > 0.0}
+            costs = kernels.merge_cost_many(packed, mass, prior)
+            assignment.append(int(costs.argmin()))
+            continue
+        singleton = DCF(prior, row)
+        best_index, best_cost = 0, merge_cost(reps[0], singleton)
+        for rep_index in range(1, len(reps)):
+            cost = merge_cost(reps[rep_index], singleton)
+            if cost < best_cost:
+                best_index, best_cost = rep_index, cost
+        assignment.append(best_index)
+    return assignment
+
+
+def _row_signature(row) -> tuple:
+    """A hashable, bitwise-exact identity for a conditional row."""
+    return tuple(sorted(row.items()))
+
+
+def summarize_identical(start, rows, priors, supports=None) -> list[DCF]:
+    """Group objects with identical conditionals into one DCF each.
+
+    The degenerate ``phi = 0`` Phase 1 (only zero-loss merges are allowed,
+    and ``delta_I = 0`` exactly when the conditionals coincide -- Section
+    5.2 notes LIMBO then reduces to AIB over the distinct objects) in one
+    linear pass: no DCF-tree, no per-insert closest-entry scans.  Members
+    accumulate in stream order, exactly as the tree's absorb order would.
+    ``start`` offsets local indices to global ones for sharded use.
+    """
+    groups: dict = {}
+    order: list = []
+    for local, (row, prior) in enumerate(zip(rows, priors)):
+        key = _row_signature(row)
+        support = supports[local] if supports is not None else None
+        singleton = DCF.singleton(start + local, prior, row, support=support)
+        existing = groups.get(key)
+        if existing is None:
+            groups[key] = singleton
+            order.append(key)
+        else:
+            existing.absorb(singleton)
+    return [groups[key] for key in order]
+
+
+def merge_identical_leaves(shard_leaves, rows) -> list[DCF]:
+    """Cross-shard merge for the ``phi = 0`` sharded Phase 1.
+
+    Groups are keyed on the *original* row of each leaf's first member --
+    input data untouched by any accumulation, so two shards summarizing the
+    same duplicate cannot disagree on the key by float noise.  Leaves merge
+    in shard order, preserving global stream order within every group.
+    """
+    groups: dict = {}
+    order: list = []
+    for leaves in shard_leaves:
+        for leaf in leaves:
+            key = _row_signature(rows[leaf.members[0]])
+            existing = groups.get(key)
+            if existing is None:
+                groups[key] = leaf
+                order.append(key)
+            else:
+                existing.absorb(leaf)
+    return [groups[key] for key in order]
 
 
 def clustering_information(rows, priors, assignment) -> float:

@@ -83,6 +83,7 @@ def group_attributes(
     value_clustering: ValueClusteringResult | None = None,
     include_all_groups: bool = False,
     budget=None,
+    executor=None,
 ) -> AttributeGroupingResult:
     """Cluster the attributes of ``A^D`` by shared duplicate values.
 
@@ -104,7 +105,7 @@ def group_attributes(
         if relation is None:
             raise ValueError("pass either a relation or a value_clustering")
         value_clustering = cluster_values(
-            relation, phi_v=phi_v, phi_t=phi_t, budget=budget
+            relation, phi_v=phi_v, phi_t=phi_t, budget=budget, executor=executor
         )
 
     groups = (
@@ -127,7 +128,9 @@ def group_attributes(
         DCF.singleton(i, prior, row, support=dict(counts))
         for i, (row, counts) in enumerate(zip(matrix_f.rows, matrix_f.counts))
     ]
-    result = aib(dcfs, labels=matrix_f.attribute_names, budget=budget)
+    result = aib(
+        dcfs, labels=matrix_f.attribute_names, budget=budget, executor=executor
+    )
     return AttributeGroupingResult(
         matrix_f=matrix_f,
         aib_result=result,

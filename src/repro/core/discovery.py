@@ -239,6 +239,20 @@ class StructureDiscovery:
     budget:
         A default :class:`repro.budget.Budget` applied to every ``run``
         (``run``'s own ``budget`` argument overrides it).
+    workers:
+        ``None`` (default) keeps every stage on its sequential code path,
+        exactly as before the parallel layer existed.  ``"auto"`` or a
+        positive integer runs each ``run`` with a
+        :class:`repro.parallel.ShardedExecutor`: LIMBO Phase 1 shards, the
+        FD miners' fan-outs and the grouping's candidate build distribute
+        across that many worker processes.  The shard layout depends only
+        on the data, so any worker count yields bit-identical reports; an
+        extra ``"parallel"`` entry in the health section records whether
+        the pool ran cleanly or degraded to sequential execution.
+    start_method:
+        Multiprocessing start method for the pool (``"fork"`` /
+        ``"spawn"``); ``None`` resolves from the platform and the
+        ``REPRO_PARALLEL_START_METHOD`` environment variable.
     """
 
     def __init__(
@@ -250,6 +264,8 @@ class StructureDiscovery:
         miner: str = "auto",
         strict: bool = False,
         budget: Budget | None = None,
+        workers=None,
+        start_method: str | None = None,
     ):
         if miner not in ("auto", "fdep", "tane"):
             raise ValueError("miner must be 'auto', 'fdep' or 'tane'")
@@ -260,6 +276,8 @@ class StructureDiscovery:
         self.miner = miner
         self.strict = strict
         self.budget = budget
+        self.workers = workers
+        self.start_method = start_method
 
     # -- the stage guard ---------------------------------------------------------
 
@@ -318,10 +336,38 @@ class StructureDiscovery:
         budget = budget if budget is not None else self.budget
         outcomes: list[StageOutcome] = []
 
+        executor = None
+        if self.workers is not None:
+            from repro.parallel import ShardedExecutor
+
+            executor = ShardedExecutor(
+                workers=self.workers, start_method=self.start_method,
+                budget=budget,
+            )
+        try:
+            report = self._run_stages(relation, budget, outcomes, executor)
+        finally:
+            if executor is not None:
+                executor.close()
+        if executor is not None:
+            if executor.events:
+                outcomes.append(StageOutcome(
+                    stage="parallel", status="degraded",
+                    detail="; ".join(e.render() for e in executor.events),
+                    fallback="sequential execution",
+                ))
+            else:
+                outcomes.append(StageOutcome(
+                    stage="parallel", status="ok",
+                    detail="sharded execution, no pool incidents",
+                ))
+        return report
+
+    def _run_stages(self, relation, budget, outcomes, executor) -> DiscoveryReport:
         tuples = self._guarded(
             "tuple_clustering", outcomes,
             primary=lambda: cluster_tuples(
-                relation, phi_t=self.phi_t, budget=budget
+                relation, phi_t=self.phi_t, budget=budget, executor=executor
             ),
             fallbacks=[
                 ("exact-duplicate scan", lambda: _exact_duplicate_groups(relation)),
@@ -337,6 +383,7 @@ class StructureDiscovery:
             primary=lambda: cluster_values(
                 relation, phi_v=self.phi_v,
                 phi_t=self.double_clustering_phi_t, budget=budget,
+                executor=executor,
             ),
             fallbacks=[
                 (
@@ -357,7 +404,7 @@ class StructureDiscovery:
             grouping = self._guarded(
                 "attribute_grouping", outcomes,
                 primary=lambda: group_attributes(
-                    value_clustering=values, budget=budget
+                    value_clustering=values, budget=budget, executor=executor
                 ),
                 default=None,
             )
@@ -370,7 +417,7 @@ class StructureDiscovery:
 
         dependencies = self._guarded(
             "mining", outcomes,
-            primary=lambda: self._mine(relation, budget),
+            primary=lambda: self._mine(relation, budget, executor),
             fallbacks=[
                 (
                     f"FDEP over a {_SAMPLE_CAP}-tuple deterministic sample",
@@ -433,14 +480,14 @@ class StructureDiscovery:
             outcomes=outcomes,
         )
 
-    def _mine(self, relation: Relation, budget: Budget | None) -> list:
+    def _mine(self, relation: Relation, budget: Budget | None, executor=None) -> list:
         """The configured miner over the full relation (budgeted)."""
         miner = self.miner
         if miner == "auto":
             miner = "fdep" if len(relation) <= _FDEP_TUPLE_LIMIT else "tane"
         if miner == "fdep":
-            return fdep(relation, budget=budget)
-        return tane(relation, budget=budget)
+            return fdep(relation, budget=budget, executor=executor)
+        return tane(relation, budget=budget, executor=executor)
 
     def _rank_without_grouping(self, cover) -> list[RankedFD]:
         """Rank when attribute grouping is unavailable: cover order.

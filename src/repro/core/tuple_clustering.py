@@ -67,6 +67,7 @@ def cluster_tuples(
     branching: int = 4,
     value_scope: str = "global",
     budget=None,
+    executor=None,
 ) -> TupleClusteringResult:
     """Run the duplicate-tuple procedure of Section 6.1.1.
 
@@ -78,7 +79,9 @@ def cluster_tuples(
        candidate duplicate groups.
     """
     view = build_tuple_view(relation, value_scope=value_scope)
-    limbo = Limbo(phi=phi_t, branching=branching, budget=budget).fit(
+    limbo = Limbo(
+        phi=phi_t, branching=branching, budget=budget, executor=executor
+    ).fit(
         view.rows, view.priors, mutual_information=view.mutual_information()
     )
     summaries = limbo.summaries

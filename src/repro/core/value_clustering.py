@@ -95,6 +95,7 @@ def cluster_values(
     branching: int = 4,
     value_scope: str = "global",
     budget=None,
+    executor=None,
 ) -> ValueClusteringResult:
     """Run the attribute-value clustering procedure of Section 6.2.
 
@@ -114,7 +115,9 @@ def cluster_values(
     tuple_clusters = None
     if phi_t is not None:
         tuple_view = build_tuple_view(relation, value_scope=value_scope)
-        tuple_limbo = Limbo(phi=phi_t, branching=branching, budget=budget).fit(
+        tuple_limbo = Limbo(
+            phi=phi_t, branching=branching, budget=budget, executor=executor
+        ).fit(
             tuple_view.rows,
             tuple_view.priors,
             mutual_information=tuple_view.mutual_information(),
@@ -131,7 +134,9 @@ def cluster_values(
     view = build_value_view(
         relation, value_scope=value_scope, tuple_clusters=tuple_clusters
     )
-    limbo = Limbo(phi=phi_v, branching=branching, budget=budget).fit(
+    limbo = Limbo(
+        phi=phi_v, branching=branching, budget=budget, executor=executor
+    ).fit(
         view.rows,
         view.priors,
         supports=view.support,

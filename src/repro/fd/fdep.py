@@ -29,14 +29,25 @@ from repro.testing.faults import fault_point
 #: Pair-scan iterations between cooperative budget checkpoints.
 _CHECK_EVERY = 512
 
+#: Minimum tuple count before the pair scan fans out to worker processes.
+_PARALLEL_MIN_TUPLES = 64
 
-def agree_sets(relation, budget=None) -> set[frozenset]:
+#: Target tuple pairs per parallel block of the scan.
+_PAIRS_PER_BLOCK = 16_384
+
+
+def agree_sets(relation, budget=None, executor=None) -> set[frozenset]:
     """All distinct agree sets of tuple pairs.
 
     Computed from the stripped partitions of single attributes rather than
     raw pairwise scans where possible; falls back to pair enumeration within
     equivalence classes, which matches FDEP's negative-cover construction
     but skips pairs that agree nowhere cheaply.
+
+    With a multi-worker ``executor`` the quadratic scan splits into
+    pair-balanced blocks of ``i``-rows; the union of the per-block agree-set
+    collections is exactly the sequential scan's set (sets are
+    content-based, so the split cannot change the result).
     """
     names = relation.schema.names
     n = len(relation)
@@ -50,6 +61,24 @@ def agree_sets(relation, budget=None) -> set[frozenset]:
 
     result: set[frozenset] = set()
     fault_point("fd.fdep.pairs")
+    if executor is not None and executor.parallel and n >= _PARALLEL_MIN_TUPLES:
+        from repro.parallel import shards, tasks
+
+        blocks = shards.pair_blocks(
+            n, shards.shard_count(n * (n - 1) // 2, _PAIRS_PER_BLOCK)
+        )
+        for block_sets in executor.map(
+            tasks.agree_pairs_block,
+            [(signatures, names, start, stop, n) for start, stop in blocks],
+            units=[
+                sum(n - 1 - i for i in range(start, stop))
+                for start, stop in blocks
+            ],
+            where="fdep.agree_sets",
+            budget=budget,
+        ):
+            result.update(block_sets)
+        return result
     for pair_index, (i, j) in enumerate(combinations(range(n), 2)):
         if pair_index % _CHECK_EVERY == 0:
             checkpoint(budget, units=_CHECK_EVERY, where="fdep.agree_sets")
@@ -72,7 +101,9 @@ def _maximal_sets(sets) -> list[frozenset]:
     return maximal
 
 
-def negative_cover(relation, budget=None) -> dict[str, list[frozenset]]:
+def negative_cover(
+    relation, budget=None, executor=None
+) -> dict[str, list[frozenset]]:
     """Per-attribute maximal invalid LHSs (the witnesses).
 
     ``negative_cover(r)[A]`` lists the maximal agree sets of pairs that
@@ -80,7 +111,7 @@ def negative_cover(relation, budget=None) -> dict[str, list[frozenset]]:
     """
     names = relation.schema.names
     witnesses: dict[str, set] = {name: set() for name in names}
-    for agree in agree_sets(relation, budget=budget):
+    for agree in agree_sets(relation, budget=budget, executor=executor):
         for name in names:
             if name not in agree:
                 witnesses[name].add(agree)
@@ -128,6 +159,7 @@ def fdep(
     allow_empty_lhs: bool = False,
     max_lhs_per_attribute: int | None = None,
     budget=None,
+    executor=None,
 ) -> list[FD]:
     """Mine all minimal functional dependencies holding on the instance.
 
@@ -148,11 +180,15 @@ def fdep(
         Optional :class:`repro.budget.Budget`; the quadratic pair scan and
         the hitting-set search checkpoint against it cooperatively and
         raise :class:`repro.errors.ResourceLimitExceeded` when it runs out.
+    executor:
+        Optional :class:`repro.parallel.ShardedExecutor`; distributes the
+        tuple-pair scan (see :func:`agree_sets`).  The mined dependency set
+        is identical with or without it.
     """
     names = relation.schema.names
     if len(relation) == 0:
         return []
-    cover = negative_cover(relation, budget=budget)
+    cover = negative_cover(relation, budget=budget, executor=executor)
     result: list[FD] = []
     for name in names:
         witnesses = cover[name]

@@ -21,11 +21,19 @@ from repro.fd.partitions import Partition, partition_of, product
 from repro.testing.faults import fault_point
 
 
+#: Minimum missing next-level candidates before their partitions fan out.
+_PARALLEL_MIN_CANDIDATES = 8
+
+#: Candidates per parallel partition chunk.
+_CANDIDATE_CHUNK = 16
+
+
 def tane(
     relation,
     max_lhs_size: int | None = None,
     allow_empty_lhs: bool = False,
     budget=None,
+    executor=None,
 ) -> list[FD]:
     """Mine all minimal functional dependencies ``X -> A`` of the instance.
 
@@ -44,6 +52,12 @@ def tane(
         Optional :class:`repro.budget.Budget`; partition construction and
         each lattice level checkpoint against it cooperatively and raise
         :class:`repro.errors.ResourceLimitExceeded` when it runs out.
+    executor:
+        Optional :class:`repro.parallel.ShardedExecutor`; each level's
+        missing candidate partitions are computed in chunks by worker
+        processes (directly from the relation -- partitions are canonical,
+        so the result equals the incremental ``product`` of the sequential
+        path).  The mined dependency set is identical with or without it.
     """
     names = tuple(relation.schema.names)
     n = len(relation)
@@ -117,6 +131,8 @@ def tane(
 
         # -- generate next level (prefix join) -----------------------------------
         next_level: set[frozenset] = set()
+        pending: dict[frozenset, tuple] = {}
+        survivor_set = set(survivors)
         ordered = sorted(survivors, key=lambda s: tuple(sorted(s)))
         by_prefix: dict[tuple, list[frozenset]] = {}
         for x in ordered:
@@ -127,13 +143,40 @@ def tane(
                 candidate = x | y
                 if len(candidate) != level_number + 1:
                     continue
-                if all(candidate - {a} in set(survivors) for a in candidate):
+                if all(candidate - {a} in survivor_set for a in candidate):
                     next_level.add(candidate)
-                    if candidate not in partitions:
-                        checkpoint(budget, units=n, where="tane.product")
-                        partitions[candidate] = product(
-                            partitions[x], partitions[y]
-                        )
+                    if candidate not in partitions and candidate not in pending:
+                        pending[candidate] = (x, y)
+        missing = sorted(pending, key=lambda s: tuple(sorted(s)))
+        if (
+            executor is not None
+            and executor.parallel
+            and len(missing) >= _PARALLEL_MIN_CANDIDATES
+        ):
+            from repro.parallel import tasks
+
+            chunks = [
+                missing[k : k + _CANDIDATE_CHUNK]
+                for k in range(0, len(missing), _CANDIDATE_CHUNK)
+            ]
+            computed = executor.map(
+                tasks.partition_chunk,
+                [
+                    (relation, [tuple(sorted(c)) for c in chunk])
+                    for chunk in chunks
+                ],
+                units=[n * len(chunk) for chunk in chunks],
+                where="tane.product",
+                budget=budget,
+            )
+            for chunk, chunk_partitions in zip(chunks, computed):
+                for candidate, part in zip(chunk, chunk_partitions):
+                    partitions[candidate] = part
+        else:
+            for candidate in missing:
+                checkpoint(budget, units=n, where="tane.product")
+                x, y = pending[candidate]
+                partitions[candidate] = product(partitions[x], partitions[y])
         # Free partitions of the previous level to bound memory.
         level = sorted(next_level, key=lambda s: tuple(sorted(s)))
         level_number += 1

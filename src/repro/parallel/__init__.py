@@ -1,0 +1,43 @@
+"""Sharded parallel execution for the discovery pipeline.
+
+Three pieces:
+
+* :mod:`repro.parallel.shards` -- deterministic shard layout, a pure
+  function of input size (never of the worker count);
+* :mod:`repro.parallel.executor` -- the budget-aware process pool with
+  sequential degradation (:class:`ShardedExecutor`);
+* :mod:`repro.parallel.tasks` -- the picklable task functions the pipeline
+  fans out (LIMBO Phase-1 shards and Phase-3 blocks, FDEP pair blocks,
+  TANE partition chunks, AIB candidate-matrix blocks).
+
+See ``docs/PARALLELISM.md`` for the sharding model and the determinism
+guarantees.
+"""
+
+from repro.parallel.executor import (
+    START_METHOD_ENV,
+    ExecutorEvent,
+    ShardedExecutor,
+    resolve_start_method,
+    resolve_workers,
+)
+from repro.parallel.shards import (
+    DEFAULT_SHARD_SIZE,
+    MAX_SHARDS,
+    pair_blocks,
+    shard_bounds,
+    shard_count,
+)
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "MAX_SHARDS",
+    "START_METHOD_ENV",
+    "ExecutorEvent",
+    "ShardedExecutor",
+    "pair_blocks",
+    "resolve_start_method",
+    "resolve_workers",
+    "shard_bounds",
+    "shard_count",
+]

@@ -1,0 +1,295 @@
+"""The process-pool executor behind every parallel code path.
+
+:class:`ShardedExecutor` runs picklable task functions over payload lists
+and hides every process-level failure mode from its callers:
+
+* **workers=1** (or a single payload) executes in-process -- same task
+  functions, same shard layout, no pool.  This is the oracle the
+  determinism suite compares higher worker counts against.
+* **Worker crashes, timeouts, pickling failures and task exceptions** are
+  caught, recorded as :class:`ExecutorEvent` entries, and the remaining
+  payloads are re-executed sequentially in-process.  The parallel layer
+  therefore never introduces a failure mode the sequential pipeline does
+  not have; callers observe at worst a slowdown plus an event for the
+  :class:`repro.core.StructureDiscovery` health report.
+* **Budgets** are enforced parent-side: each payload declares its work
+  units and the parent charges them against the budget as results are
+  collected, in shard order (shard-local-then-summed accounting -- see
+  :mod:`repro.budget`).  A run can overshoot the unit cap by at most one
+  shard.  Deadlines bound how long the parent waits on any single shard
+  result.
+
+Start methods: ``fork`` is the default where the platform offers it (no
+interpreter re-import per worker), ``spawn`` otherwise; the
+``REPRO_PARALLEL_START_METHOD`` environment variable or the
+``start_method=`` argument overrides.  Tasks and payloads must be
+picklable under either method (module-level functions, plain data).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from dataclasses import dataclass
+
+from repro.budget import Budget, charge, checkpoint
+from repro.errors import ResourceLimitExceeded
+from repro.parallel.shards import DEFAULT_SHARD_SIZE
+from repro.testing.faults import fault_point
+
+#: Environment variable overriding the multiprocessing start method.
+START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+
+def resolve_workers(workers) -> int:
+    """Resolve the ``workers`` knob to a concrete process count.
+
+    ``"auto"`` means one worker per available core; integers pass through.
+    """
+    if workers == "auto":
+        return os.cpu_count() or 1
+    count = int(workers)
+    if count < 1:
+        raise ValueError("workers must be 'auto' or a positive integer")
+    return count
+
+
+def resolve_start_method(start_method: str | None = None) -> str:
+    """Pick the multiprocessing start method.
+
+    Explicit argument > :data:`START_METHOD_ENV` > ``fork`` where available
+    (Linux/macOS-with-fork) > ``spawn``.
+    """
+    if start_method is None:
+        start_method = os.environ.get(START_METHOD_ENV) or None
+    available = multiprocessing.get_all_start_methods()
+    if start_method is not None:
+        if start_method not in available:
+            raise ValueError(
+                f"start method {start_method!r} not available here "
+                f"(have: {', '.join(available)})"
+            )
+        return start_method
+    return "fork" if "fork" in available else "spawn"
+
+
+@dataclass
+class ExecutorEvent:
+    """One recorded pool-level incident (crash, timeout, dispatch failure)."""
+
+    kind: str
+    where: str
+    detail: str
+
+    def render(self) -> str:
+        return f"{self.kind} at {self.where or 'map'}: {self.detail}"
+
+
+class ShardedExecutor:
+    """Budget-aware process pool with sequential degradation.
+
+    Parameters
+    ----------
+    workers:
+        ``"auto"`` (one per core) or a positive integer.  ``1`` never
+        creates a pool: tasks run in-process, in order.
+    start_method:
+        ``"fork"`` / ``"spawn"`` / ``None`` (resolve from the environment;
+        see :func:`resolve_start_method`).
+    budget:
+        Default :class:`repro.budget.Budget` charged as shard results are
+        collected; :meth:`map`'s own ``budget`` argument overrides it.
+    task_timeout:
+        Seconds the parent waits for any single shard result before
+        recording a timeout event and degrading to sequential execution.
+        ``None`` waits as long as the budget deadline allows (indefinitely
+        without a budget).
+    shard_size:
+        Items per shard for callers that derive their layout from the
+        executor (:data:`repro.parallel.shards.DEFAULT_SHARD_SIZE`).
+        Purely a layout knob -- it must never be derived from ``workers``.
+    """
+
+    def __init__(self, workers="auto", start_method: str | None = None,
+                 budget: Budget | None = None,
+                 task_timeout: float | None = None,
+                 shard_size: int = DEFAULT_SHARD_SIZE):
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
+        if shard_size < 1:
+            raise ValueError("shard_size must be positive")
+        self.workers = resolve_workers(workers)
+        self.start_method = resolve_start_method(start_method)
+        self.budget = budget
+        self.task_timeout = task_timeout
+        self.shard_size = shard_size
+        #: Pool-level incidents, for the discovery health report.
+        self.events: list[ExecutorEvent] = []
+        self._pool: ProcessPoolExecutor | None = None
+        self._degraded = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        self._shutdown_pool(wait=True)
+
+    def _shutdown_pool(self, wait: bool) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if not wait:
+            # Abandoning the pool (crash/timeout degrade): kill the worker
+            # processes outright.  Merely cancelling futures would leave
+            # stuck workers running, and the interpreter joins pool
+            # processes at exit -- the hang this layer exists to prevent.
+            for process in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    process.kill()
+                except Exception:
+                    pass
+        try:
+            pool.shutdown(wait=wait, cancel_futures=True)
+        except Exception:
+            pass
+
+    @property
+    def parallel(self) -> bool:
+        """Whether :meth:`map` currently dispatches to worker processes."""
+        return self.workers > 1 and not self._degraded
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        return self._pool
+
+    # -- execution ---------------------------------------------------------------
+
+    def map(self, fn, payloads, units=None, where: str = "",
+            budget: Budget | None = None) -> list:
+        """Run ``fn`` over ``payloads``, returning results in payload order.
+
+        ``fn`` must be a module-level function of one picklable payload.
+        ``units`` optionally lists the work units each payload represents
+        (same length as ``payloads``); they are charged against the budget
+        as the corresponding results are collected.  Pool-level failures
+        degrade to in-process execution (recorded in :attr:`events`) --
+        only budget exhaustion and ``KeyboardInterrupt`` propagate.
+        """
+        payloads = list(payloads)
+        if units is not None:
+            units = list(units)
+            if len(units) != len(payloads):
+                raise ValueError("units must match payloads in length")
+        if budget is None:
+            budget = self.budget
+        if not payloads:
+            return []
+
+        if not self.parallel or len(payloads) == 1:
+            return self._run_sequential(fn, payloads, units, where, budget)
+
+        try:
+            fault_point("parallel.worker")
+            pool = self._ensure_pool()
+            futures = [pool.submit(fn, payload) for payload in payloads]
+        except ResourceLimitExceeded:
+            raise
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            self._degrade("dispatch-failure", where, exc)
+            return self._run_sequential(fn, payloads, units, where, budget)
+
+        results = []
+        for index, future in enumerate(futures):
+            try:
+                result = future.result(timeout=self._wait_limit(budget))
+            except FutureTimeout as exc:
+                if self._deadline_hit(budget):
+                    self._shutdown_pool(wait=False)
+                    checkpoint(budget, units=0, where=where or "parallel.map")
+                    raise ResourceLimitExceeded(
+                        f"deadline exceeded waiting on shard {index} "
+                        f"at {where or 'parallel.map'}",
+                        where=where, shard=index,
+                    ) from exc
+                self._degrade("timeout", where, exc, shard=index)
+                return results + self._run_sequential(
+                    fn, payloads[index:],
+                    units[index:] if units is not None else None,
+                    where, budget,
+                )
+            except ResourceLimitExceeded:
+                self._shutdown_pool(wait=False)
+                raise
+            except KeyboardInterrupt:
+                self._shutdown_pool(wait=False)
+                raise
+            except Exception as exc:
+                # BrokenProcessPool, task exceptions, unpicklable results.
+                self._degrade("worker-failure", where, exc, shard=index)
+                return results + self._run_sequential(
+                    fn, payloads[index:],
+                    units[index:] if units is not None else None,
+                    where, budget,
+                )
+            charge(budget, units=units[index] if units is not None else 0,
+                   where=where or "parallel.map")
+            results.append(result)
+        return results
+
+    def _run_sequential(self, fn, payloads, units, where, budget) -> list:
+        """The in-process oracle: same tasks, same order, no pool."""
+        results = []
+        for index, payload in enumerate(payloads):
+            checkpoint(budget, units=0, where=where or "parallel.map")
+            result = fn(payload)
+            charge(budget, units=units[index] if units is not None else 0,
+                   where=where or "parallel.map")
+            results.append(result)
+        return results
+
+    # -- failure handling --------------------------------------------------------
+
+    def _degrade(self, kind: str, where: str, exc, shard=None) -> None:
+        """Record the incident and retire the pool for good.
+
+        Degradation is sticky: once a pool misbehaved, every later ``map``
+        on this executor runs in-process.  Re-executed shards are pure
+        functions of their payloads, so results are unaffected.
+        """
+        detail = f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__
+        if shard is not None:
+            detail += f" (shard {shard})"
+        self.events.append(ExecutorEvent(kind=kind, where=where, detail=detail))
+        self._degraded = True
+        self._shutdown_pool(wait=False)
+
+    def _wait_limit(self, budget: Budget | None) -> float | None:
+        """How long to block on one shard result."""
+        limits = []
+        if self.task_timeout is not None:
+            limits.append(self.task_timeout)
+        if budget is not None:
+            remaining = budget.remaining_seconds()
+            if remaining is not None:
+                limits.append(max(remaining, 0.001))
+        return min(limits) if limits else None
+
+    def _deadline_hit(self, budget: Budget | None) -> bool:
+        """Whether a wait expiry was the budget deadline (vs. task_timeout)."""
+        if budget is None:
+            return False
+        remaining = budget.remaining_seconds()
+        return remaining is not None and remaining <= 0.0

@@ -1,0 +1,111 @@
+"""Picklable task functions dispatched by :class:`ShardedExecutor`.
+
+Every function here takes exactly one plain-data payload and returns plain
+data -- the contract that keeps them portable across both ``fork`` and
+``spawn`` start methods.  None of them touch a :class:`repro.budget.Budget`
+(the coordinating process charges declared units as results arrive) and all
+of them are **pure functions of their payload**, which is what lets the
+executor re-run any shard in-process after a pool failure without changing
+the result.
+
+Determinism: each task either reuses the exact code path of its sequential
+twin (``assign_rows``, ``DenseMergeEngine.costs``, ``partition_of``) or
+computes a content-based result (sets of agree sets, identical-row groups)
+that is independent of how the work was split.  Combined with the fixed
+shard layout of :mod:`repro.parallel.shards`, any worker count yields
+bit-identical output.
+"""
+
+from __future__ import annotations
+
+from repro.clustering.dcf import DCF
+from repro.clustering.dcf_tree import DCFTree
+from repro.clustering.limbo import assign_rows, summarize_identical
+from repro.fd.partitions import partition_of
+from repro.kernels import DenseMergeEngine
+
+
+def fit_shard(payload):
+    """LIMBO Phase 1 over one tuple shard.
+
+    Payload: ``(start, rows, priors, supports, threshold, branching,
+    backend)`` where ``start`` is the shard's global index offset (member
+    lists carry global indices).  Returns the shard's leaf DCFs.
+
+    At ``threshold <= 0`` Phase 1 degenerates to grouping identical
+    conditionals (only zero-loss merges are allowed -- Section 5.2's
+    ``phi = 0`` case), which :func:`summarize_identical` does in one linear
+    pass instead of paying the DCF-tree's per-insert closest-entry scans.
+    """
+    start, rows, priors, supports, threshold, branching, backend = payload
+    if threshold <= 0.0:
+        return summarize_identical(start, rows, priors, supports)
+    tree = DCFTree(threshold, branching=branching, backend=backend)
+    for local, (row, prior) in enumerate(zip(rows, priors)):
+        support = supports[local] if supports is not None else None
+        tree.insert(DCF.singleton(start + local, prior, row, support=support))
+    return tree.leaves()
+
+
+def assign_block(payload):
+    """LIMBO Phase 3 over one block of objects.
+
+    Payload: ``(representatives, rows, priors, backend)``.  Returns the
+    per-object representative indices.  Delegates to the same
+    :func:`repro.clustering.limbo.assign_rows` the sequential path runs, so
+    block boundaries cannot affect any assignment.
+    """
+    representatives, rows, priors, backend = payload
+    return assign_rows(representatives, rows, priors, backend)
+
+
+def agree_pairs_block(payload):
+    """FDEP agree sets for one block of tuple-pair rows.
+
+    Payload: ``(signatures, names, start, stop, n)``; the block owns the
+    pairs ``(i, j)`` with ``start <= i < stop`` and ``i < j < n``.  Returns
+    the set of distinct agree sets seen -- the union over blocks equals the
+    sequential full-scan result exactly, because sets are content-based.
+    """
+    signatures, names, start, stop, n = payload
+    n_attributes = len(names)
+    result: set = set()
+    for i in range(start, stop):
+        for j in range(i + 1, n):
+            agree = frozenset(
+                names[a]
+                for a in range(n_attributes)
+                if signatures[a][i] is not None
+                and signatures[a][i] == signatures[a][j]
+            )
+            result.add(agree)
+    return result
+
+
+def partition_chunk(payload):
+    """Stripped partitions for one chunk of TANE lattice candidates.
+
+    Payload: ``(relation, candidates)`` with each candidate a sorted tuple
+    of attribute names.  Returns one :class:`repro.fd.partitions.Partition`
+    per candidate, computed directly from the relation --
+    ``Partition.from_classes`` canonicalizes, so the result is identical to
+    the sequential path's incremental ``product`` of parent partitions.
+    """
+    relation, candidates = payload
+    return [partition_of(relation, list(attrs)) for attrs in candidates]
+
+
+def aib_pairwise_block(payload):
+    """Initial AIB candidate costs for one block of matrix rows.
+
+    Payload: ``(dcfs, index, start, stop)``.  Returns
+    ``[(i, costs_i), ...]`` where ``costs_i`` are the quantized merge costs
+    of row ``i`` against rows ``i+1 .. n-1``.  Runs the very same
+    :meth:`DenseMergeEngine.costs` (including its narrow-/wide-support
+    branch) the sequential dense loop runs, over an engine rebuilt from the
+    same DCFs and shared column index -- bitwise-identical by construction.
+    """
+    dcfs, index, start, stop = payload
+    n = len(dcfs)
+    engine = DenseMergeEngine(dcfs, index=index)
+    return [(i, engine.costs(i, range(i + 1, n))) for i in range(start, stop)]

@@ -52,6 +52,10 @@ FAULT_POINTS = frozenset({
     "fd.tane.level",
     "limbo.fit",
     "limbo.assign",
+    # parallel layer: fired in the coordinating process at pool dispatch,
+    # inside the degradation guard (so injected failures exercise the
+    # fall-back-to-sequential path deterministically under any start method)
+    "parallel.worker",
 })
 
 #: Stack of active fault plans (dicts name -> Fault); inner-most wins last.

@@ -1,8 +1,10 @@
 """The error taxonomy and the cooperative Budget."""
 
+import pickle
+
 import pytest
 
-from repro.budget import Budget, checkpoint
+from repro.budget import Budget, charge, checkpoint
 from repro.errors import (
     InputError,
     ReproError,
@@ -96,6 +98,68 @@ class TestBudget:
         clock.now += 4.0
         assert budget.remaining_seconds() == pytest.approx(6.0)
         assert Budget().remaining_seconds() is None
+
+
+class TestShardAccounting:
+    """Shard-local-then-summed unit accounting (:meth:`Budget.charge`)."""
+
+    def test_charge_records_the_whole_shard_then_raises(self):
+        budget = Budget(max_units=10)
+        budget.charge(units=8, where="limbo.fit")
+        with pytest.raises(ResourceLimitExceeded) as info:
+            budget.charge(units=8, where="limbo.fit")
+        # The crossing shard's units are recorded before the raise: the
+        # overshoot is visible and bounded by that one shard.
+        assert budget.units_used == 16
+        assert info.value.context["where"] == "limbo.fit"
+
+    def test_module_charge_tolerates_none(self):
+        charge(None, units=5, where="anywhere")  # must not raise
+
+    def test_charge_and_checkpoint_share_one_counter(self):
+        budget = Budget(max_units=100)
+        budget.checkpoint(units=30, where="loop")
+        budget.charge(units=20, where="shard")
+        assert budget.units_used == 50
+        assert budget.remaining_units() == 50
+
+
+class TestBudgetPickle:
+    """Budgets cross process boundaries carrying their *remaining* allowance."""
+
+    def test_unit_allowance_survives_pickling(self):
+        budget = Budget(max_units=100)
+        budget.checkpoint(units=30)
+        restored = pickle.loads(pickle.dumps(budget))
+        assert restored.remaining_units() == 70
+        restored.checkpoint(units=70)  # exactly the allowance left
+        with pytest.raises(ResourceLimitExceeded):
+            restored.checkpoint(units=1)
+
+    def test_deadline_pickles_as_remaining_time(self):
+        # The monotonic epoch is per-process state; what must survive is
+        # the time still left, not the original start instant.
+        clock = FakeClock()
+        budget = Budget(deadline=100.0, clock=clock)
+        clock.now += 40.0
+        restored = pickle.loads(pickle.dumps(budget))
+        assert restored.remaining_seconds() == pytest.approx(60.0, abs=1.0)
+        assert not restored.exhausted()
+
+    def test_exhausted_budget_stays_exhausted(self):
+        clock = FakeClock()
+        budget = Budget(deadline=1.0, clock=clock)
+        clock.now += 5.0
+        restored = pickle.loads(pickle.dumps(budget))
+        assert restored.exhausted()
+        with pytest.raises(ResourceLimitExceeded):
+            restored.checkpoint(where="after transit")
+
+    def test_unlimited_budget_round_trips(self):
+        restored = pickle.loads(pickle.dumps(Budget()))
+        assert restored.remaining_seconds() is None
+        assert restored.remaining_units() is None
+        restored.checkpoint(units=10**6)  # still unlimited
 
 
 class TestBudgetedAlgorithms:

@@ -1,0 +1,276 @@
+"""The sharded process-pool executor and its deterministic shard layout."""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.budget import Budget
+from repro.errors import ResourceLimitExceeded
+from repro.parallel import (
+    MAX_SHARDS,
+    START_METHOD_ENV,
+    ShardedExecutor,
+    pair_blocks,
+    resolve_start_method,
+    resolve_workers,
+    shard_bounds,
+    shard_count,
+)
+from repro.testing import inject
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+needs_fork = pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+
+
+# -- module-level task functions (picklable under fork and spawn) -------------------
+
+
+def double(payload):
+    return payload * 2
+
+
+def crash_in_worker(payload):
+    """Exit hard -- but only inside a worker process.
+
+    The parent-pid guard keeps the sequential re-execution (which runs in
+    the coordinating process) returning the real result.
+    """
+    parent_pid, value = payload
+    if os.getpid() != parent_pid:
+        os._exit(13)
+    return value * 2
+
+
+def sleep_in_worker(payload):
+    """Block for a minute -- but only inside a worker process."""
+    parent_pid, value = payload
+    if os.getpid() != parent_pid:
+        time.sleep(60)
+    return value + 1
+
+
+def always_raise(payload):
+    raise ValueError(f"task rejects payload {payload}")
+
+
+# -- shard layout -------------------------------------------------------------------
+
+
+class TestShardLayout:
+    def test_shard_count_ceiling(self):
+        assert shard_count(0, 10) == 1
+        assert shard_count(1, 10) == 1
+        assert shard_count(10, 10) == 1
+        assert shard_count(11, 10) == 2
+        assert shard_count(10**9, 10) == MAX_SHARDS
+
+    def test_shard_count_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            shard_count(-1, 10)
+        with pytest.raises(ValueError):
+            shard_count(10, 0)
+
+    @pytest.mark.parametrize("n", [1, 2, 7, 100, 257, 1000, 8191])
+    @pytest.mark.parametrize("shard_size", [1, 3, 64, 256])
+    def test_bounds_partition_the_range(self, n, shard_size):
+        bounds = shard_bounds(n, shard_size)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == n
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+        sizes = [stop - start for start, stop in bounds]
+        assert max(sizes) - min(sizes) <= 1  # balanced to within one item
+
+    def test_bounds_are_a_pure_function_of_the_input(self):
+        # The cardinal rule: nothing about the environment or worker count
+        # may leak into the layout.
+        assert shard_bounds(1000, 256) == shard_bounds(1000, 256)
+        assert shard_bounds(1000, 256) == [(0, 250), (250, 500), (500, 750), (750, 1000)]
+
+    @pytest.mark.parametrize("n", [2, 3, 10, 90, 257])
+    @pytest.mark.parametrize("n_blocks", [1, 2, 4, 7, 100])
+    def test_pair_blocks_cover_every_pair_once(self, n, n_blocks):
+        blocks = pair_blocks(n, n_blocks)
+        seen = set()
+        for start, stop in blocks:
+            for i in range(start, stop):
+                for j in range(i + 1, n):
+                    assert (i, j) not in seen
+                    seen.add((i, j))
+        assert len(seen) == n * (n - 1) // 2
+
+    def test_pair_blocks_balance_pairs_not_rows(self):
+        # Row 0 of a 100-object triangle owns 99 pairs, row 98 owns one;
+        # equal-row blocks would be wildly lopsided.
+        blocks = pair_blocks(100, 4)
+        counts = [
+            sum(100 - 1 - i for i in range(start, stop)) for start, stop in blocks
+        ]
+        assert max(counts) < 2 * min(counts)
+
+    def test_pair_blocks_degenerate_inputs(self):
+        assert pair_blocks(0, 4) == []
+        assert pair_blocks(1, 4) == []
+        assert pair_blocks(2, 4) == [(0, 1)]
+        with pytest.raises(ValueError):
+            pair_blocks(10, 0)
+
+
+# -- knob resolution ----------------------------------------------------------------
+
+
+class TestResolution:
+    def test_resolve_workers(self):
+        assert resolve_workers("auto") == (os.cpu_count() or 1)
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+    def test_resolve_start_method_explicit_wins(self, monkeypatch):
+        available = multiprocessing.get_all_start_methods()
+        monkeypatch.setenv(START_METHOD_ENV, available[-1])
+        assert resolve_start_method(available[0]) == available[0]
+
+    def test_resolve_start_method_env_override(self, monkeypatch):
+        monkeypatch.setenv(START_METHOD_ENV, "spawn")
+        assert resolve_start_method() == "spawn"
+
+    def test_resolve_start_method_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_start_method("imaginary")
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ShardedExecutor(workers=0)
+        with pytest.raises(ValueError):
+            ShardedExecutor(task_timeout=0)
+        with pytest.raises(ValueError):
+            ShardedExecutor(shard_size=0)
+
+
+# -- in-process execution (workers=1, the determinism oracle) -----------------------
+
+
+class TestSequentialExecution:
+    def test_map_preserves_payload_order(self):
+        with ShardedExecutor(workers=1) as executor:
+            assert executor.map(double, range(10)) == [i * 2 for i in range(10)]
+
+    def test_single_worker_never_creates_a_pool(self):
+        with ShardedExecutor(workers=1) as executor:
+            executor.map(double, range(100))
+            assert executor._pool is None
+            assert not executor.parallel
+
+    def test_empty_payloads(self):
+        with ShardedExecutor(workers=1) as executor:
+            assert executor.map(double, []) == []
+
+    def test_units_length_mismatch_rejected(self):
+        with ShardedExecutor(workers=1) as executor:
+            with pytest.raises(ValueError):
+                executor.map(double, [1, 2, 3], units=[1, 2])
+
+    def test_task_exception_propagates(self):
+        # A deterministic task failure is not a pool incident: it is the
+        # same failure the sequential pipeline would hit.
+        with ShardedExecutor(workers=1) as executor:
+            with pytest.raises(ValueError):
+                executor.map(always_raise, [1, 2])
+
+    def test_unit_cap_overshoot_bounded_by_one_shard(self):
+        # Shard-local-then-summed accounting: the shard that crosses the
+        # cap completes, then the charge raises.  Overshoot is therefore
+        # bounded by one shard's units, not by workers x checkpoint cadence.
+        executed = []
+
+        def record(payload):
+            executed.append(payload)
+            return payload
+
+        budget = Budget(max_units=10)
+        with ShardedExecutor(workers=1) as executor:
+            with pytest.raises(ResourceLimitExceeded):
+                executor.map(record, [0, 1, 2], units=[8, 8, 8], budget=budget)
+        assert executed == [0, 1]  # the third shard never started
+        assert budget.units_used == 16  # exactly one shard past the cap
+
+
+# -- pooled execution ---------------------------------------------------------------
+
+
+@needs_fork
+class TestPooledExecution:
+    def test_map_matches_sequential_oracle(self):
+        with ShardedExecutor(workers=2, start_method="fork") as executor:
+            assert executor.parallel
+            assert executor.map(double, range(20)) == [i * 2 for i in range(20)]
+            assert executor.events == []
+
+    def test_single_payload_skips_the_pool(self):
+        with ShardedExecutor(workers=4, start_method="fork") as executor:
+            assert executor.map(double, [21]) == [42]
+            assert executor._pool is None
+
+    def test_worker_crash_degrades_and_recovers(self):
+        payloads = [(os.getpid(), value) for value in range(4)]
+        with ShardedExecutor(workers=2, start_method="fork") as executor:
+            results = executor.map(crash_in_worker, payloads, where="unit.crash")
+        # Correct results despite every worker dying: the survivors were
+        # re-executed in-process by the coordinating process.
+        assert results == [0, 2, 4, 6]
+        assert len(executor.events) == 1
+        assert executor.events[0].kind == "worker-failure"
+        assert executor.events[0].where == "unit.crash"
+        assert "unit.crash" in executor.events[0].render()
+
+    def test_degradation_is_sticky(self):
+        payloads = [(os.getpid(), value) for value in range(4)]
+        with ShardedExecutor(workers=2, start_method="fork") as executor:
+            executor.map(crash_in_worker, payloads)
+            assert not executor.parallel
+            # Later maps run in-process; no new incidents accumulate.
+            assert executor.map(double, range(6)) == [i * 2 for i in range(6)]
+            assert len(executor.events) == 1
+
+    def test_stuck_worker_times_out_and_degrades(self):
+        payloads = [(os.getpid(), value) for value in range(3)]
+        start = time.monotonic()
+        with ShardedExecutor(
+            workers=2, start_method="fork", task_timeout=0.2
+        ) as executor:
+            results = executor.map(sleep_in_worker, payloads, where="unit.hang")
+        elapsed = time.monotonic() - start
+        assert results == [1, 2, 3]
+        assert [event.kind for event in executor.events] == ["timeout"]
+        # The abandoned pool's sleeping workers were killed, not joined.
+        assert elapsed < 10.0
+
+    def test_budget_deadline_raises_resource_limit(self):
+        payloads = [(os.getpid(), value) for value in range(3)]
+        budget = Budget(deadline=0.2)
+        with ShardedExecutor(workers=2, start_method="fork") as executor:
+            with pytest.raises(ResourceLimitExceeded):
+                executor.map(sleep_in_worker, payloads, budget=budget)
+
+    def test_constructor_budget_is_map_default(self):
+        budget = Budget(max_units=100)
+        with ShardedExecutor(workers=2, start_method="fork", budget=budget) as executor:
+            executor.map(double, range(4), units=[10, 10, 10, 10])
+        assert budget.units_used == 40
+
+    def test_injected_dispatch_fault_degrades(self):
+        with ShardedExecutor(workers=2, start_method="fork") as executor:
+            with inject("parallel.worker", raises=RuntimeError("injected")) as fault:
+                results = executor.map(double, range(8), where="unit.fault")
+                # Sticky: the second map never reaches the fault point.
+                assert executor.map(double, range(4)) == [0, 2, 4, 6]
+        assert fault.fired == 1
+        assert results == [i * 2 for i in range(8)]
+        assert [event.kind for event in executor.events] == ["dispatch-failure"]

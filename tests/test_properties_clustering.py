@@ -212,3 +212,102 @@ class TestDCFTreeProperties:
             [leaf.weight for leaf in leaves],
         )
         assert summarized <= info + 1e-8
+
+
+class TestShardedLimboProperties:
+    """Sharded Phase 1 against the sequential oracle, on random inputs.
+
+    ``workers=1`` executors keep every example in-process (no pool cost
+    under hypothesis) while still exercising the exact sharded code path --
+    by the worker-invariance contract (``tests/test_parallel_determinism``),
+    whatever holds for ``workers=1`` holds bit-for-bit for any pool.
+    """
+
+    @staticmethod
+    def _sharded_limbo(rows, priors, phi, shard_size):
+        from repro.clustering import Limbo
+        from repro.parallel import ShardedExecutor
+
+        with ShardedExecutor(workers=1, shard_size=shard_size) as executor:
+            return Limbo(phi=phi, executor=executor).fit(rows, priors)
+
+    @staticmethod
+    def _information_of(summaries):
+        return mutual_information_rows(
+            [leaf.conditional for leaf in summaries],
+            [leaf.weight for leaf in summaries],
+        )
+
+    @given(object_set(max_objects=12))
+    @settings(max_examples=30, deadline=None)
+    def test_phi_zero_groups_identical_objects_exactly(self, data):
+        rows, priors = data
+
+        def signature(row):
+            return tuple(sorted(row.items()))
+
+        limbo = self._sharded_limbo(rows, priors, phi=0.0, shard_size=3)
+        leaves = limbo.summaries
+        # Exactly one leaf per distinct conditional -- unlike the
+        # sequential tree, which may split twins across leaves.
+        assert len(leaves) == len({signature(row) for row in rows})
+        for leaf in leaves:
+            assert len({signature(rows[i]) for i in leaf.members}) == 1
+        members = sorted(m for leaf in leaves for m in leaf.members)
+        assert members == list(range(len(rows)))
+        assert sum(leaf.weight for leaf in leaves) == pytest.approx(1.0)
+
+    @given(object_set(max_objects=12))
+    @settings(max_examples=30, deadline=None)
+    def test_phi_zero_loses_no_information(self, data):
+        # Grouping identical conditionals is lossless, so the sharded
+        # phi=0 summaries carry all of I(V;T) -- at least as much as the
+        # sequential tree's leaves (which can only lose information).
+        rows, priors = data
+        limbo = self._sharded_limbo(rows, priors, phi=0.0, shard_size=3)
+        info = mutual_information_rows(rows, priors)
+        assert self._information_of(limbo.summaries) == pytest.approx(
+            info, abs=1e-8
+        )
+
+    @given(object_set(max_objects=12),
+           st.floats(min_value=0.05, max_value=0.5))
+    @settings(max_examples=30, deadline=None)
+    def test_positive_phi_summaries_stay_valid(self, data, phi):
+        # The positive-threshold sharded path (per-shard trees + re-insert)
+        # must preserve the clustering-input invariants and never create
+        # information from nothing.
+        rows, priors = data
+        limbo = self._sharded_limbo(rows, priors, phi=phi, shard_size=3)
+        leaves = limbo.summaries
+        members = sorted(m for leaf in leaves for m in leaf.members)
+        assert members == list(range(len(rows)))
+        assert sum(leaf.weight for leaf in leaves) == pytest.approx(1.0)
+        info = mutual_information_rows(rows, priors)
+        assert self._information_of(leaves) <= info + 1e-8
+
+    @given(object_set(max_objects=12))
+    @settings(max_examples=25, deadline=None)
+    def test_phi_zero_groups_independent_of_shard_layout(self, data):
+        # Group membership and order are keyed on the original input rows,
+        # so the *layout* (unlike float accumulation order) cannot change
+        # which objects end up together.
+        rows, priors = data
+        small = self._sharded_limbo(rows, priors, phi=0.0, shard_size=2)
+        large = self._sharded_limbo(rows, priors, phi=0.0, shard_size=7)
+        assert [tuple(leaf.members) for leaf in small.summaries] == [
+            tuple(leaf.members) for leaf in large.summaries
+        ]
+        for a, b in zip(small.summaries, large.summaries):
+            assert a.weight == pytest.approx(b.weight)
+
+    @given(object_set(max_objects=12))
+    @settings(max_examples=25, deadline=None)
+    def test_sharded_phase3_regroups_duplicates(self, data):
+        rows, priors = data
+        limbo = self._sharded_limbo(rows, priors, phi=0.0, shard_size=3)
+        assignment = limbo.assign(limbo.summaries)
+        for i, row_i in enumerate(rows):
+            for j in range(i + 1, len(rows)):
+                if row_i == rows[j]:
+                    assert assignment[i] == assignment[j]

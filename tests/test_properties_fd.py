@@ -99,6 +99,51 @@ class TestMinerProperties:
                 assert g3_error(relation, fd) > 0.0
 
 
+@pytest.fixture(scope="module")
+def pool_executor():
+    """A real two-worker pool, shared across examples, with the dispatch
+    gates shrunk so the tiny hypothesis relations actually fan out."""
+    import importlib
+
+    from repro.parallel import ShardedExecutor
+
+    fdep_mod = importlib.import_module("repro.fd.fdep")
+    tane_mod = importlib.import_module("repro.fd.tane")
+    saved = (
+        fdep_mod._PARALLEL_MIN_TUPLES, fdep_mod._PAIRS_PER_BLOCK,
+        tane_mod._PARALLEL_MIN_CANDIDATES, tane_mod._CANDIDATE_CHUNK,
+    )
+    fdep_mod._PARALLEL_MIN_TUPLES = 2
+    fdep_mod._PAIRS_PER_BLOCK = 8
+    tane_mod._PARALLEL_MIN_CANDIDATES = 2
+    tane_mod._CANDIDATE_CHUNK = 2
+    executor = ShardedExecutor(workers=2, shard_size=4)
+    try:
+        yield executor
+    finally:
+        executor.close()
+        (
+            fdep_mod._PARALLEL_MIN_TUPLES, fdep_mod._PAIRS_PER_BLOCK,
+            tane_mod._PARALLEL_MIN_CANDIDATES, tane_mod._CANDIDATE_CHUNK,
+        ) = saved
+
+
+class TestParallelMinerProperties:
+    """Distributed mining returns the *exact* sequential dependency sets."""
+
+    @given(small_relation())
+    @settings(max_examples=15, deadline=None)
+    def test_parallel_fdep_exact(self, pool_executor, relation):
+        assert set(fdep(relation, executor=pool_executor)) == set(fdep(relation))
+        assert pool_executor.events == []
+
+    @given(small_relation())
+    @settings(max_examples=15, deadline=None)
+    def test_parallel_tane_exact(self, pool_executor, relation):
+        assert set(tane(relation, executor=pool_executor)) == set(tane(relation))
+        assert pool_executor.events == []
+
+
 class TestCoverProperties:
     @given(fd_set())
     @settings(max_examples=60)
