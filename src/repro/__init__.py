@@ -18,6 +18,7 @@ Quickstart::
 """
 
 from repro.budget import Budget
+from repro.checkpoint import CheckpointStore
 from repro.clustering import AIBResult, DCF, DCFTree, Dendrogram, Limbo, aib
 from repro.core import (
     AttributeGroupingResult,
@@ -56,6 +57,7 @@ from repro.fd import (
     tane,
 )
 from repro.errors import (
+    CheckpointError,
     InputError,
     ReproError,
     ResourceLimitExceeded,
@@ -87,6 +89,8 @@ __all__ = [
     "Attribute",
     "AttributeGroupingResult",
     "Budget",
+    "CheckpointError",
+    "CheckpointStore",
     "DCF",
     "DCFTree",
     "Decomposition",

@@ -52,7 +52,7 @@ class Budget:
     """
 
     __slots__ = ("deadline", "max_units", "_clock", "_start", "_deadline_at",
-                 "_units")
+                 "_units", "_listeners")
 
     def __init__(self, deadline: float | None = None,
                  max_units: int | None = None, clock=time.monotonic):
@@ -66,6 +66,7 @@ class Budget:
         self._start = clock()
         self._deadline_at = None if deadline is None else self._start + deadline
         self._units = 0
+        self._listeners: list = []
 
     # -- accounting --------------------------------------------------------------
 
@@ -80,10 +81,15 @@ class Budget:
         return self._units
 
     def remaining_seconds(self) -> float | None:
-        """Seconds left before the deadline (``None`` = unlimited)."""
+        """Seconds left before the deadline (``None`` = unlimited).
+
+        Clamped at 0.0 past the deadline, matching
+        :meth:`remaining_units` -- "no allowance left" never reads as a
+        negative quantity.
+        """
         if self._deadline_at is None:
             return None
-        return self._deadline_at - self._clock()
+        return max(0.0, self._deadline_at - self._clock())
 
     def remaining_units(self) -> int | None:
         """Work units left under the cap (``None`` = unlimited)."""
@@ -101,6 +107,21 @@ class Budget:
 
     # -- the cooperative checkpoint ----------------------------------------------
 
+    def on_checkpoint(self, listener) -> None:
+        """Register ``listener(units_used, where)``, called on every
+        :meth:`checkpoint` / :meth:`charge`.
+
+        This is the hook the durable-checkpoint layer
+        (:class:`repro.checkpoint.CheckpointStore`) uses for its intra-stage
+        cadence: the budget already sits inside every expensive loop, so its
+        tick stream is exactly "the run is making progress".  Listeners run
+        in the coordinating process only -- they are process-local state and
+        are dropped when a budget is pickled into a worker.  Listeners fire
+        *before* the limit checks, so the final tick that crosses a limit is
+        still observed.
+        """
+        self._listeners.append(listener)
+
     def checkpoint(self, units: int = 1, where: str = "") -> None:
         """Consume ``units`` and raise if a limit is crossed.
 
@@ -108,6 +129,8 @@ class Budget:
         reports can say *which* loop ran out of budget.
         """
         self._units += units
+        for listener in self._listeners:
+            listener(self._units, where)
         if self.max_units is not None and self._units > self.max_units:
             raise ResourceLimitExceeded(
                 f"work-unit cap exceeded at {where or 'checkpoint'} "
@@ -155,6 +178,7 @@ class Budget:
         self.deadline = state["deadline"]
         self.max_units = state["max_units"]
         self._clock = time.monotonic
+        self._listeners = []  # listeners are process-local, never shipped
         self._start = self._clock()
         remaining = state["remaining_seconds"]
         if remaining is None:

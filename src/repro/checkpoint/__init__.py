@@ -1,0 +1,31 @@
+"""Durable checkpoint/resume for discovery runs.
+
+:class:`CheckpointStore` persists versioned, checksummed, atomically
+written snapshots of pipeline state; :class:`repro.core.StructureDiscovery`
+threads one through the stage guards (``checkpoint=``, CLI
+``--checkpoint-dir`` / ``--resume``) so an interrupted run -- crash,
+``KeyboardInterrupt``, SIGKILL, budget exhaustion -- resumes from its last
+completed stage instead of starting over.  Corrupt or mismatched snapshots
+are quarantined and recomputed, never trusted.  See ``docs/ROBUSTNESS.md``
+for the snapshot layout, manifest fields and determinism guarantee.
+"""
+
+from repro.checkpoint.store import (
+    DEFAULT_CADENCE,
+    MAGIC,
+    SNAPSHOT_VERSION,
+    CheckpointEvent,
+    CheckpointStore,
+    StageCheckpoint,
+    relation_fingerprint,
+)
+
+__all__ = [
+    "DEFAULT_CADENCE",
+    "MAGIC",
+    "SNAPSHOT_VERSION",
+    "CheckpointEvent",
+    "CheckpointStore",
+    "StageCheckpoint",
+    "relation_fingerprint",
+]

@@ -1,0 +1,449 @@
+"""Durable, crash-safe checkpoints for discovery runs.
+
+A :class:`CheckpointStore` makes the hours-long pipeline scans the paper
+assumes (LIMBO Phase 1 -> AIB -> FD mining -> cover -> FD-RANK) cheap to
+interrupt: per-stage snapshots are written after every completed stage,
+intra-stage progress is heartbeaten at a configurable cadence off the
+existing :meth:`repro.budget.Budget.checkpoint` tick stream, and a resumed
+run reuses every validated snapshot instead of recomputing it.
+
+Design rules, in order of importance:
+
+1. **Never corrupt a report.**  A snapshot is reused only when its
+   manifest matches this run exactly (schema version, input relation
+   fingerprint, phi/psi/miner/backend/workers parameters) and its own
+   checksum verifies.  Anything else -- truncated file, flipped byte,
+   version bump, parameter drift -- is *quarantined* (renamed aside),
+   recorded as a :class:`CheckpointEvent` for the report's health section,
+   and recomputed.  Stage snapshots additionally resume as a **prefix**:
+   the first stage that cannot be loaded stops all later stage loads, so a
+   recomputed stage can never feed a snapshot computed from different
+   upstream state.
+2. **Never tear a file.**  Every write goes through
+   :func:`repro.relation.io.atomic_write` (temp file + fsync +
+   ``os.replace``); a SIGKILL mid-save leaves the previous snapshot or
+   nothing.
+3. **Never fail the run.**  Save errors (full disk, permissions) degrade
+   to "no checkpoint" with a ``save-failure`` event; only an unusable
+   store *directory* raises (:class:`repro.errors.CheckpointError`),
+   because that is a configuration error the user must see immediately.
+
+Snapshot layout inside the store directory::
+
+    manifest.json                   run identity: schema version, relation
+                                    fingerprint, parameters, run token
+    stage.<stage>.ckpt              one per completed pipeline stage:
+                                    header line + pickled result/outcomes
+    phase.<stage>.<digest>.ckpt     intra-stage artifacts (LIMBO Phase-1
+                                    summaries, AIB merge sequences), keyed
+                                    by a digest of their exact inputs
+    progress.json                   heartbeat: last stage / unit count seen
+    *.quarantined-N                 rejected snapshots, kept for forensics
+
+Determinism guarantee: stage results are pure functions of the relation and
+the manifest parameters, and only stages whose whole prefix ran healthy
+(``ok``) are ever snapshotted -- so a resumed run is bit-identical to an
+uninterrupted one, for any worker count and either numeric backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.relation.io import atomic_write
+from repro.relation.relation import NULL
+from repro.testing.faults import fault_point
+
+#: Bumped whenever the snapshot byte format changes; a mismatch quarantines.
+SNAPSHOT_VERSION = 1
+
+#: First bytes of every snapshot file (the NUL keeps it off the header line).
+MAGIC = b"repro-ckpt\x00"
+
+#: Budget units between intra-stage progress heartbeats.
+DEFAULT_CADENCE = 10_000
+
+_MANIFEST_NAME = "manifest.json"
+_PROGRESS_NAME = "progress.json"
+
+
+@dataclass
+class CheckpointEvent:
+    """One recorded checkpoint incident (quarantine, mismatch, save failure).
+
+    Mirrors :class:`repro.parallel.ExecutorEvent` so the discovery health
+    section can render pool and checkpoint incidents uniformly.
+    """
+
+    kind: str
+    where: str
+    detail: str
+
+    def render(self) -> str:
+        return f"{self.kind} at {self.where or 'store'}: {self.detail}"
+
+
+def relation_fingerprint(relation) -> str:
+    """A stable hex digest of a relation's schema and exact row contents.
+
+    NULLs hash distinctly from any string (including ``"NULL"``); values
+    hash by ``repr`` so ordinary str/int/float cells are unambiguous.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        "\x1f".join(relation.schema.names).encode("utf-8", "surrogatepass")
+    )
+    for row in relation.rows:
+        encoded = "\x1e".join(
+            "\x00" if value is NULL else repr(value) for value in row
+        )
+        digest.update(b"\x1d")
+        digest.update(encoded.encode("utf-8", "surrogatepass"))
+    return digest.hexdigest()
+
+
+class StageCheckpoint:
+    """A store handle scoped to one pipeline stage.
+
+    Passed down into :class:`repro.clustering.Limbo` / :func:`aib` so they
+    can persist intra-stage artifacts (Phase-1 summaries, merge sequences)
+    without knowing about the run-level store.  ``key`` is any repr-stable
+    tuple describing the artifact's *exact inputs*; snapshots are only ever
+    reused when the key matches, so a handle can be armed unconditionally.
+    """
+
+    def __init__(self, store: "CheckpointStore", stage: str):
+        self.store = store
+        self.stage = stage
+
+    def save(self, key, payload) -> None:
+        self.store.save_phase(self.stage, key, payload)
+
+    def load(self, key):
+        return self.store.load_phase(self.stage, key)
+
+
+class CheckpointStore:
+    """Versioned, checksummed, atomically-written snapshots of a run.
+
+    Parameters
+    ----------
+    directory:
+        Where snapshots live.  Created (with parents) if missing; a path
+        that exists but is not a writable directory raises
+        :class:`repro.errors.CheckpointError`.
+    cadence:
+        Budget units between intra-stage progress heartbeats
+        (:data:`DEFAULT_CADENCE`).
+    resume:
+        Whether :meth:`open_run` may reuse an existing manifest and its
+        snapshots.  ``False`` starts fresh: a new run token is minted and
+        nothing on disk is ever loaded (stale files are quarantined only
+        if a later resumed run trips over them).
+    """
+
+    def __init__(self, directory, cadence: int = DEFAULT_CADENCE,
+                 resume: bool = False):
+        if cadence < 1:
+            raise ValueError("cadence must be positive")
+        self.directory = Path(directory)
+        self.cadence = int(cadence)
+        self.resume = bool(resume)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create checkpoint directory {self.directory}: {exc}",
+                path=self.directory,
+            ) from exc
+        if not self.directory.is_dir():
+            raise CheckpointError(
+                f"checkpoint path {self.directory} is not a directory",
+                path=self.directory,
+            )
+        #: Checkpoint incidents, for the discovery health report.
+        self.events: list[CheckpointEvent] = []
+        #: Counters for tests and diagnostics.
+        self.stage_loads = 0
+        self.stage_saves = 0
+        self.phase_loads = 0
+        self.phase_saves = 0
+        self._token: str | None = None
+        self._resuming = False
+        self._halt_stage_loads = False
+        self._current_stage = ""
+        self._last_heartbeat = 0
+        self._heartbeat_failed = False
+
+    # -- run lifecycle -----------------------------------------------------------
+
+    def open_run(self, relation, params: dict) -> bool:
+        """Bind the store to one run; returns whether it is resuming.
+
+        ``params`` is the JSON-serializable parameter dict that, together
+        with the relation fingerprint, defines snapshot validity.  With
+        ``resume=True`` and a manifest matching both, the previous run's
+        token is adopted and its snapshots become loadable; any mismatch
+        quarantines the old state and starts fresh.
+        """
+        fingerprint = relation_fingerprint(relation)
+        params = json.loads(json.dumps(params, sort_keys=True))
+        self._halt_stage_loads = False
+        self._resuming = False
+        manifest_path = self.directory / _MANIFEST_NAME
+        if self.resume and manifest_path.exists():
+            problem = None
+            try:
+                manifest = json.loads(manifest_path.read_text("utf-8"))
+            except (OSError, ValueError) as exc:
+                manifest, problem = None, f"unreadable manifest: {exc}"
+            if manifest is not None:
+                if manifest.get("schema_version") != SNAPSHOT_VERSION:
+                    problem = (
+                        f"schema version {manifest.get('schema_version')!r} "
+                        f"!= {SNAPSHOT_VERSION}"
+                    )
+                elif manifest.get("fingerprint") != fingerprint:
+                    problem = "input relation fingerprint changed"
+                elif manifest.get("params") != params:
+                    problem = (
+                        f"parameters changed: stored {manifest.get('params')!r},"
+                        f" run has {params!r}"
+                    )
+                elif not isinstance(manifest.get("token"), str):
+                    problem = "manifest has no run token"
+            if problem is None:
+                self._token = manifest["token"]
+                self._resuming = True
+                return True
+            self._record("manifest-mismatch", "manifest", problem)
+            self._quarantine(manifest_path)
+            for stale in sorted(self.directory.glob("*.ckpt")):
+                self._quarantine(stale)
+        self._token = os.urandom(8).hex()
+        self._write_manifest(fingerprint, params)
+        return False
+
+    def _write_manifest(self, fingerprint: str, params: dict) -> None:
+        manifest = {
+            "schema_version": SNAPSHOT_VERSION,
+            "fingerprint": fingerprint,
+            "params": params,
+            "token": self._token,
+        }
+        try:
+            with atomic_write(self.directory / _MANIFEST_NAME) as handle:
+                json.dump(manifest, handle, sort_keys=True, indent=1)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot write checkpoint manifest in {self.directory}: {exc}",
+                path=self.directory,
+            ) from exc
+
+    def stage_handle(self, stage: str) -> StageCheckpoint:
+        """A :class:`StageCheckpoint` scoped to ``stage``."""
+        return StageCheckpoint(self, stage)
+
+    def enter_stage(self, stage: str) -> None:
+        """Label subsequent heartbeats with the stage now executing."""
+        self._current_stage = stage
+
+    # -- stage snapshots ---------------------------------------------------------
+
+    def save_stage(self, stage: str, payload) -> None:
+        """Snapshot one completed stage (never raises; see module rules)."""
+        self._save(self._stage_path(stage), "stage", stage, "", payload)
+
+    def load_stage(self, stage: str):
+        """Reuse one stage snapshot, or ``None`` to recompute.
+
+        Stage loads are prefix-only: the first miss (absent, corrupt, or
+        mismatched snapshot) halts every later stage load for this run,
+        because downstream snapshots were computed from state this run is
+        about to recompute.
+        """
+        if not self._resuming or self._halt_stage_loads:
+            return None
+        path = self._stage_path(stage)
+        if not path.exists():
+            self._halt_stage_loads = True
+            return None
+        payload = self._load(path, "stage", stage, "")
+        if payload is _REJECTED:
+            self._halt_stage_loads = True
+            return None
+        self.stage_loads += 1
+        return payload
+
+    # -- intra-stage phase snapshots ---------------------------------------------
+
+    def save_phase(self, stage: str, key, payload) -> None:
+        """Snapshot an intra-stage artifact under an input-derived key."""
+        self._save(self._phase_path(stage, key), "phase", stage, repr(key),
+                   payload)
+
+    def load_phase(self, stage: str, key):
+        """Reuse an intra-stage artifact, or ``None`` to recompute.
+
+        Unlike stage snapshots these are content-addressed by their exact
+        inputs (the key), so they stay reusable even after the stage-load
+        prefix halts -- a recomputed stage that reaches identical inputs
+        may skip identical work.
+        """
+        if not self._resuming:
+            return None
+        path = self._phase_path(stage, key)
+        if not path.exists():
+            return None
+        payload = self._load(path, "phase", stage, repr(key))
+        if payload is _REJECTED:
+            return None
+        self.phase_loads += 1
+        return payload
+
+    # -- the snapshot byte format ------------------------------------------------
+
+    def _stage_path(self, stage: str) -> Path:
+        return self.directory / f"stage.{stage}.ckpt"
+
+    def _phase_path(self, stage: str, key) -> Path:
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:16]
+        return self.directory / f"phase.{stage}.{digest}.ckpt"
+
+    def _save(self, path: Path, kind: str, stage: str, key: str,
+              payload) -> None:
+        where = f"{kind}:{stage}"
+        try:
+            data = pickle.dumps(payload)
+        except Exception as exc:
+            self._record("save-failure", where,
+                         f"unpicklable payload: {type(exc).__name__}: {exc}")
+            return
+        header = json.dumps({
+            "version": SNAPSHOT_VERSION,
+            "token": self._token,
+            "kind": kind,
+            "stage": stage,
+            "key": key,
+            "sha256": hashlib.sha256(data).hexdigest(),
+            "length": len(data),
+        }, sort_keys=True).encode("ascii")
+        blob = MAGIC + header + b"\n" + data
+        try:
+            blob = fault_point("checkpoint.save", blob)
+            with atomic_write(path, "wb") as handle:
+                handle.write(blob)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            self._record("save-failure", where,
+                         f"{type(exc).__name__}: {exc}")
+            return
+        if kind == "stage":
+            self.stage_saves += 1
+        else:
+            self.phase_saves += 1
+
+    def _load(self, path: Path, kind: str, stage: str, key: str):
+        """Validate and unpickle one snapshot; quarantine on any defect."""
+        where = f"{kind}:{stage}"
+        try:
+            raw = fault_point("checkpoint.load", path.read_bytes())
+            if not raw.startswith(MAGIC):
+                raise ValueError("bad magic")
+            header_line, _, data = raw[len(MAGIC):].partition(b"\n")
+            header = json.loads(header_line.decode("ascii"))
+            if header.get("version") != SNAPSHOT_VERSION:
+                raise ValueError(
+                    f"snapshot version {header.get('version')!r} "
+                    f"!= {SNAPSHOT_VERSION}"
+                )
+            if header.get("token") != self._token:
+                raise ValueError("snapshot belongs to a different run")
+            if (header.get("kind"), header.get("stage")) != (kind, stage):
+                raise ValueError("snapshot labelled for a different site")
+            if kind == "phase" and header.get("key") != key:
+                raise ValueError("phase key collision")
+            if header.get("length") != len(data):
+                raise ValueError(
+                    f"truncated payload ({len(data)} of "
+                    f"{header.get('length')} bytes)"
+                )
+            if hashlib.sha256(data).hexdigest() != header.get("sha256"):
+                raise ValueError("payload checksum mismatch")
+            return pickle.loads(data)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            self._record(
+                "quarantine", where,
+                f"{path.name}: {type(exc).__name__}: {exc}; recomputing",
+            )
+            self._quarantine(path)
+            return _REJECTED
+
+    def _quarantine(self, path: Path) -> None:
+        """Rename a rejected snapshot aside (best effort, never raises)."""
+        suffix = 1
+        while True:
+            target = path.with_name(f"{path.name}.quarantined-{suffix}")
+            if not target.exists():
+                break
+            suffix += 1
+        try:
+            os.replace(path, target)
+        except OSError:
+            pass
+
+    # -- heartbeats --------------------------------------------------------------
+
+    def attach(self, budget) -> None:
+        """Heartbeat intra-stage progress off a budget's checkpoint ticks.
+
+        Every :attr:`cadence` units, ``progress.json`` is atomically
+        rewritten with the current stage, unit count and checkpoint site --
+        a cheap liveness marker for whoever supervises a long run.
+        Tolerates ``budget=None`` (heartbeats simply stay off).
+        """
+        if budget is not None:
+            budget.on_checkpoint(self._heartbeat)
+
+    def _heartbeat(self, units_used: int, where: str) -> None:
+        if units_used - self._last_heartbeat < self.cadence:
+            return
+        self._last_heartbeat = units_used
+        try:
+            with atomic_write(self.directory / _PROGRESS_NAME) as handle:
+                json.dump({
+                    "token": self._token,
+                    "stage": self._current_stage,
+                    "units_used": units_used,
+                    "where": where,
+                }, handle, sort_keys=True)
+        except Exception as exc:
+            if not self._heartbeat_failed:
+                self._heartbeat_failed = True
+                self._record("save-failure", "progress",
+                             f"{type(exc).__name__}: {exc}")
+
+    # -- events ------------------------------------------------------------------
+
+    def _record(self, kind: str, where: str, detail: str) -> None:
+        self.events.append(CheckpointEvent(kind=kind, where=where,
+                                           detail=detail))
+
+
+class _Rejected:
+    """Internal sentinel: a snapshot existed but failed validation."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<rejected snapshot>"
+
+
+_REJECTED = _Rejected()

@@ -13,7 +13,11 @@ CSV conventions follow :mod:`repro.relation.io`: a header row, empty fields
 are NULLs.  CSV-consuming commands accept ``--on-error {strict,coerce}``
 (malformed input: fail with a line number vs. repair-and-count) and
 ``--deadline SECONDS`` (a wall-clock budget threaded through the miners and
-clustering phases).
+clustering phases).  ``discover`` additionally takes ``--checkpoint-dir`` /
+``--resume`` / ``--checkpoint-cadence`` for durable checkpoint/resume of
+interrupted runs (see ``docs/ROBUSTNESS.md``).  All file outputs (``--out``
+and snapshots alike) are written atomically: temp file + ``os.replace``,
+so an interrupt never leaves a half-written file.
 
 Exit codes: 0 success (including degraded ``discover`` runs), 1 other
 library errors, 2 input/usage errors, 3 resource limit exceeded, 130
@@ -102,6 +106,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict-stages", action="store_true",
         help="fail the run on the first stage failure instead of degrading",
     )
+    discover.add_argument(
+        "--backend", choices=("auto", "sparse", "dense"), default="auto",
+        help="numeric backend for the clustering stages (any choice "
+        "produces bit-identical output)",
+    )
+    discover.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write crash-safe stage snapshots into DIR as the run "
+        "progresses; corrupt snapshots are quarantined, never trusted",
+    )
+    discover.add_argument(
+        "--resume", action="store_true",
+        help="reuse valid snapshots a previous identical run left in "
+        "--checkpoint-dir instead of recomputing those stages",
+    )
+    discover.add_argument(
+        "--checkpoint-cadence", type=int, default=None, metavar="UNITS",
+        help="budget units between intra-stage progress heartbeats "
+        "(default: 10000)",
+    )
     _add_workers_argument(discover)
 
     rank = commands.add_parser("rank", help="rank mined dependencies")
@@ -180,6 +204,12 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
     n = getattr(args, "n", None)
     if n is not None:
         require(n >= 1, "--n must be >= 1")
+    if getattr(args, "resume", False):
+        require(getattr(args, "checkpoint_dir", None) is not None,
+                "--resume requires --checkpoint-dir")
+    cadence = getattr(args, "checkpoint_cadence", None)
+    if cadence is not None:
+        require(cadence >= 1, "--checkpoint-cadence must be >= 1")
 
 
 def _load_relation(args):
@@ -197,9 +227,19 @@ def _budget_of(args) -> Budget | None:
 
 def _cmd_discover(args) -> int:
     relation = _load_relation(args)
+    checkpoint = None
+    if args.checkpoint_dir is not None:
+        from repro.checkpoint import DEFAULT_CADENCE, CheckpointStore
+
+        checkpoint = CheckpointStore(
+            args.checkpoint_dir,
+            cadence=args.checkpoint_cadence or DEFAULT_CADENCE,
+            resume=args.resume,
+        )
     report = StructureDiscovery(
         phi_t=args.phi_t, phi_v=args.phi_v, psi=args.psi,
         strict=args.strict_stages, workers=args.workers,
+        backend=args.backend, checkpoint=checkpoint,
     ).run(relation, budget=_budget_of(args))
     print(report.render(top=args.top))
     return EXIT_OK

@@ -21,6 +21,7 @@ on ``(loss, node ids)``).
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 
 from repro import kernels
@@ -88,6 +89,7 @@ def aib(
     budget=None,
     backend: str = "auto",
     executor=None,
+    checkpoint=None,
 ) -> AIBResult:
     """Run Agglomerative IB over ``dcfs`` down to ``min_clusters``.
 
@@ -121,6 +123,14 @@ def aib(
         block runs the very same :meth:`DenseMergeEngine.costs` the
         sequential loop runs, so the merge sequence is bit-identical for
         any worker count (including no executor at all).
+    checkpoint:
+        Optional :class:`repro.checkpoint.StageCheckpoint`.  The full
+        merge sequence is snapshotted when the run completes, keyed by a
+        digest of the starting DCFs; a resumed run with identical inputs
+        reloads the sequence (the dendrogram -- the paper's ``Q``)
+        instead of re-running the quadratic loop.  Merge sequences are
+        backend-invariant (PR 2's shared loss grid), so the key carries no
+        backend.
     """
     n = len(dcfs)
     kernels.validate_backend(backend)
@@ -132,23 +142,48 @@ def aib(
     if initial_information is None:
         initial_information = 0.0
 
-    dense_index = None
-    if backend != "sparse" and n >= 2:
-        dense_index = kernels.shared_index(dcfs)
-        if not kernels.use_dense(
-            backend, n, n_columns=len(dense_index), maximum=kernels.DENSE_MAX_OBJECTS
-        ):
-            dense_index = None
+    merge_key = None
+    merges = None
+    if checkpoint is not None:
+        merge_key = _merge_key(dcfs, min_clusters, initial_information)
+        merges = checkpoint.load(merge_key)
 
-    if dense_index is not None:
-        merges = _merge_sequence_dense(
-            dcfs, min_clusters, budget, dense_index, executor
-        )
-    else:
-        merges = _merge_sequence_sparse(dcfs, min_clusters, budget)
+    if merges is None:
+        dense_index = None
+        if backend != "sparse" and n >= 2:
+            dense_index = kernels.shared_index(dcfs)
+            if not kernels.use_dense(
+                backend, n, n_columns=len(dense_index), maximum=kernels.DENSE_MAX_OBJECTS
+            ):
+                dense_index = None
+
+        if dense_index is not None:
+            merges = _merge_sequence_dense(
+                dcfs, min_clusters, budget, dense_index, executor
+            )
+        else:
+            merges = _merge_sequence_sparse(dcfs, min_clusters, budget)
+        if checkpoint is not None:
+            checkpoint.save(merge_key, merges)
 
     dendrogram = Dendrogram(n, merges, labels=labels)
     return AIBResult(list(dcfs), dendrogram, initial_information)
+
+
+def _merge_key(dcfs, min_clusters: int, initial_information: float) -> tuple:
+    """A repr-stable key digesting an AIB problem's exact inputs.
+
+    Covers every starting cluster's weight and joint masses bit-for-bit;
+    labels are presentation-only and excluded.
+    """
+    digest = hashlib.sha256()
+    for dcf in dcfs:
+        digest.update(repr(dcf.weight).encode("ascii"))
+        digest.update(repr(list(dcf.mass.items())).encode("utf-8"))
+    return (
+        "aib.merges", len(dcfs), min_clusters,
+        repr(initial_information), digest.hexdigest(),
+    )
 
 
 def _merge_sequence_sparse(dcfs, min_clusters, budget) -> list[Merge]:

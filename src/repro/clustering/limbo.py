@@ -15,6 +15,8 @@ builders make a first pass over the data (Section 6.2's "three passes").
 
 from __future__ import annotations
 
+import hashlib
+
 from repro import kernels
 from repro.budget import checkpoint
 from repro.clustering.aib import AIBResult, aib
@@ -65,11 +67,20 @@ class Limbo:
         blocks.  The shard layout depends only on the input size and the
         executor's ``shard_size``, never on its worker count, so any
         ``workers=N`` produces bit-identical results to ``workers=1``.
+    checkpoint:
+        Optional :class:`repro.checkpoint.StageCheckpoint`.  The Phase-1
+        summaries are snapshotted once :meth:`fit` completes (keyed by a
+        digest of the exact inputs and knobs) and the Phase-2 merge
+        sequence rides the same handle through :func:`aib`; a resumed run
+        whose stage died *between* phases reloads the finished phase
+        instead of recomputing it.  Snapshots are content-addressed, so a
+        key mismatch silently recomputes -- reuse can never change a
+        result.
     """
 
     def __init__(self, phi: float = 0.0, branching: int = 4,
                  max_summaries: int | None = None, budget=None,
-                 backend: str = "auto", executor=None):
+                 backend: str = "auto", executor=None, checkpoint=None):
         if phi < 0.0:
             raise ValueError("phi must be non-negative")
         if max_summaries is not None and max_summaries < 1:
@@ -80,12 +91,27 @@ class Limbo:
         self.budget = budget
         self.backend = kernels.validate_backend(backend)
         self.executor = executor
+        self.checkpoint = checkpoint
         self._rows: list | None = None
         self._priors: list | None = None
         self._supports: list | None = None
         self._summaries: list[DCF] | None = None
         self._total_information: float | None = None
         self._threshold: float | None = None
+
+    def __getstate__(self):
+        """Pickle without the process-local runtime companions.
+
+        Budgets carry per-process clocks, executors own worker pools, and
+        checkpoint handles own the store -- none of them belong inside a
+        stage snapshot.  A restored ``Limbo`` keeps its fitted numeric
+        state and runs un-budgeted, sequential and checkpoint-less.
+        """
+        state = dict(self.__dict__)
+        state["budget"] = None
+        state["executor"] = None
+        state["checkpoint"] = None
+        return state
 
     # -- Phase 1 -----------------------------------------------------------------
 
@@ -121,29 +147,57 @@ class Limbo:
         self._threshold = self.phi * mutual_information / len(rows)
 
         fault_point("limbo.fit")
-        if self.executor is not None:
-            summaries = self._fit_sharded(rows, priors, supports)
-        else:
-            tree = DCFTree(self._threshold, branching=self.branching, backend=self.backend)
-            for index, (row, prior) in enumerate(zip(rows, priors)):
-                if index % _CHECK_EVERY == 0:
-                    checkpoint(self.budget, units=_CHECK_EVERY, where="limbo.fit")
-                support = supports[index] if supports is not None else None
-                tree.insert(DCF.singleton(index, prior, row, support=support))
-            summaries = tree.leaves()
+        phase_key = None
+        summaries = None
+        if self.checkpoint is not None:
+            phase_key = self._fit_key(rows, priors, supports, mutual_information)
+            summaries = self.checkpoint.load(phase_key)
+        if summaries is None:
+            if self.executor is not None:
+                summaries = self._fit_sharded(rows, priors, supports)
+            else:
+                tree = DCFTree(self._threshold, branching=self.branching, backend=self.backend)
+                for index, (row, prior) in enumerate(zip(rows, priors)):
+                    if index % _CHECK_EVERY == 0:
+                        checkpoint(self.budget, units=_CHECK_EVERY, where="limbo.fit")
+                    support = supports[index] if supports is not None else None
+                    tree.insert(DCF.singleton(index, prior, row, support=support))
+                summaries = tree.leaves()
 
-        threshold = self._threshold
-        while self.max_summaries is not None and len(summaries) > self.max_summaries:
-            checkpoint(self.budget, units=len(summaries), where="limbo.rebuild")
-            threshold = max(threshold * _REBUILD_FACTOR, mutual_information / len(rows) / 64.0)
-            tree = DCFTree(threshold, branching=self.branching, backend=self.backend)
-            for dcf in summaries:
-                tree.insert(dcf)
-            summaries = tree.leaves()
+            threshold = self._threshold
+            while self.max_summaries is not None and len(summaries) > self.max_summaries:
+                checkpoint(self.budget, units=len(summaries), where="limbo.rebuild")
+                threshold = max(threshold * _REBUILD_FACTOR, mutual_information / len(rows) / 64.0)
+                tree = DCFTree(threshold, branching=self.branching, backend=self.backend)
+                for dcf in summaries:
+                    tree.insert(dcf)
+                summaries = tree.leaves()
+            if self.checkpoint is not None:
+                self.checkpoint.save(phase_key, summaries)
 
         self._rows, self._priors, self._supports = rows, priors, supports
         self._summaries = summaries
         return self
+
+    def _fit_key(self, rows, priors, supports, mutual_information) -> tuple:
+        """A repr-stable key digesting Phase 1's exact inputs and knobs.
+
+        The digest covers every conditional, prior and support row bit-for
+        bit (``repr`` of a float is exact), so a snapshot can only ever be
+        reused for the identical summarization problem.
+        """
+        digest = hashlib.sha256()
+        for row, prior in zip(rows, priors):
+            digest.update(repr(list(row.items())).encode("utf-8"))
+            digest.update(repr(prior).encode("ascii"))
+        if supports is not None:
+            for support in supports:
+                digest.update(repr(list(support.items())).encode("utf-8"))
+        return (
+            "limbo.fit", repr(self.phi), self.branching, self.backend,
+            self.max_summaries, len(rows), supports is not None,
+            repr(mutual_information), digest.hexdigest(),
+        )
 
     def _fit_sharded(self, rows, priors, supports) -> list[DCF]:
         """Sharded Phase 1: per-shard summarization + cross-shard merge.
@@ -225,6 +279,7 @@ class Limbo:
             initial_information=leaf_information,
             budget=self.budget,
             backend=self.backend,
+            checkpoint=self.checkpoint,
         )
 
     def representatives(self, k: int) -> list[DCF]:

@@ -83,7 +83,9 @@ def group_attributes(
     value_clustering: ValueClusteringResult | None = None,
     include_all_groups: bool = False,
     budget=None,
+    backend: str = "auto",
     executor=None,
+    checkpoint=None,
 ) -> AttributeGroupingResult:
     """Cluster the attributes of ``A^D`` by shared duplicate values.
 
@@ -105,7 +107,13 @@ def group_attributes(
         if relation is None:
             raise ValueError("pass either a relation or a value_clustering")
         value_clustering = cluster_values(
-            relation, phi_v=phi_v, phi_t=phi_t, budget=budget, executor=executor
+            relation,
+            phi_v=phi_v,
+            phi_t=phi_t,
+            budget=budget,
+            backend=backend,
+            executor=executor,
+            checkpoint=checkpoint,
         )
 
     groups = (
@@ -129,7 +137,12 @@ def group_attributes(
         for i, (row, counts) in enumerate(zip(matrix_f.rows, matrix_f.counts))
     ]
     result = aib(
-        dcfs, labels=matrix_f.attribute_names, budget=budget, executor=executor
+        dcfs,
+        labels=matrix_f.attribute_names,
+        budget=budget,
+        backend=backend,
+        executor=executor,
+        checkpoint=checkpoint,
     )
     return AttributeGroupingResult(
         matrix_f=matrix_f,

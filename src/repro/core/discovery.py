@@ -12,6 +12,11 @@ was applied -- instead of losing the whole run to one bad stage.  Pass
 ``strict=True`` to get the old all-or-nothing behaviour as a
 :class:`repro.errors.StageFailure`.
 
+With ``checkpoint=`` set, every completed stage is additionally snapshotted
+to a :class:`repro.checkpoint.CheckpointStore`, so a run killed mid-pipeline
+(crash, SIGKILL, exhausted deadline) resumes from the last completed stage
+-- bit-identically, for any worker count and either numeric backend.
+
 The degradation ladder:
 
 ====================  ==========================================
@@ -31,7 +36,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro import kernels
 from repro.budget import Budget
+from repro.checkpoint import CheckpointStore
 from repro.core.attribute_grouping import AttributeGroupingResult, group_attributes
 from repro.core.decompose import redundancy_report
 from repro.core.fd_rank import RankedFD, fd_rank
@@ -253,6 +260,20 @@ class StructureDiscovery:
         Multiprocessing start method for the pool (``"fork"`` /
         ``"spawn"``); ``None`` resolves from the platform and the
         ``REPRO_PARALLEL_START_METHOD`` environment variable.
+    backend:
+        Numeric backend for the clustering stages (``"auto"`` / ``"sparse"``
+        / ``"dense"``), forwarded to LIMBO and AIB.  Both backends produce
+        bit-identical reports; the knob exists for benchmarking and for
+        pinning the choice into a checkpoint manifest.
+    checkpoint:
+        ``None`` (default), a directory path, or a preconfigured
+        :class:`repro.checkpoint.CheckpointStore`.  A path is opened with
+        ``resume=True``: every ``run`` snapshots completed stages there and
+        reuses any valid snapshots a previous identical run left behind --
+        this is the one-argument "pick up where the crash left off" spelling.
+        Corrupt or mismatched snapshots are quarantined and recomputed; the
+        incident appears as a ``checkpoint`` entry in the report's health
+        section.  See ``docs/ROBUSTNESS.md``.
     """
 
     def __init__(
@@ -266,9 +287,12 @@ class StructureDiscovery:
         budget: Budget | None = None,
         workers=None,
         start_method: str | None = None,
+        backend: str = "auto",
+        checkpoint=None,
     ):
         if miner not in ("auto", "fdep", "tane"):
             raise ValueError("miner must be 'auto', 'fdep' or 'tane'")
+        kernels.validate_backend(backend)
         self.phi_t = phi_t
         self.phi_v = phi_v
         self.double_clustering_phi_t = double_clustering_phi_t
@@ -278,6 +302,30 @@ class StructureDiscovery:
         self.budget = budget
         self.workers = workers
         self.start_method = start_method
+        self.backend = backend
+        if checkpoint is not None and not isinstance(checkpoint, CheckpointStore):
+            checkpoint = CheckpointStore(checkpoint, resume=True)
+        self.checkpoint = checkpoint
+
+    def _manifest_params(self) -> dict:
+        """The parameters that define checkpoint validity.
+
+        Budget and deadline are deliberately absent: stage snapshots are
+        only written along a fully-healthy prefix, whose results do not
+        depend on how much budget remained.  ``workers`` and ``backend``
+        are included conservatively -- reports are bit-identical across
+        both, but refusing cross-configuration reuse keeps that guarantee
+        testable rather than assumed.
+        """
+        return {
+            "phi_t": self.phi_t,
+            "phi_v": self.phi_v,
+            "double_clustering_phi_t": self.double_clustering_phi_t,
+            "psi": self.psi,
+            "miner": self.miner,
+            "backend": self.backend,
+            "workers": self.workers,
+        }
 
     # -- the stage guard ---------------------------------------------------------
 
@@ -336,6 +384,11 @@ class StructureDiscovery:
         budget = budget if budget is not None else self.budget
         outcomes: list[StageOutcome] = []
 
+        store = self.checkpoint
+        if store is not None:
+            store.open_run(relation, self._manifest_params())
+            store.attach(budget)
+
         executor = None
         if self.workers is not None:
             from repro.parallel import ShardedExecutor
@@ -345,122 +398,191 @@ class StructureDiscovery:
                 budget=budget,
             )
         try:
-            report = self._run_stages(relation, budget, outcomes, executor)
+            report = self._run_stages(relation, budget, outcomes, executor, store)
         finally:
             if executor is not None:
                 executor.close()
         if executor is not None:
-            if executor.events:
+            if not executor.events:
+                outcomes.append(StageOutcome(
+                    stage="parallel", status="ok",
+                    detail="sharded execution, no pool incidents",
+                ))
+            elif all(e.kind == "retry" for e in executor.events):
+                # Every incident was a retry that went on to succeed; the
+                # run stayed parallel and the report is unaffected.
+                outcomes.append(StageOutcome(
+                    stage="parallel", status="ok",
+                    detail="recovered: "
+                           + "; ".join(e.render() for e in executor.events),
+                ))
+            else:
                 outcomes.append(StageOutcome(
                     stage="parallel", status="degraded",
                     detail="; ".join(e.render() for e in executor.events),
                     fallback="sequential execution",
                 ))
-            else:
-                outcomes.append(StageOutcome(
-                    stage="parallel", status="ok",
-                    detail="sharded execution, no pool incidents",
-                ))
+        if store is not None and store.events:
+            # Only incidents earn an entry: a clean checkpointed (or cleanly
+            # resumed) run renders bit-identically to an uncheckpointed one.
+            outcomes.append(StageOutcome(
+                stage="checkpoint", status="degraded",
+                detail="; ".join(e.render() for e in store.events),
+                fallback="recomputed from source data",
+            ))
         return report
 
-    def _run_stages(self, relation, budget, outcomes, executor) -> DiscoveryReport:
-        tuples = self._guarded(
-            "tuple_clustering", outcomes,
-            primary=lambda: cluster_tuples(
-                relation, phi_t=self.phi_t, budget=budget, executor=executor
-            ),
-            fallbacks=[
-                ("exact-duplicate scan", lambda: _exact_duplicate_groups(relation)),
-            ],
-            default=TupleClusteringResult(
-                relation=relation, view=None, limbo=None,
-                assignment=[], duplicate_groups=[],
+    def _checkpointed(self, stage, store, outcomes, compute):
+        """Load a stage snapshot, or compute and (when healthy) save one.
+
+        A snapshot carries both the stage result and the
+        :class:`StageOutcome` entries the stage appended, so a resumed run
+        replays the exact health lines.  Saves happen only while *every*
+        outcome so far is ``ok``: a degraded result reflects the budget
+        that degraded it, so persisting it would freeze the degradation
+        into later runs -- recomputing instead lets a resume with a fresh
+        budget heal the stage.
+        """
+        if store is not None:
+            store.enter_stage(stage)
+            snapshot = store.load_stage(stage)
+            if snapshot is not None:
+                outcomes.extend(snapshot["outcomes"])
+                return snapshot["result"]
+        before = len(outcomes)
+        result = compute()
+        if store is not None and all(o.ok for o in outcomes):
+            store.save_stage(stage, {
+                "result": result,
+                "outcomes": outcomes[before:],
+            })
+        return result
+
+    def _run_stages(
+        self, relation, budget, outcomes, executor, store=None
+    ) -> DiscoveryReport:
+        def _handle(stage):
+            return store.stage_handle(stage) if store is not None else None
+
+        tuples = self._checkpointed(
+            "tuple_clustering", store, outcomes,
+            lambda: self._guarded(
+                "tuple_clustering", outcomes,
+                primary=lambda: cluster_tuples(
+                    relation, phi_t=self.phi_t, budget=budget,
+                    backend=self.backend, executor=executor,
+                    checkpoint=_handle("tuple_clustering"),
+                ),
+                fallbacks=[
+                    ("exact-duplicate scan",
+                     lambda: _exact_duplicate_groups(relation)),
+                ],
+                default=TupleClusteringResult(
+                    relation=relation, view=None, limbo=None,
+                    assignment=[], duplicate_groups=[],
+                ),
             ),
         )
 
-        values = self._guarded(
-            "value_clustering", outcomes,
-            primary=lambda: cluster_values(
-                relation, phi_v=self.phi_v,
-                phi_t=self.double_clustering_phi_t, budget=budget,
-                executor=executor,
-            ),
-            fallbacks=[
-                (
-                    f"exact clustering of a {_SAMPLE_CAP}-tuple sample",
-                    lambda: cluster_values(
-                        deterministic_sample(relation), phi_v=0.0, phi_t=None
+        values = self._checkpointed(
+            "value_clustering", store, outcomes,
+            lambda: self._guarded(
+                "value_clustering", outcomes,
+                primary=lambda: cluster_values(
+                    relation, phi_v=self.phi_v,
+                    phi_t=self.double_clustering_phi_t, budget=budget,
+                    backend=self.backend, executor=executor,
+                    checkpoint=_handle("value_clustering"),
+                ),
+                fallbacks=[
+                    (
+                        f"exact clustering of a {_SAMPLE_CAP}-tuple sample",
+                        lambda: cluster_values(
+                            deterministic_sample(relation), phi_v=0.0,
+                            phi_t=None,
+                        ),
                     ),
+                ],
+                default=ValueClusteringResult(
+                    relation=relation, view=None, limbo=None, groups=[],
                 ),
-            ],
-            default=ValueClusteringResult(
-                relation=relation, view=None, limbo=None, groups=[],
             ),
         )
 
-        grouping = None
-        grouping_failed = False
-        if values.duplicate_groups:
-            grouping = self._guarded(
-                "attribute_grouping", outcomes,
-                primary=lambda: group_attributes(
-                    value_clustering=values, budget=budget, executor=executor
-                ),
-                default=None,
-            )
-            grouping_failed = grouping is None
-        else:
+        def _grouping_stage():
+            if values.duplicate_groups:
+                grouping = self._guarded(
+                    "attribute_grouping", outcomes,
+                    primary=lambda: group_attributes(
+                        value_clustering=values, budget=budget,
+                        backend=self.backend, executor=executor,
+                        checkpoint=_handle("attribute_grouping"),
+                    ),
+                    default=None,
+                )
+                return grouping, grouping is None
             outcomes.append(StageOutcome(
                 stage="attribute_grouping", status="ok",
                 detail="skipped: no duplicate value groups to cluster",
             ))
+            return None, False
 
-        dependencies = self._guarded(
-            "mining", outcomes,
-            primary=lambda: self._mine(relation, budget, executor),
-            fallbacks=[
-                (
-                    f"FDEP over a {_SAMPLE_CAP}-tuple deterministic sample",
-                    lambda: fdep(deterministic_sample(relation)),
-                ),
-            ],
-            default=[],
+        grouping, grouping_failed = self._checkpointed(
+            "attribute_grouping", store, outcomes, _grouping_stage
         )
 
-        cover = self._guarded(
-            "cover", outcomes,
-            primary=lambda: minimum_cover(dependencies),
-            fallbacks=[
-                ("raw mined dependencies", lambda: list(dependencies)),
-            ],
-            default=[],
-        )
-
-        ranked: list = []
-        if cover and grouping is not None:
-            ranked = self._guarded(
-                "rank", outcomes,
-                primary=lambda: fd_rank(cover, grouping, psi=self.psi),
+        dependencies = self._checkpointed(
+            "mining", store, outcomes,
+            lambda: self._guarded(
+                "mining", outcomes,
+                primary=lambda: self._mine(relation, budget, executor),
                 fallbacks=[
-                    ("cover order, unranked (singleton grouping)",
-                     lambda: _unranked_cover(cover)),
+                    (
+                        f"FDEP over a {_SAMPLE_CAP}-tuple deterministic sample",
+                        lambda: fdep(deterministic_sample(relation)),
+                    ),
                 ],
                 default=[],
-            )
-        elif cover and grouping_failed:
-            # The grouping stage *failed* (rather than having nothing to
-            # group): keep the cover visible in rank position anyway.
-            ranked = self._guarded(
-                "rank", outcomes,
-                primary=lambda: self._rank_without_grouping(cover),
+            ),
+        )
+
+        cover = self._checkpointed(
+            "cover", store, outcomes,
+            lambda: self._guarded(
+                "cover", outcomes,
+                primary=lambda: minimum_cover(dependencies),
+                fallbacks=[
+                    ("raw mined dependencies", lambda: list(dependencies)),
+                ],
                 default=[],
-            )
-            last = outcomes[-1]
-            if last.stage == "rank" and last.ok:
-                last.status = "degraded"
-                last.detail = "attribute grouping failed upstream"
-                last.fallback = "cover order, unranked (singleton grouping)"
-        else:
+            ),
+        )
+
+        def _rank_stage():
+            if cover and grouping is not None:
+                return self._guarded(
+                    "rank", outcomes,
+                    primary=lambda: fd_rank(cover, grouping, psi=self.psi),
+                    fallbacks=[
+                        ("cover order, unranked (singleton grouping)",
+                         lambda: _unranked_cover(cover)),
+                    ],
+                    default=[],
+                )
+            if cover and grouping_failed:
+                # The grouping stage *failed* (rather than having nothing
+                # to group): keep the cover visible in rank position anyway.
+                ranked = self._guarded(
+                    "rank", outcomes,
+                    primary=lambda: self._rank_without_grouping(cover),
+                    default=[],
+                )
+                last = outcomes[-1]
+                if last.stage == "rank" and last.ok:
+                    last.status = "degraded"
+                    last.detail = "attribute grouping failed upstream"
+                    last.fallback = "cover order, unranked (singleton grouping)"
+                return ranked
             reason = (
                 "no dependencies to rank" if not cover
                 else "no attribute grouping (nothing to rank against)"
@@ -468,6 +590,9 @@ class StructureDiscovery:
             outcomes.append(StageOutcome(
                 stage="rank", status="ok", detail=f"skipped: {reason}",
             ))
+            return []
+
+        ranked = self._checkpointed("rank", store, outcomes, _rank_stage)
 
         return DiscoveryReport(
             relation=relation,

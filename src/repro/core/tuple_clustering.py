@@ -67,7 +67,9 @@ def cluster_tuples(
     branching: int = 4,
     value_scope: str = "global",
     budget=None,
+    backend: str = "auto",
     executor=None,
+    checkpoint=None,
 ) -> TupleClusteringResult:
     """Run the duplicate-tuple procedure of Section 6.1.1.
 
@@ -80,7 +82,12 @@ def cluster_tuples(
     """
     view = build_tuple_view(relation, value_scope=value_scope)
     limbo = Limbo(
-        phi=phi_t, branching=branching, budget=budget, executor=executor
+        phi=phi_t,
+        branching=branching,
+        budget=budget,
+        backend=backend,
+        executor=executor,
+        checkpoint=checkpoint,
     ).fit(
         view.rows, view.priors, mutual_information=view.mutual_information()
     )

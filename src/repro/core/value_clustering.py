@@ -95,7 +95,9 @@ def cluster_values(
     branching: int = 4,
     value_scope: str = "global",
     budget=None,
+    backend: str = "auto",
     executor=None,
+    checkpoint=None,
 ) -> ValueClusteringResult:
     """Run the attribute-value clustering procedure of Section 6.2.
 
@@ -116,7 +118,12 @@ def cluster_values(
     if phi_t is not None:
         tuple_view = build_tuple_view(relation, value_scope=value_scope)
         tuple_limbo = Limbo(
-            phi=phi_t, branching=branching, budget=budget, executor=executor
+            phi=phi_t,
+            branching=branching,
+            budget=budget,
+            backend=backend,
+            executor=executor,
+            checkpoint=checkpoint,
         ).fit(
             tuple_view.rows,
             tuple_view.priors,
@@ -135,7 +142,12 @@ def cluster_values(
         relation, value_scope=value_scope, tuple_clusters=tuple_clusters
     )
     limbo = Limbo(
-        phi=phi_v, branching=branching, budget=budget, executor=executor
+        phi=phi_v,
+        branching=branching,
+        budget=budget,
+        backend=backend,
+        executor=executor,
+        checkpoint=checkpoint,
     ).fit(
         view.rows,
         view.priors,

@@ -11,7 +11,9 @@ Hierarchy::
     ├── InputError              malformed external input (CSV rows, encodings)
     │   └── SchemaError         header/schema-level problems
     ├── ResourceLimitExceeded   a Budget deadline or work-unit cap was hit
-    └── StageFailure            a pipeline stage died (wraps the cause)
+    ├── StageFailure            a pipeline stage died (wraps the cause)
+    └── CheckpointError         a checkpoint store is unusable (not: corrupt
+                                snapshots, which quarantine instead of raising)
 
 ``InputError`` and ``SchemaError`` also subclass :class:`ValueError` so
 pre-existing ``except ValueError`` call sites keep working.
@@ -76,3 +78,20 @@ class StageFailure(ReproError):
     def __init__(self, message: str, stage: str = "", **context):
         super().__init__(message, stage=stage or None, **context)
         self.stage = stage
+
+
+class CheckpointError(ReproError):
+    """A checkpoint store cannot be used at all (unwritable directory, a
+    path that exists but is not a directory, ...).
+
+    Deliberately *narrow*: a corrupt, truncated or version-mismatched
+    snapshot never raises this -- the store quarantines the file, records a
+    :class:`repro.checkpoint.CheckpointEvent` and recomputes, because a bad
+    snapshot must cost a recompute, not the run.  ``path`` locates the
+    store.
+    """
+
+    def __init__(self, message: str, path=None, **context):
+        super().__init__(message, path=str(path) if path is not None else None,
+                         **context)
+        self.path = str(path) if path is not None else None

@@ -15,6 +15,7 @@ guarantees.
 """
 
 from repro.parallel.executor import (
+    RETRY_BACKOFF,
     START_METHOD_ENV,
     ExecutorEvent,
     ShardedExecutor,
@@ -32,6 +33,7 @@ from repro.parallel.shards import (
 __all__ = [
     "DEFAULT_SHARD_SIZE",
     "MAX_SHARDS",
+    "RETRY_BACKOFF",
     "START_METHOD_ENV",
     "ExecutorEvent",
     "ShardedExecutor",

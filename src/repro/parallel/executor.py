@@ -6,12 +6,19 @@ and hides every process-level failure mode from its callers:
 * **workers=1** (or a single payload) executes in-process -- same task
   functions, same shard layout, no pool.  This is the oracle the
   determinism suite compares higher worker counts against.
-* **Worker crashes, timeouts, pickling failures and task exceptions** are
-  caught, recorded as :class:`ExecutorEvent` entries, and the remaining
-  payloads are re-executed sequentially in-process.  The parallel layer
-  therefore never introduces a failure mode the sequential pipeline does
-  not have; callers observe at worst a slowdown plus an event for the
-  :class:`repro.core.StructureDiscovery` health report.
+* **Worker crashes, pickling failures and task exceptions** get one
+  retry: the pool is killed, a small deterministic backoff elapses, and
+  the failed shard (plus everything after it) is re-dispatched to fresh
+  worker processes.  A second failure within the same ``map`` degrades for
+  good: the remaining payloads are re-executed sequentially in-process and
+  every later ``map`` stays sequential.  Both the retry and the eventual
+  outcome are recorded as :class:`ExecutorEvent` entries, so a transient
+  crash (one OOM-killed worker, say) costs one backoff instead of the
+  whole run's parallelism.  Timeouts skip the retry -- re-dispatching a
+  stuck shard would double the wait -- and degrade immediately.  The
+  parallel layer therefore never introduces a failure mode the sequential
+  pipeline does not have; callers observe at worst a slowdown plus events
+  for the :class:`repro.core.StructureDiscovery` health report.
 * **Budgets** are enforced parent-side: each payload declares its work
   units and the parent charges them against the budget as results are
   collected, in shard order (shard-local-then-summed accounting -- see
@@ -30,6 +37,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass
 
@@ -40,6 +48,12 @@ from repro.testing.faults import fault_point
 
 #: Environment variable overriding the multiprocessing start method.
 START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+#: Seconds slept before the one-shot shard retry.  Fixed and small: long
+#: enough for a dying worker's siblings to be reaped, short enough to be
+#: invisible next to the work being retried, and deterministic so retried
+#: runs stay reproducible.
+RETRY_BACKOFF = 0.05
 
 
 def resolve_workers(workers) -> int:
@@ -182,9 +196,12 @@ class ShardedExecutor:
         ``fn`` must be a module-level function of one picklable payload.
         ``units`` optionally lists the work units each payload represents
         (same length as ``payloads``); they are charged against the budget
-        as the corresponding results are collected.  Pool-level failures
-        degrade to in-process execution (recorded in :attr:`events`) --
-        only budget exhaustion and ``KeyboardInterrupt`` propagate.
+        as the corresponding results are collected.  The first worker or
+        dispatch failure is retried once on a fresh pool after
+        :data:`RETRY_BACKOFF`; a second failure (or any timeout) degrades
+        to in-process execution (every incident recorded in
+        :attr:`events`) -- only budget exhaustion and ``KeyboardInterrupt``
+        propagate.
         """
         payloads = list(payloads)
         if units is not None:
@@ -199,55 +216,79 @@ class ShardedExecutor:
         if not self.parallel or len(payloads) == 1:
             return self._run_sequential(fn, payloads, units, where, budget)
 
-        try:
-            fault_point("parallel.worker")
-            pool = self._ensure_pool()
-            futures = [pool.submit(fn, payload) for payload in payloads]
-        except ResourceLimitExceeded:
-            raise
-        except KeyboardInterrupt:
-            raise
-        except Exception as exc:
-            self._degrade("dispatch-failure", where, exc)
-            return self._run_sequential(fn, payloads, units, where, budget)
-
-        results = []
-        for index, future in enumerate(futures):
+        results: list = []
+        position = 0  # first payload not yet collected
+        retried = False
+        while True:
+            pending = payloads[position:]
             try:
-                result = future.result(timeout=self._wait_limit(budget))
-            except FutureTimeout as exc:
-                if self._deadline_hit(budget):
-                    self._shutdown_pool(wait=False)
-                    checkpoint(budget, units=0, where=where or "parallel.map")
-                    raise ResourceLimitExceeded(
-                        f"deadline exceeded waiting on shard {index} "
-                        f"at {where or 'parallel.map'}",
-                        where=where, shard=index,
-                    ) from exc
-                self._degrade("timeout", where, exc, shard=index)
-                return results + self._run_sequential(
-                    fn, payloads[index:],
-                    units[index:] if units is not None else None,
-                    where, budget,
-                )
+                fault_point("parallel.worker")
+                pool = self._ensure_pool()
+                futures = [pool.submit(fn, payload) for payload in pending]
             except ResourceLimitExceeded:
-                self._shutdown_pool(wait=False)
                 raise
             except KeyboardInterrupt:
-                self._shutdown_pool(wait=False)
                 raise
             except Exception as exc:
-                # BrokenProcessPool, task exceptions, unpicklable results.
-                self._degrade("worker-failure", where, exc, shard=index)
+                if not retried:
+                    retried = True
+                    self._retry("dispatch-failure", where, exc)
+                    continue
+                self._degrade("dispatch-failure", where, exc)
                 return results + self._run_sequential(
-                    fn, payloads[index:],
-                    units[index:] if units is not None else None,
+                    fn, pending,
+                    units[position:] if units is not None else None,
                     where, budget,
                 )
-            charge(budget, units=units[index] if units is not None else 0,
-                   where=where or "parallel.map")
-            results.append(result)
-        return results
+
+            retry_from = None
+            for offset, future in enumerate(futures):
+                index = position + offset
+                try:
+                    result = future.result(timeout=self._wait_limit(budget))
+                except FutureTimeout as exc:
+                    if self._deadline_hit(budget):
+                        self._shutdown_pool(wait=False)
+                        checkpoint(budget, units=0,
+                                   where=where or "parallel.map")
+                        raise ResourceLimitExceeded(
+                            f"deadline exceeded waiting on shard {index} "
+                            f"at {where or 'parallel.map'}",
+                            where=where, shard=index,
+                        ) from exc
+                    # No retry for timeouts: re-dispatching a stuck shard
+                    # would double the wait before any result appears.
+                    self._degrade("timeout", where, exc, shard=index)
+                    return results + self._run_sequential(
+                        fn, payloads[index:],
+                        units[index:] if units is not None else None,
+                        where, budget,
+                    )
+                except ResourceLimitExceeded:
+                    self._shutdown_pool(wait=False)
+                    raise
+                except KeyboardInterrupt:
+                    self._shutdown_pool(wait=False)
+                    raise
+                except Exception as exc:
+                    # BrokenProcessPool, task exceptions, unpicklable results.
+                    if not retried:
+                        retried = True
+                        self._retry("worker-failure", where, exc, shard=index)
+                        retry_from = index
+                        break
+                    self._degrade("worker-failure", where, exc, shard=index)
+                    return results + self._run_sequential(
+                        fn, payloads[index:],
+                        units[index:] if units is not None else None,
+                        where, budget,
+                    )
+                charge(budget, units=units[index] if units is not None else 0,
+                       where=where or "parallel.map")
+                results.append(result)
+            if retry_from is None:
+                return results
+            position = retry_from
 
     def _run_sequential(self, fn, payloads, units, where, budget) -> list:
         """The in-process oracle: same tasks, same order, no pool."""
@@ -262,16 +303,39 @@ class ShardedExecutor:
 
     # -- failure handling --------------------------------------------------------
 
-    def _degrade(self, kind: str, where: str, exc, shard=None) -> None:
-        """Record the incident and retire the pool for good.
-
-        Degradation is sticky: once a pool misbehaved, every later ``map``
-        on this executor runs in-process.  Re-executed shards are pure
-        functions of their payloads, so results are unaffected.
-        """
+    @staticmethod
+    def _describe(exc, shard=None) -> str:
         detail = f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__
         if shard is not None:
             detail += f" (shard {shard})"
+        return detail
+
+    def _retry(self, kind: str, where: str, exc, shard=None) -> None:
+        """Record the one-shot retry and stand up fresh workers.
+
+        The misbehaving pool is killed outright (a crashed worker breaks
+        its siblings' queues anyway) and :data:`RETRY_BACKOFF` elapses
+        before the caller re-dispatches the failed shard and everything
+        after it.  Re-dispatched shards are pure functions of their
+        payloads, so a successful retry is indistinguishable from a clean
+        run in every result.
+        """
+        detail = self._describe(exc, shard) + "; retrying on a fresh pool"
+        self.events.append(
+            ExecutorEvent(kind="retry", where=where, detail=detail)
+        )
+        self._shutdown_pool(wait=False)
+        time.sleep(RETRY_BACKOFF)
+
+    def _degrade(self, kind: str, where: str, exc, shard=None) -> None:
+        """Record the incident and retire the pool for good.
+
+        Degradation is sticky: once a pool misbehaved past its retry,
+        every later ``map`` on this executor runs in-process.  Re-executed
+        shards are pure functions of their payloads, so results are
+        unaffected.
+        """
+        detail = self._describe(exc, shard)
         self.events.append(ExecutorEvent(kind=kind, where=where, detail=detail))
         self._degraded = True
         self._shutdown_pool(wait=False)

@@ -8,7 +8,13 @@ relations, joins, CSV I/O, and the matrix builders (``M``, ``N``, ``O``,
 """
 
 from repro.relation.correspondence import Correspondence, find_correspondences
-from repro.relation.io import IngestReport, load_csv, read_csv, write_csv
+from repro.relation.io import (
+    IngestReport,
+    atomic_write,
+    load_csv,
+    read_csv,
+    write_csv,
+)
 from repro.relation.join import equi_join, natural_join
 from repro.relation.matrices import (
     MatrixF,
@@ -31,6 +37,7 @@ __all__ = [
     "Schema",
     "TupleView",
     "ValueView",
+    "atomic_write",
     "build_matrix_f",
     "build_tuple_view",
     "build_value_view",

@@ -21,6 +21,9 @@ policies -- a BOM is never data.
 from __future__ import annotations
 
 import csv
+import os
+import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -220,10 +223,50 @@ def read_csv(path, source: str | None = None, on_error: str = "strict") -> Relat
     return relation
 
 
-def write_csv(relation: Relation, path) -> None:
-    """Write a relation to a headered CSV file (NULL as the empty field)."""
+@contextmanager
+def atomic_write(path, mode: str = "w", encoding: str | None = "utf-8",
+                 newline: str | None = None):
+    """Write ``path`` atomically: temp file in the same directory, then
+    ``os.replace``.
+
+    A crash (or SIGKILL) mid-write leaves either the old content or nothing
+    -- never a truncated file.  The temp file lives next to the target so
+    the replace stays on one filesystem; the handle is fsynced before the
+    rename so the rename never outruns the data.  Used by every CLI
+    ``--out`` write and by the checkpoint store
+    (:mod:`repro.checkpoint`), whose snapshots exist precisely to survive
+    crashes.  Pass ``mode="wb"`` (with ``encoding=None``) for binary
+    payloads.
+    """
     path = Path(path)
-    with path.open("w", newline="", encoding="utf-8") as handle:
+    if "b" in mode:
+        encoding = None
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, mode, encoding=encoding,
+                       newline=newline) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def write_csv(relation: Relation, path) -> None:
+    """Write a relation to a headered CSV file (NULL as the empty field).
+
+    The write is atomic (:func:`atomic_write`): readers never observe a
+    partially-written relation, and an interrupted ``repro partition`` /
+    ``redesign`` / ``dataset`` run never leaves a truncated CSV behind.
+    """
+    with atomic_write(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(relation.schema.names)
         for row in relation.rows:

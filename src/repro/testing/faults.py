@@ -53,9 +53,15 @@ FAULT_POINTS = frozenset({
     "limbo.fit",
     "limbo.assign",
     # parallel layer: fired in the coordinating process at pool dispatch,
-    # inside the degradation guard (so injected failures exercise the
-    # fall-back-to-sequential path deterministically under any start method)
+    # inside the retry/degradation guard (so injected failures exercise the
+    # retry-then-fall-back-to-sequential path deterministically under any
+    # start method; use after=/limit= to fail once and then succeed)
     "parallel.worker",
+    # durable checkpoints: fired with the raw snapshot bytes about to be
+    # written (save) / just read back (load); `corrupt` simulates torn or
+    # bit-rotted snapshots, `raises` simulates an unwritable/unreadable disk
+    "checkpoint.save",
+    "checkpoint.load",
 })
 
 #: Stack of active fault plans (dicts name -> Fault); inner-most wins last.

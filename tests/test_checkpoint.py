@@ -1,0 +1,405 @@
+"""Durable checkpoints: store mechanics, quarantine, and discovery wiring."""
+
+import json
+import shutil
+
+import pytest
+
+from repro import CheckpointError, Relation, StructureDiscovery
+from repro.budget import Budget
+from repro.checkpoint import (
+    CheckpointStore,
+    relation_fingerprint,
+)
+from repro.core.discovery import STAGES
+from repro.relation import NULL
+from repro.testing import inject
+
+
+@pytest.fixture(scope="module")
+def relation():
+    from repro.datasets import db2_sample
+
+    return db2_sample(seed=0).relation
+
+
+PARAMS = {"phi_t": 0.0, "miner": "auto"}
+
+
+def flip_byte(path, offset=-10):
+    """Corrupt one byte of a file in place."""
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+# -- store mechanics ----------------------------------------------------------------
+
+
+class TestStoreMechanics:
+    def test_stage_round_trip(self, tmp_path, relation):
+        writer = CheckpointStore(tmp_path)
+        assert writer.open_run(relation, PARAMS) is False
+        writer.save_stage("mining", {"result": [1, 2, 3]})
+        assert writer.stage_saves == 1
+
+        reader = CheckpointStore(tmp_path, resume=True)
+        assert reader.open_run(relation, PARAMS) is True
+        assert reader.load_stage("mining") == {"result": [1, 2, 3]}
+        assert reader.stage_loads == 1
+        assert reader.events == []
+
+    def test_phase_round_trip_is_key_addressed(self, tmp_path, relation):
+        writer = CheckpointStore(tmp_path)
+        writer.open_run(relation, PARAMS)
+        writer.save_phase("value_clustering", ("limbo.fit", 42), ["summary"])
+
+        reader = CheckpointStore(tmp_path, resume=True)
+        reader.open_run(relation, PARAMS)
+        assert reader.load_phase("value_clustering", ("limbo.fit", 42)) == ["summary"]
+        assert reader.load_phase("value_clustering", ("limbo.fit", 43)) is None
+        assert reader.events == []
+
+    def test_non_resuming_store_never_loads(self, tmp_path, relation):
+        writer = CheckpointStore(tmp_path)
+        writer.open_run(relation, PARAMS)
+        writer.save_stage("mining", "old")
+
+        fresh = CheckpointStore(tmp_path, resume=False)
+        assert fresh.open_run(relation, PARAMS) is False
+        assert fresh.load_stage("mining") is None
+
+    def test_stage_loads_stop_at_the_first_gap(self, tmp_path, relation):
+        writer = CheckpointStore(tmp_path)
+        writer.open_run(relation, PARAMS)
+        writer.save_stage("tuple_clustering", "A")
+        writer.save_stage("attribute_grouping", "C")  # B never completed
+
+        reader = CheckpointStore(tmp_path, resume=True)
+        reader.open_run(relation, PARAMS)
+        assert reader.load_stage("tuple_clustering") == "A"
+        assert reader.load_stage("value_clustering") is None
+        # C exists on disk but follows the gap: it was computed downstream
+        # of state this run is about to recompute, so it must not load.
+        assert reader.load_stage("attribute_grouping") is None
+        assert reader.stage_loads == 1
+
+    def test_phase_loads_survive_the_stage_gap(self, tmp_path, relation):
+        writer = CheckpointStore(tmp_path)
+        writer.open_run(relation, PARAMS)
+        writer.save_phase("value_clustering", ("k",), "artifact")
+
+        reader = CheckpointStore(tmp_path, resume=True)
+        reader.open_run(relation, PARAMS)
+        assert reader.load_stage("tuple_clustering") is None  # halts stages
+        # Content-addressed phase snapshots only load on an exact key
+        # match, so they stay safe -- and useful -- past the halt.
+        assert reader.load_phase("value_clustering", ("k",)) == "artifact"
+
+    def test_cadence_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(tmp_path, cadence=0)
+
+    def test_unusable_directory_raises_checkpoint_error(self, tmp_path):
+        blocker = tmp_path / "occupied"
+        blocker.write_text("a file, not a directory")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(blocker)
+
+
+# -- quarantine ---------------------------------------------------------------------
+
+
+class TestQuarantine:
+    def _resumed(self, tmp_path, relation):
+        writer = CheckpointStore(tmp_path)
+        writer.open_run(relation, PARAMS)
+        writer.save_stage("mining", {"result": "good"})
+        reader = CheckpointStore(tmp_path, resume=True)
+        reader.open_run(relation, PARAMS)
+        return reader
+
+    def test_flipped_byte_quarantines_and_recomputes(self, tmp_path, relation):
+        reader = self._resumed(tmp_path, relation)
+        flip_byte(tmp_path / "stage.mining.ckpt")
+        assert reader.load_stage("mining") is None
+        assert [e.kind for e in reader.events] == ["quarantine"]
+        assert "checksum" in reader.events[0].detail
+        assert not (tmp_path / "stage.mining.ckpt").exists()
+        assert (tmp_path / "stage.mining.ckpt.quarantined-1").exists()
+
+    def test_truncation_quarantines(self, tmp_path, relation):
+        reader = self._resumed(tmp_path, relation)
+        path = tmp_path / "stage.mining.ckpt"
+        path.write_bytes(path.read_bytes()[:-5])
+        assert reader.load_stage("mining") is None
+        assert [e.kind for e in reader.events] == ["quarantine"]
+        assert "truncated" in reader.events[0].detail
+
+    def test_injected_read_corruption_quarantines(self, tmp_path, relation):
+        reader = self._resumed(tmp_path, relation)
+        with inject("checkpoint.load", corrupt=lambda raw: b"garbage" + raw):
+            assert reader.load_stage("mining") is None
+        assert [e.kind for e in reader.events] == ["quarantine"]
+        assert "bad magic" in reader.events[0].detail
+
+    def test_foreign_run_token_quarantines(self, tmp_path, relation):
+        writer = CheckpointStore(tmp_path)
+        writer.open_run(relation, PARAMS)
+        writer.save_stage("mining", "stale")
+        # A second fresh run re-mints the token but crashes before saving.
+        CheckpointStore(tmp_path).open_run(relation, PARAMS)
+
+        reader = CheckpointStore(tmp_path, resume=True)
+        reader.open_run(relation, PARAMS)
+        assert reader.load_stage("mining") is None
+        assert [e.kind for e in reader.events] == ["quarantine"]
+        assert "different run" in reader.events[0].detail
+
+    def test_save_failure_degrades_to_no_checkpoint(self, tmp_path, relation):
+        writer = CheckpointStore(tmp_path)
+        writer.open_run(relation, PARAMS)
+        with inject("checkpoint.save", raises=OSError("disk full")):
+            writer.save_stage("mining", "result")  # must not raise
+        assert writer.stage_saves == 0
+        assert [e.kind for e in writer.events] == ["save-failure"]
+
+    def test_unpicklable_payload_is_a_save_failure(self, tmp_path, relation):
+        writer = CheckpointStore(tmp_path)
+        writer.open_run(relation, PARAMS)
+        writer.save_stage("mining", lambda: None)  # lambdas don't pickle
+        assert writer.stage_saves == 0
+        assert [e.kind for e in writer.events] == ["save-failure"]
+
+
+# -- manifest validation ------------------------------------------------------------
+
+
+class TestManifest:
+    def test_parameter_drift_starts_fresh(self, tmp_path, relation):
+        writer = CheckpointStore(tmp_path)
+        writer.open_run(relation, PARAMS)
+        writer.save_stage("mining", "tuned for phi_t=0")
+
+        reader = CheckpointStore(tmp_path, resume=True)
+        assert reader.open_run(relation, {**PARAMS, "phi_t": 0.3}) is False
+        assert [e.kind for e in reader.events] == ["manifest-mismatch"]
+        assert "parameters changed" in reader.events[0].detail
+        # The stale snapshot went aside with the manifest.
+        assert not (tmp_path / "stage.mining.ckpt").exists()
+        assert (tmp_path / "stage.mining.ckpt.quarantined-1").exists()
+        assert reader.load_stage("mining") is None
+
+    def test_different_relation_starts_fresh(self, tmp_path, relation):
+        writer = CheckpointStore(tmp_path)
+        writer.open_run(relation, PARAMS)
+
+        other = Relation(["A"], [("x",), ("y",)])
+        reader = CheckpointStore(tmp_path, resume=True)
+        assert reader.open_run(other, PARAMS) is False
+        assert "fingerprint" in reader.events[0].detail
+
+    def test_schema_version_bump_starts_fresh(self, tmp_path, relation):
+        writer = CheckpointStore(tmp_path)
+        writer.open_run(relation, PARAMS)
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text("utf-8"))
+        manifest["schema_version"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+
+        reader = CheckpointStore(tmp_path, resume=True)
+        assert reader.open_run(relation, PARAMS) is False
+        assert "schema version" in reader.events[0].detail
+
+    def test_unreadable_manifest_starts_fresh(self, tmp_path, relation):
+        writer = CheckpointStore(tmp_path)
+        writer.open_run(relation, PARAMS)
+        (tmp_path / "manifest.json").write_text("{not json")
+
+        reader = CheckpointStore(tmp_path, resume=True)
+        assert reader.open_run(relation, PARAMS) is False
+        assert "unreadable manifest" in reader.events[0].detail
+
+
+class TestFingerprint:
+    def test_identical_relations_agree(self):
+        a = Relation(["A", "B"], [("x", "1"), ("y", "2")])
+        b = Relation(["A", "B"], [("x", "1"), ("y", "2")])
+        assert relation_fingerprint(a) == relation_fingerprint(b)
+
+    def test_row_order_matters(self):
+        a = Relation(["A"], [("x",), ("y",)])
+        b = Relation(["A"], [("y",), ("x",)])
+        assert relation_fingerprint(a) != relation_fingerprint(b)
+
+    def test_null_is_not_the_string_null(self):
+        a = Relation(["A"], [(NULL,)])
+        b = Relation(["A"], [("NULL",)])
+        assert relation_fingerprint(a) != relation_fingerprint(b)
+
+    def test_schema_names_matter(self):
+        a = Relation(["A", "B"], [("x", "1")])
+        b = Relation(["A", "C"], [("x", "1")])
+        assert relation_fingerprint(a) != relation_fingerprint(b)
+
+
+# -- heartbeats ---------------------------------------------------------------------
+
+
+class TestHeartbeat:
+    def test_progress_written_at_cadence(self, tmp_path, relation):
+        store = CheckpointStore(tmp_path, cadence=10)
+        store.open_run(relation, PARAMS)
+        budget = Budget(max_units=10_000)
+        store.attach(budget)
+        store.enter_stage("mining")
+        budget.checkpoint(units=4, where="fdep.pairs")
+        assert not (tmp_path / "progress.json").exists()  # below cadence
+        budget.checkpoint(units=20, where="fdep.pairs")
+        progress = json.loads((tmp_path / "progress.json").read_text("utf-8"))
+        assert progress["stage"] == "mining"
+        assert progress["units_used"] == 24
+        assert progress["where"] == "fdep.pairs"
+
+    def test_attach_tolerates_no_budget(self, tmp_path, relation):
+        store = CheckpointStore(tmp_path)
+        store.open_run(relation, PARAMS)
+        store.attach(None)  # must not raise
+
+
+# -- discovery wiring ---------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def checkpointed_run(relation, tmp_path_factory):
+    """One full checkpointed run plus its uncheckpointed baseline render."""
+    directory = tmp_path_factory.mktemp("ckpt") / "run"
+    discovery = StructureDiscovery(checkpoint=CheckpointStore(directory))
+    report = discovery.run(relation)
+    baseline = StructureDiscovery().run(relation).render()
+    assert report.render() == baseline
+    return directory, baseline
+
+
+class TestDiscoveryWiring:
+    def test_full_run_snapshots_every_stage(self, checkpointed_run):
+        directory, _ = checkpointed_run
+        for stage in STAGES:
+            assert (directory / f"stage.{stage}.ckpt").exists()
+        assert (directory / "manifest.json").exists()
+
+    def test_resume_is_bit_identical_and_loads_everything(
+        self, relation, checkpointed_run, tmp_path
+    ):
+        directory, baseline = checkpointed_run
+        workdir = tmp_path / "copy"
+        shutil.copytree(directory, workdir)
+        store = CheckpointStore(workdir, resume=True)
+        report = StructureDiscovery(checkpoint=store).run(relation)
+        assert store.stage_loads == len(STAGES)
+        assert store.events == []
+        # A clean resume renders byte-identically: no checkpoint health
+        # entry, same stages, same artifacts.
+        assert report.render() == baseline
+        assert report.outcome("checkpoint") is None
+
+    @pytest.mark.parametrize("victim", list(STAGES))
+    def test_any_corrupted_stage_snapshot_is_survived(
+        self, relation, checkpointed_run, tmp_path, victim
+    ):
+        directory, baseline = checkpointed_run
+        workdir = tmp_path / "copy"
+        shutil.copytree(directory, workdir)
+        flip_byte(workdir / f"stage.{victim}.ckpt")
+
+        store = CheckpointStore(workdir, resume=True)
+        report = StructureDiscovery(checkpoint=store).run(relation)
+        assert any(e.kind == "quarantine" for e in store.events)
+        assert list(workdir.glob(f"stage.{victim}.ckpt.quarantined-*"))
+        # The run recomputed and the *content* is unchanged; only the
+        # health section gains the checkpoint incident line.
+        outcome = report.outcome("checkpoint")
+        assert outcome is not None and outcome.status == "degraded"
+        assert outcome.fallback == "recomputed from source data"
+        content = report.render().split("Pipeline health:")[0]
+        assert content == baseline.split("Pipeline health:")[0]
+        for stage in STAGES:
+            assert report.outcome(stage).status == "ok"
+
+    def test_corrupted_phase_snapshot_is_survived(
+        self, relation, checkpointed_run, tmp_path
+    ):
+        directory, baseline = checkpointed_run
+        workdir = tmp_path / "copy"
+        shutil.copytree(directory, workdir)
+        # Drop the stage prefix so the run actually reaches the phase
+        # snapshots, then corrupt every one of them.
+        phases = list(workdir.glob("phase.*.ckpt"))
+        assert phases
+        for path in workdir.glob("stage.*.ckpt"):
+            path.unlink()
+        for path in phases:
+            flip_byte(path)
+
+        store = CheckpointStore(workdir, resume=True)
+        report = StructureDiscovery(checkpoint=store).run(relation)
+        assert sum(e.kind == "quarantine" for e in store.events) == len(phases)
+        content = report.render().split("Pipeline health:")[0]
+        assert content == baseline.split("Pipeline health:")[0]
+
+    def test_phase_snapshots_alone_still_help(
+        self, relation, checkpointed_run, tmp_path
+    ):
+        directory, baseline = checkpointed_run
+        workdir = tmp_path / "copy"
+        shutil.copytree(directory, workdir)
+        for path in workdir.glob("stage.*.ckpt"):
+            path.unlink()
+
+        store = CheckpointStore(workdir, resume=True)
+        report = StructureDiscovery(checkpoint=store).run(relation)
+        assert store.stage_loads == 0
+        assert store.phase_loads > 0  # LIMBO/AIB artifacts were reused
+        assert store.events == []
+        assert report.render() == baseline
+
+    def test_degraded_stage_is_not_snapshotted_and_heals_on_resume(
+        self, relation, tmp_path
+    ):
+        directory = tmp_path / "run"
+        store = CheckpointStore(directory)
+        with inject("discovery.mining", raises=RuntimeError("injected")):
+            degraded = StructureDiscovery(checkpoint=store).run(relation)
+        assert degraded.outcome("mining").status == "degraded"
+        # Snapshots stop at the first non-ok outcome: the three healthy
+        # stages persisted, the degraded one and everything after did not.
+        assert store.stage_saves == 3
+        assert not (directory / "stage.mining.ckpt").exists()
+
+        resumed_store = CheckpointStore(directory, resume=True)
+        resumed = StructureDiscovery(checkpoint=resumed_store).run(relation)
+        assert resumed_store.stage_loads == 3
+        # The resume recomputed the degraded tail with the fault gone, so
+        # the final report is the healthy baseline.
+        assert resumed.healthy
+        assert resumed.render() == StructureDiscovery().run(relation).render()
+
+    def test_path_argument_is_opened_for_resume(self, relation, tmp_path):
+        directory = tmp_path / "run"
+        first = StructureDiscovery(checkpoint=directory)
+        first.run(relation)
+        second = StructureDiscovery(checkpoint=directory)
+        second.run(relation)
+        assert second.checkpoint.stage_loads == len(STAGES)
+
+    def test_backend_is_validated(self):
+        with pytest.raises(ValueError):
+            StructureDiscovery(backend="imaginary")
+
+    def test_backend_mismatch_invalidates_snapshots(self, relation, tmp_path):
+        directory = tmp_path / "run"
+        StructureDiscovery(checkpoint=directory, backend="sparse").run(relation)
+        store = CheckpointStore(directory, resume=True)
+        StructureDiscovery(checkpoint=store, backend="dense").run(relation)
+        assert store.stage_loads == 0
+        assert any(e.kind == "manifest-mismatch" for e in store.events)

@@ -97,3 +97,61 @@ class TestParameterValidation:
 
     def test_valid_edge_values_accepted(self, db2_csv):
         assert main(["rank", db2_csv, "--psi", "1.0", "--top", "1"]) == EXIT_OK
+
+
+class TestCheckpointFlags:
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["discover", "x.csv", "--resume"])
+        assert info.value.code == 2
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoint_cadence_validated(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["discover", "x.csv", "--checkpoint-dir", "d",
+                  "--checkpoint-cadence", "0"])
+        assert info.value.code == 2
+        assert "--checkpoint-cadence" in capsys.readouterr().err
+
+    def test_discover_writes_and_resumes_snapshots(
+        self, db2_csv, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        assert main(["discover", db2_csv, "--checkpoint-dir", str(ckpt)]) == EXIT_OK
+        first = capsys.readouterr().out
+        assert (ckpt / "manifest.json").exists()
+        assert (ckpt / "stage.mining.ckpt").exists()
+
+        code = main(["discover", db2_csv, "--checkpoint-dir", str(ckpt),
+                     "--resume"])
+        assert code == EXIT_OK
+        resumed = capsys.readouterr().out
+        assert resumed == first  # bit-identical resume, no checkpoint line
+        assert "checkpoint" not in resumed
+
+    def test_corrupt_snapshot_surfaces_in_health_not_exit_code(
+        self, db2_csv, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        assert main(["discover", db2_csv, "--checkpoint-dir", str(ckpt)]) == EXIT_OK
+        first = capsys.readouterr().out
+        victim = ckpt / "stage.cover.ckpt"
+        data = bytearray(victim.read_bytes())
+        data[-3] ^= 0xFF
+        victim.write_bytes(bytes(data))
+
+        code = main(["discover", db2_csv, "--checkpoint-dir", str(ckpt),
+                     "--resume"])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "quarantine" in out
+        assert out.split("Pipeline health:")[0] == (
+            first.split("Pipeline health:")[0]
+        )
+
+    def test_unusable_checkpoint_dir_is_exit_1(self, db2_csv, tmp_path, capsys):
+        blocker = tmp_path / "occupied"
+        blocker.write_text("not a directory")
+        code = main(["discover", db2_csv, "--checkpoint-dir", str(blocker)])
+        assert code == 1
+        assert "checkpoint" in capsys.readouterr().err

@@ -124,7 +124,9 @@ class TestParallelStage:
     def test_worker_fault_degrades_not_dies(self, relation, small_shards):
         with inject("parallel.worker", raises=RuntimeError("injected")) as fault:
             report = StructureDiscovery(workers=2).run(relation)
-        assert fault.fired == 1  # sticky degradation: one incident, then sequential
+        # Retry-then-sticky-degradation: the dispatch and its one retry hit
+        # the fault, then everything ran sequentially.
+        assert fault.fired == 2
         outcome = report.outcome("parallel")
         assert outcome is not None
         assert outcome.status == "degraded"
@@ -135,6 +137,21 @@ class TestParallelStage:
         # Every *pipeline* stage still took its primary path.
         for stage in STAGES:
             assert report.outcome(stage).status == "ok"
+
+    def test_single_worker_fault_recovers_without_degrading(
+        self, relation, small_shards
+    ):
+        with inject(
+            "parallel.worker", raises=RuntimeError("injected"), limit=1
+        ) as fault:
+            report = StructureDiscovery(workers=2).run(relation)
+        assert fault.fired == 1
+        outcome = report.outcome("parallel")
+        assert outcome is not None
+        assert outcome.status == "ok"
+        assert outcome.detail.startswith("recovered: ")
+        assert report.healthy
+        assert "Pipeline health: all stages ok" in report.render()
 
     def test_degraded_run_matches_clean_run(self, relation, small_shards):
         # Re-executed shards are pure functions of their payloads, so a

@@ -99,6 +99,40 @@ class TestBudget:
         assert budget.remaining_seconds() == pytest.approx(6.0)
         assert Budget().remaining_seconds() is None
 
+    def test_remaining_seconds_clamps_at_zero(self):
+        # A blown deadline reads as 0.0 remaining, never a negative number
+        # that a caller might feed somewhere expecting a duration.
+        clock = FakeClock()
+        budget = Budget(deadline=1.0, clock=clock)
+        clock.now += 5.0
+        assert budget.remaining_seconds() == 0.0
+
+    def test_checkpoint_listeners_observe_every_tick(self):
+        # Listeners see the *cumulative* units used, which is what a
+        # cadence-based consumer (checkpoint heartbeats) wants.
+        budget = Budget(max_units=100)
+        seen = []
+        budget.on_checkpoint(lambda units, where: seen.append((units, where)))
+        budget.checkpoint(units=10, where="limbo.fit")
+        budget.checkpoint(units=5, where="aib.merge")
+        assert seen == [(10, "limbo.fit"), (15, "aib.merge")]
+
+    def test_listeners_fire_before_the_limit_check(self):
+        budget = Budget(max_units=10)
+        seen = []
+        budget.on_checkpoint(lambda units, where: seen.append(units))
+        with pytest.raises(ResourceLimitExceeded):
+            budget.checkpoint(units=20, where="loop")
+        # The tick that blew the cap was still observed.
+        assert seen == [20]
+
+    def test_listeners_are_process_local(self):
+        budget = Budget(max_units=100)
+        budget.on_checkpoint(lambda units, where: None)
+        restored = pickle.loads(pickle.dumps(budget))
+        restored.checkpoint(units=5, where="loop")  # must not raise
+        assert restored._listeners == []
+
 
 class TestShardAccounting:
     """Shard-local-then-summed unit accounting (:meth:`Budget.charge`)."""

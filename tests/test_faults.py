@@ -98,3 +98,53 @@ class TestIngestionFaultPoint:
             relation, report = load_csv(path, on_error="coerce")
         assert len(relation) == 2
         assert report.truncated_rows == 1
+
+
+class TestRegistrySync:
+    """The registry, the call sites in src/, and the docs must agree."""
+
+    SRC = __import__("pathlib").Path(__file__).resolve().parent.parent / "src"
+    DOCS = SRC.parent / "docs" / "ROBUSTNESS.md"
+
+    def _call_site_names(self):
+        import re
+
+        from repro.core.discovery import STAGES
+
+        names = set()
+        pattern = re.compile(r"""fault_point\(\s*(f?)(['"])([^'"]+)\2""")
+        for path in self.SRC.rglob("*.py"):
+            if path.name == "faults.py":  # the registry itself
+                continue
+            for is_fstring, _, name in pattern.findall(path.read_text("utf-8")):
+                if is_fstring:
+                    # The one templated site: the per-stage discovery guard.
+                    assert name == "discovery.{stage}", name
+                    names.update(f"discovery.{stage}" for stage in STAGES)
+                else:
+                    names.add(name)
+        return names
+
+    def test_every_call_site_uses_a_registered_name(self):
+        sites = self._call_site_names()
+        assert sites  # the scan found the instrumented modules
+        unregistered = sites - FAULT_POINTS
+        assert not unregistered, (
+            f"fault_point() call sites missing from FAULT_POINTS: "
+            f"{sorted(unregistered)}"
+        )
+
+    def test_every_registered_name_has_a_call_site(self):
+        orphaned = FAULT_POINTS - self._call_site_names()
+        assert not orphaned, (
+            f"FAULT_POINTS entries with no call site in src/: "
+            f"{sorted(orphaned)}"
+        )
+
+    def test_every_registered_name_is_documented(self):
+        docs = self.DOCS.read_text("utf-8")
+        undocumented = {name for name in FAULT_POINTS if name not in docs}
+        assert not undocumented, (
+            f"FAULT_POINTS entries absent from docs/ROBUSTNESS.md: "
+            f"{sorted(undocumented)}"
+        )

@@ -136,3 +136,55 @@ class TestEncodingsAndFormats:
         _, report = load_csv(path)
         assert report.clean
         assert report.rows_loaded == 1
+
+
+class TestAtomicWrite:
+    def test_writes_land_complete(self, tmp_path):
+        from repro.relation import atomic_write
+
+        path = tmp_path / "out.txt"
+        with atomic_write(path) as handle:
+            handle.write("complete")
+        assert path.read_text() == "complete"
+        # No temp-file litter left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_binary_mode(self, tmp_path):
+        from repro.relation import atomic_write
+
+        path = tmp_path / "out.bin"
+        with atomic_write(path, "wb") as handle:
+            handle.write(b"\x00\x01\x02")
+        assert path.read_bytes() == b"\x00\x01\x02"
+
+    def test_failure_leaves_no_file(self, tmp_path):
+        from repro.relation import atomic_write
+
+        path = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as handle:
+                handle.write("partial")
+                raise RuntimeError("died mid-write")
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []  # temp file cleaned up
+
+    def test_failure_preserves_previous_contents(self, tmp_path):
+        from repro.relation import atomic_write
+
+        path = tmp_path / "out.txt"
+        path.write_text("previous")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as handle:
+                handle.write("partial")
+                raise RuntimeError("died mid-write")
+        assert path.read_text() == "previous"
+
+    def test_write_csv_is_atomic(self, tmp_path):
+        from repro.relation import Relation, read_csv, write_csv
+
+        path = tmp_path / "rel.csv"
+        path.write_text("old,content\n1,2\n")
+        relation = Relation(["A", "B"], [("x", "1")])
+        write_csv(relation, path)
+        assert read_csv(path).rows == relation.rows
+        assert [p.name for p in tmp_path.iterdir()] == ["rel.csv"]

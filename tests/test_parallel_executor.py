@@ -44,6 +44,21 @@ def crash_in_worker(payload):
     return value * 2
 
 
+def crash_once_in_worker(payload):
+    """Exit hard in a worker -- but only until the marker file exists.
+
+    Models a transient fault (OOM-killed worker, flaky node): the first
+    worker to run creates the marker and dies; every run after that
+    succeeds, so a single retry on a fresh pool recovers.
+    """
+    parent_pid, marker, value = payload
+    if os.getpid() != parent_pid and not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os._exit(13)
+    return value * 2
+
+
 def sleep_in_worker(payload):
     """Block for a minute -- but only inside a worker process."""
     parent_pid, value = payload
@@ -222,13 +237,29 @@ class TestPooledExecution:
         payloads = [(os.getpid(), value) for value in range(4)]
         with ShardedExecutor(workers=2, start_method="fork") as executor:
             results = executor.map(crash_in_worker, payloads, where="unit.crash")
-        # Correct results despite every worker dying: the survivors were
-        # re-executed in-process by the coordinating process.
+        # Correct results despite every worker dying: one retry on a fresh
+        # pool crashed the same way, then the survivors were re-executed
+        # in-process by the coordinating process.
         assert results == [0, 2, 4, 6]
-        assert len(executor.events) == 1
-        assert executor.events[0].kind == "worker-failure"
-        assert executor.events[0].where == "unit.crash"
-        assert "unit.crash" in executor.events[0].render()
+        assert [event.kind for event in executor.events] == [
+            "retry", "worker-failure",
+        ]
+        assert executor.events[1].where == "unit.crash"
+        assert "unit.crash" in executor.events[1].render()
+
+    def test_transient_worker_crash_retries_without_degrading(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        payloads = [(os.getpid(), marker, value) for value in range(4)]
+        with ShardedExecutor(workers=2, start_method="fork") as executor:
+            results = executor.map(
+                crash_once_in_worker, payloads, where="unit.transient"
+            )
+            # The retry succeeded, so the pool is still in play.
+            assert executor.parallel
+            assert executor.map(double, range(4)) == [0, 2, 4, 6]
+        assert results == [0, 2, 4, 6]
+        assert [event.kind for event in executor.events] == ["retry"]
+        assert "retrying on a fresh pool" in executor.events[0].render()
 
     def test_degradation_is_sticky(self):
         payloads = [(os.getpid(), value) for value in range(4)]
@@ -237,7 +268,7 @@ class TestPooledExecution:
             assert not executor.parallel
             # Later maps run in-process; no new incidents accumulate.
             assert executor.map(double, range(6)) == [i * 2 for i in range(6)]
-            assert len(executor.events) == 1
+            assert len(executor.events) == 2
 
     def test_stuck_worker_times_out_and_degrades(self):
         payloads = [(os.getpid(), value) for value in range(3)]
@@ -271,6 +302,21 @@ class TestPooledExecution:
                 results = executor.map(double, range(8), where="unit.fault")
                 # Sticky: the second map never reaches the fault point.
                 assert executor.map(double, range(4)) == [0, 2, 4, 6]
-        assert fault.fired == 1
+        # An unlimited fault fails the dispatch and its retry: only the
+        # second consecutive failure degrades.
+        assert fault.fired == 2
         assert results == [i * 2 for i in range(8)]
-        assert [event.kind for event in executor.events] == ["dispatch-failure"]
+        assert [event.kind for event in executor.events] == [
+            "retry", "dispatch-failure",
+        ]
+
+    def test_single_injected_fault_is_absorbed_by_the_retry(self):
+        with ShardedExecutor(workers=2, start_method="fork") as executor:
+            with inject(
+                "parallel.worker", raises=RuntimeError("injected"), limit=1
+            ) as fault:
+                results = executor.map(double, range(8), where="unit.fault")
+            assert fault.fired == 1
+            assert executor.parallel  # never degraded
+        assert results == [i * 2 for i in range(8)]
+        assert [event.kind for event in executor.events] == ["retry"]
