@@ -30,12 +30,13 @@ from pathlib import Path
 import numpy as np
 
 from repro import kernels
+from repro.budget import peak_rss
 from repro.clustering import Limbo, aib, merge_cost
 from repro.datasets import dblp
 from repro.relation import build_tuple_view
 
 #: Bump when the JSON layout changes.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Worker counts the parallel sweep compares against sequential Phase 1.
 PARALLEL_WORKERS = (1, 2, 4)
@@ -317,6 +318,10 @@ def main(argv=None):
         "aib": aib_micro,
         "pairwise": pairwise,
         "parallel_sweep": parallel,
+        # High-water-mark RSS of the whole benchmark process (bytes; None
+        # where the platform offers no counter) -- the baseline memory
+        # governance caps can be sanity-checked against.
+        "peak_rss_bytes": peak_rss(),
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.out}")

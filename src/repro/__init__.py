@@ -17,7 +17,7 @@ Quickstart::
     print(StructureDiscovery().run(r).render())
 """
 
-from repro.budget import Budget
+from repro.budget import Budget, MemoryGovernor
 from repro.checkpoint import CheckpointStore
 from repro.clustering import AIBResult, DCF, DCFTree, Dendrogram, Limbo, aib
 from repro.core import (
@@ -59,6 +59,7 @@ from repro.fd import (
 from repro.errors import (
     CheckpointError,
     InputError,
+    MemoryLimitExceeded,
     ReproError,
     ResourceLimitExceeded,
     SchemaError,
@@ -102,6 +103,8 @@ __all__ = [
     "IngestReport",
     "InputError",
     "Limbo",
+    "MemoryGovernor",
+    "MemoryLimitExceeded",
     "NULL",
     "RankedFD",
     "Relation",

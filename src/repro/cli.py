@@ -11,13 +11,18 @@ Five commands cover the analyst workflow the paper describes:
 
 CSV conventions follow :mod:`repro.relation.io`: a header row, empty fields
 are NULLs.  CSV-consuming commands accept ``--on-error {strict,coerce}``
-(malformed input: fail with a line number vs. repair-and-count) and
+(malformed input: fail with a line number vs. repair-and-count),
 ``--deadline SECONDS`` (a wall-clock budget threaded through the miners and
-clustering phases).  ``discover`` additionally takes ``--checkpoint-dir`` /
-``--resume`` / ``--checkpoint-cadence`` for durable checkpoint/resume of
-interrupted runs (see ``docs/ROBUSTNESS.md``).  All file outputs (``--out``
-and snapshots alike) are written atomically: temp file + ``os.replace``,
-so an interrupt never leaves a half-written file.
+clustering phases) and ``--memory-limit SIZE`` (e.g. ``256M``: a
+cooperative memory cap enforced by :class:`repro.budget.MemoryGovernor`;
+breaching it exits 3, except under ``discover``'s degradation policy).
+``discover`` additionally takes ``--checkpoint-dir`` / ``--resume`` /
+``--checkpoint-cadence`` for durable checkpoint/resume of interrupted
+runs, plus ``--on-memory-pressure {fail,degrade}`` and
+``--max-leaf-entries N`` for memory-governed execution (see
+``docs/ROBUSTNESS.md``).  All file outputs (``--out`` and snapshots alike)
+are written atomically: temp file + ``os.replace``, so an interrupt never
+leaves a half-written file.
 
 Exit codes: 0 success (including degraded ``discover`` runs), 1 other
 library errors, 2 input/usage errors, 3 resource limit exceeded, 130
@@ -29,7 +34,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.budget import Budget
+from repro.budget import Budget, parse_memory_size
 from repro.core import (
     StructureDiscovery,
     fd_rank,
@@ -39,9 +44,14 @@ from repro.core import (
 )
 from repro.core.redesign import vertical_redesign
 from repro.datasets import db2_sample, dblp
-from repro.errors import InputError, ReproError, ResourceLimitExceeded
+from repro.errors import (
+    InputError,
+    MemoryLimitExceeded,
+    ReproError,
+    ResourceLimitExceeded,
+)
 from repro.fd import fdep, minimum_cover, tane
-from repro.relation import load_csv, write_csv
+from repro.relation import Relation, load_csv, write_csv
 
 #: Exit codes for the failure classes the taxonomy distinguishes.
 EXIT_OK = 0
@@ -74,6 +84,17 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _memory_limit_arg(value: str) -> int:
+    """argparse type for ``--memory-limit``: bytes, or a size like 256M."""
+    try:
+        parsed = parse_memory_size(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError("--memory-limit must be positive")
+    return parsed
+
+
 def _add_csv_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("csv", help="input relation (headered CSV; empty field = NULL)")
     parser.add_argument(
@@ -85,6 +106,12 @@ def _add_csv_argument(parser: argparse.ArgumentParser) -> None:
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="wall-clock budget; exceeding it aborts with exit code 3 "
         "(discover degrades instead of aborting)",
+    )
+    parser.add_argument(
+        "--memory-limit", type=_memory_limit_arg, default=None,
+        metavar="SIZE",
+        help="cooperative memory cap (e.g. 256M); breaching it aborts with "
+        "exit code 3 (discover degrades under --on-memory-pressure=degrade)",
     )
 
 
@@ -125,6 +152,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-cadence", type=int, default=None, metavar="UNITS",
         help="budget units between intra-stage progress heartbeats "
         "(default: 10000)",
+    )
+    discover.add_argument(
+        "--on-memory-pressure", choices=("fail", "degrade"),
+        default="degrade",
+        help="response to exceeding --memory-limit: abort with exit code 3 "
+        "(fail) or climb the memory degradation ladder and finish (degrade)",
+    )
+    discover.add_argument(
+        "--max-leaf-entries", type=int, default=None, metavar="N",
+        help="space-bounded LIMBO: cap Phase-1 DCF-tree leaf entries at N, "
+        "escalating the merge threshold when the buffer overflows",
     )
     _add_workers_argument(discover)
 
@@ -210,23 +248,78 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
     cadence = getattr(args, "checkpoint_cadence", None)
     if cadence is not None:
         require(cadence >= 1, "--checkpoint-cadence must be >= 1")
+    leaf_entries = getattr(args, "max_leaf_entries", None)
+    if leaf_entries is not None:
+        require(leaf_entries >= 1, "--max-leaf-entries must be >= 1")
 
 
-def _load_relation(args):
-    """Read the command's CSV under its policy, reporting repairs to stderr."""
-    relation, report = load_csv(args.csv, on_error=args.on_error)
+def _load_relation(args, budget: Budget | None = None):
+    """Read the command's CSV under its policy, reporting repairs to stderr.
+
+    With a memory-governed ``budget``, ingestion streams through
+    :func:`repro.relation.iter_csv` so the governor samples RSS while the
+    rows accumulate; a breach either aborts (exit 3) or -- under
+    ``discover --on-memory-pressure=degrade`` -- retries with an
+    escalating row stride (deterministic thinning, noted on stderr).
+    """
+    if budget is None or getattr(budget, "memory", None) is None:
+        relation, report = load_csv(args.csv, on_error=args.on_error)
+    else:
+        relation, report = _governed_load(args, budget)
     if not report.clean:
         print(f"repro: {report.summary()}", file=sys.stderr)
     return relation
 
 
+#: Stride ceiling for degraded ingest; past this the governor goes
+#: best-effort rather than discard more than ~99.9% of the data.
+_MAX_INGEST_STRIDE = 1024
+
+
+def _governed_load(args, budget: Budget):
+    """Memory-governed streaming ingest with the strided degrade path."""
+    from repro.relation import iter_csv
+    from repro.relation.io import IngestReport
+
+    degrade = getattr(args, "on_memory_pressure", "fail") == "degrade"
+    stride = 1
+    while True:
+        report = IngestReport(path=str(args.csv), policy=args.on_error)
+        schema, rows = None, []
+        try:
+            for schema, chunk in iter_csv(
+                args.csv, on_error=args.on_error, report=report, budget=budget,
+            ):
+                rows.extend(chunk if stride == 1 else chunk[::stride])
+        except MemoryLimitExceeded:
+            if not degrade:
+                raise
+            del rows
+            if stride >= _MAX_INGEST_STRIDE:
+                # Thinning further would discard nearly everything; stop
+                # enforcing and let the pipeline's ladder cope instead.
+                budget.memory.set_best_effort()
+            else:
+                stride *= 2
+            continue
+        if stride > 1:
+            report.notes.append(
+                f"memory pressure during ingest: kept every {stride}th row"
+            )
+        return Relation(schema, rows), report
+
+
 def _budget_of(args) -> Budget | None:
     deadline = getattr(args, "deadline", None)
-    return Budget(deadline=deadline) if deadline is not None else None
+    memory_limit = getattr(args, "memory_limit", None)
+    if deadline is None and memory_limit is None:
+        return None
+    return Budget(deadline=deadline, max_memory_bytes=memory_limit)
 
 
 def _cmd_discover(args) -> int:
-    relation = _load_relation(args)
+    budget = _budget_of(args)
+    relation = _load_relation(args, budget)
     checkpoint = None
     if args.checkpoint_dir is not None:
         from repro.checkpoint import DEFAULT_CADENCE, CheckpointStore
@@ -240,7 +333,9 @@ def _cmd_discover(args) -> int:
         phi_t=args.phi_t, phi_v=args.phi_v, psi=args.psi,
         strict=args.strict_stages, workers=args.workers,
         backend=args.backend, checkpoint=checkpoint,
-    ).run(relation, budget=_budget_of(args))
+        on_memory_pressure=args.on_memory_pressure,
+        max_leaf_entries=args.max_leaf_entries,
+    ).run(relation, budget=budget)
     print(report.render(top=args.top))
     return EXIT_OK
 
@@ -248,8 +343,8 @@ def _cmd_discover(args) -> int:
 def _cmd_rank(args) -> int:
     from repro.parallel import ShardedExecutor
 
-    relation = _load_relation(args)
     budget = _budget_of(args)
+    relation = _load_relation(args, budget)
     executor = None
     if args.workers is not None:
         executor = ShardedExecutor(workers=args.workers, budget=budget)
@@ -279,9 +374,10 @@ def _cmd_rank(args) -> int:
 
 
 def _cmd_partition(args) -> int:
-    relation = _load_relation(args)
+    budget = _budget_of(args)
+    relation = _load_relation(args, budget)
     result = horizontal_partition(
-        relation, k=args.k, phi_t=args.phi_t, budget=_budget_of(args)
+        relation, k=args.k, phi_t=args.phi_t, budget=budget
     )
     print(f"k = {result.k} "
           f"(relative information loss {result.relative_information_loss:.2%})")
@@ -297,13 +393,14 @@ def _cmd_partition(args) -> int:
 
 
 def _cmd_redesign(args) -> int:
-    relation = _load_relation(args)
+    budget = _budget_of(args)
+    relation = _load_relation(args, budget)
     result = vertical_redesign(
         relation,
         max_fragments=args.max_fragments,
         psi=args.psi,
         min_rtr=args.min_rtr,
-        budget=_budget_of(args),
+        budget=budget,
     )
     print(result.render())
     if args.out:
@@ -321,7 +418,7 @@ def _cmd_redesign(args) -> int:
 def _cmd_profile(args) -> int:
     from repro.core import profile_relation
 
-    relation = _load_relation(args)
+    relation = _load_relation(args, _budget_of(args))
     profile = profile_relation(relation)
     print(profile.render(top=args.top))
     null_heavy = profile.null_heavy()

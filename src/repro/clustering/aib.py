@@ -153,7 +153,9 @@ def aib(
         if backend != "sparse" and n >= 2:
             dense_index = kernels.shared_index(dcfs)
             if not kernels.use_dense(
-                backend, n, n_columns=len(dense_index), maximum=kernels.DENSE_MAX_OBJECTS
+                backend, n, n_columns=len(dense_index), maximum=kernels.DENSE_MAX_OBJECTS,
+                governor=getattr(budget, "memory", None),
+                candidates=True,
             ):
                 dense_index = None
 

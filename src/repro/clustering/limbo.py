@@ -76,15 +76,25 @@ class Limbo:
         instead of recomputing it.  Snapshots are content-addressed, so a
         key mismatch silently recomputes -- reuse can never change a
         result.
+    max_leaf_entries:
+        Optional fixed Phase-1 leaf buffer (the paper's space-bounded
+        LIMBO).  Threaded into every :class:`DCFTree` this driver builds
+        (sequential, per-shard, and the cross-shard merge tree); overflow
+        escalates the merge threshold and rebuilds in place.
+        ``buffer_rebuilds`` counts the escalations for the report's
+        ``memory`` health entry.
     """
 
     def __init__(self, phi: float = 0.0, branching: int = 4,
                  max_summaries: int | None = None, budget=None,
-                 backend: str = "auto", executor=None, checkpoint=None):
+                 backend: str = "auto", executor=None, checkpoint=None,
+                 max_leaf_entries: int | None = None):
         if phi < 0.0:
             raise ValueError("phi must be non-negative")
         if max_summaries is not None and max_summaries < 1:
             raise ValueError("max_summaries must be positive")
+        if max_leaf_entries is not None and max_leaf_entries < 1:
+            raise ValueError("max_leaf_entries must be positive")
         self.phi = float(phi)
         self.branching = int(branching)
         self.max_summaries = max_summaries
@@ -92,6 +102,8 @@ class Limbo:
         self.backend = kernels.validate_backend(backend)
         self.executor = executor
         self.checkpoint = checkpoint
+        self.max_leaf_entries = max_leaf_entries
+        self.buffer_rebuilds = 0
         self._rows: list | None = None
         self._priors: list | None = None
         self._supports: list | None = None
@@ -153,31 +165,48 @@ class Limbo:
             phase_key = self._fit_key(rows, priors, supports, mutual_information)
             summaries = self.checkpoint.load(phase_key)
         if summaries is None:
+            governor = getattr(self.budget, "memory", None)
+            floor = mutual_information / len(rows) / 64.0
             if self.executor is not None:
-                summaries = self._fit_sharded(rows, priors, supports)
+                summaries = self._fit_sharded(rows, priors, supports, floor, governor)
             else:
-                tree = DCFTree(self._threshold, branching=self.branching, backend=self.backend)
+                tree = self._tree(self._threshold, floor, governor)
                 for index, (row, prior) in enumerate(zip(rows, priors)):
                     if index % _CHECK_EVERY == 0:
                         checkpoint(self.budget, units=_CHECK_EVERY, where="limbo.fit")
                     support = supports[index] if supports is not None else None
                     tree.insert(DCF.singleton(index, prior, row, support=support))
                 summaries = tree.leaves()
+                self._retire_tree(tree)
 
             threshold = self._threshold
             while self.max_summaries is not None and len(summaries) > self.max_summaries:
                 checkpoint(self.budget, units=len(summaries), where="limbo.rebuild")
-                threshold = max(threshold * _REBUILD_FACTOR, mutual_information / len(rows) / 64.0)
-                tree = DCFTree(threshold, branching=self.branching, backend=self.backend)
+                threshold = max(threshold * _REBUILD_FACTOR, floor)
+                tree = self._tree(threshold, floor, governor)
                 for dcf in summaries:
                     tree.insert(dcf)
                 summaries = tree.leaves()
+                self._retire_tree(tree)
             if self.checkpoint is not None:
                 self.checkpoint.save(phase_key, summaries)
 
         self._rows, self._priors, self._supports = rows, priors, supports
         self._summaries = summaries
         return self
+
+    def _tree(self, threshold: float, floor: float, governor) -> DCFTree:
+        """A Phase-1 tree carrying this driver's space-bound configuration."""
+        return DCFTree(
+            threshold, branching=self.branching, backend=self.backend,
+            max_leaf_entries=self.max_leaf_entries, threshold_floor=floor,
+            governor=governor,
+        )
+
+    def _retire_tree(self, tree: DCFTree) -> None:
+        """Fold a finished tree's space-bound stats in and free its booking."""
+        self.buffer_rebuilds += tree.rebuilds
+        tree.unbook()
 
     def _fit_key(self, rows, priors, supports, mutual_information) -> tuple:
         """A repr-stable key digesting Phase 1's exact inputs and knobs.
@@ -195,11 +224,11 @@ class Limbo:
                 digest.update(repr(list(support.items())).encode("utf-8"))
         return (
             "limbo.fit", repr(self.phi), self.branching, self.backend,
-            self.max_summaries, len(rows), supports is not None,
-            repr(mutual_information), digest.hexdigest(),
+            self.max_summaries, self.max_leaf_entries, len(rows),
+            supports is not None, repr(mutual_information), digest.hexdigest(),
         )
 
-    def _fit_sharded(self, rows, priors, supports) -> list[DCF]:
+    def _fit_sharded(self, rows, priors, supports, floor, governor) -> list[DCF]:
         """Sharded Phase 1: per-shard summarization + cross-shard merge.
 
         The shard layout is :func:`repro.parallel.shards.shard_bounds` of
@@ -224,6 +253,8 @@ class Limbo:
                 self._threshold,
                 self.branching,
                 self.backend,
+                self.max_leaf_entries,
+                floor,
             )
             for start, stop in bounds
         ]
@@ -235,12 +266,25 @@ class Limbo:
             budget=self.budget,
         )
         if self._threshold <= 0.0:
-            return merge_identical_leaves(shard_leaves, rows)
-        tree = DCFTree(self._threshold, branching=self.branching, backend=self.backend)
+            summaries = merge_identical_leaves(shard_leaves, rows)
+            if (self.max_leaf_entries is None
+                    or len(summaries) <= self.max_leaf_entries):
+                return summaries
+            # The identical-row groups outgrow the buffer: bound them the
+            # same way the tree path would, by escalating from zero.
+            tree = self._tree(0.0, floor, governor)
+            for leaf in summaries:
+                tree.insert(leaf)
+            summaries = tree.leaves()
+            self._retire_tree(tree)
+            return summaries
+        tree = self._tree(self._threshold, floor, governor)
         for leaves in shard_leaves:
             for leaf in leaves:
                 tree.insert(leaf)
-        return tree.leaves()
+        summaries = tree.leaves()
+        self._retire_tree(tree)
+        return summaries
 
     @property
     def summaries(self) -> list[DCF]:
@@ -358,7 +402,8 @@ def assign_rows(representatives, rows, priors, backend, budget=None) -> list[int
     reps = list(representatives)
     packed = None
     if kernels.use_dense(
-        backend, len(reps), minimum=kernels.DENSE_MIN_REPRESENTATIVES
+        backend, len(reps), minimum=kernels.DENSE_MIN_REPRESENTATIVES,
+        governor=getattr(budget, "memory", None),
     ):
         packed = kernels.DenseDCFSet.pack(reps)
     assignment = []

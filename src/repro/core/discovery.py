@@ -29,6 +29,18 @@ mining                FDEP over a deterministic tuple sample
 cover                 the raw mined dependency list
 rank                  cover order, unranked (singleton grouping)
 ====================  ==========================================
+
+With ``memory_limit`` set (or a :class:`repro.budget.Budget` carrying
+``max_memory_bytes``), stages additionally run under the **memory
+ladder**: when a stage raises
+:class:`repro.errors.MemoryLimitExceeded` and ``on_memory_pressure`` is
+``"degrade"``, the run climbs these rungs in order and retries the stage
+-- (1) force the sparse backend, (2) escalate phi (coarser summaries),
+(3) shrink the LIMBO leaf-entry buffer, (4) switch to a deterministic
+tuple sample, (5) put the governor in best-effort observer mode so the
+run always completes.  Each applied rung is recorded in a ``memory``
+entry of the report's health section; rung-affected stages are never
+checkpointed, so a resumed capped run recomputes them bit-identically.
 """
 
 from __future__ import annotations
@@ -37,7 +49,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro import kernels
-from repro.budget import Budget
+from repro.budget import Budget, MemoryGovernor, format_bytes, parse_memory_size
 from repro.checkpoint import CheckpointStore
 from repro.core.attribute_grouping import AttributeGroupingResult, group_attributes
 from repro.core.decompose import redundancy_report
@@ -48,7 +60,11 @@ from repro.core.tuple_clustering import (
     cluster_tuples,
 )
 from repro.core.value_clustering import ValueClusteringResult, cluster_values
-from repro.errors import ResourceLimitExceeded, StageFailure
+from repro.errors import (
+    MemoryLimitExceeded,
+    ResourceLimitExceeded,
+    StageFailure,
+)
 from repro.fd import fdep, minimum_cover, tane
 from repro.relation import Relation
 from repro.testing.faults import fault_point
@@ -149,6 +165,108 @@ def _unranked_cover(cover) -> list[RankedFD]:
     """
     ordered = sorted(cover, key=lambda fd: fd.sort_key())
     return [RankedFD(fd=fd, rank=math.inf, gathered_loss=None) for fd in ordered]
+
+
+#: Accepted ``on_memory_pressure`` policies.
+MEMORY_POLICIES = ("fail", "degrade")
+
+#: Conservative per-leaf-entry byte estimate used to derive a default
+#: ``max_leaf_entries`` from the memory budget (rung 3 of the ladder).
+_LEAF_BYTES_ESTIMATE = 64 * 1024
+
+#: Floor for the shrunk leaf-entry buffer; below this Phase 1 collapses to
+#: a handful of summaries and further shrinking buys nothing.
+_MIN_LEAF_ENTRIES = 8
+
+
+@dataclass
+class _EffectiveParams:
+    """The per-run knobs the memory ladder is allowed to steer.
+
+    Starts as a copy of the driver's configuration; uncapped runs never
+    mutate it, so their behavior is exactly the configured one.
+    """
+
+    phi_t: float
+    phi_v: float
+    double_clustering_phi_t: float | None
+    backend: str
+    max_leaf_entries: int | None
+    relation: Relation
+
+
+class _MemoryLadder:
+    """Rung-by-rung response to :class:`MemoryLimitExceeded`.
+
+    Rungs are climbed in a fixed order and stay applied for the rest of
+    the run (later stages inherit the cheaper configuration).  The final
+    rung flips the governor into best-effort observer mode, after which
+    cooperative memory checks can no longer raise -- a capped ``degrade``
+    run therefore always completes.
+    """
+
+    RUNGS = (
+        "sparse-backend",
+        "escalate-phi",
+        "shrink-leaf-buffer",
+        "sample-tuples",
+        "best-effort",
+    )
+
+    def __init__(self, params: _EffectiveParams, governor: MemoryGovernor):
+        self.params = params
+        self.governor = governor
+        self.original_relation = params.relation
+        self.applied: list[str] = []
+        self._next_rung = 0
+
+    def climb(self) -> str | None:
+        """Apply the next applicable rung; ``None`` once fully exhausted."""
+        while self._next_rung < len(self.RUNGS):
+            rung = self.RUNGS[self._next_rung]
+            self._next_rung += 1
+            if self._apply(rung):
+                self.applied.append(rung)
+                return rung
+        return None
+
+    def _apply(self, rung: str) -> bool:
+        """Mutate the effective params for one rung; False = inapplicable."""
+        params = self.params
+        if rung == "sparse-backend":
+            if params.backend == "sparse":
+                return False
+            params.backend = "sparse"
+            return True
+        if rung == "escalate-phi":
+            params.phi_t = params.phi_t * 4 if params.phi_t > 0 else 1.0
+            params.phi_v = params.phi_v * 4 if params.phi_v > 0 else 1.0
+            if params.double_clustering_phi_t is not None:
+                params.double_clustering_phi_t = (
+                    params.double_clustering_phi_t * 4
+                    if params.double_clustering_phi_t > 0 else 1.0
+                )
+            return True
+        if rung == "shrink-leaf-buffer":
+            current = params.max_leaf_entries
+            if current is None:
+                cap = self.governor.max_bytes or 0
+                current = max(_MIN_LEAF_ENTRIES, cap // _LEAF_BYTES_ESTIMATE)
+            if current <= _MIN_LEAF_ENTRIES:
+                return False
+            params.max_leaf_entries = max(_MIN_LEAF_ENTRIES, current // 4)
+            return True
+        if rung == "sample-tuples":
+            if len(self.original_relation) <= _SAMPLE_CAP:
+                return False
+            params.relation = deterministic_sample(self.original_relation)
+            return True
+        # "best-effort": terminal -- stop enforcing, keep observing.
+        self.governor.set_best_effort()
+        return True
+
+    def describe(self) -> str:
+        return " -> ".join(self.applied) if self.applied else "no rungs applied"
 
 
 @dataclass
@@ -274,6 +392,23 @@ class StructureDiscovery:
         Corrupt or mismatched snapshots are quarantined and recomputed; the
         incident appears as a ``checkpoint`` entry in the report's health
         section.  See ``docs/ROBUSTNESS.md``.
+    memory_limit:
+        ``None`` (default, ungoverned), a byte count, or a size string
+        (``"256M"``).  Attaches a :class:`repro.budget.MemoryGovernor` to
+        the run's budget; cooperative memory checks then bound the DCF
+        tree, the dense kernels and TANE's partition store, and breaches
+        surface as :class:`repro.errors.MemoryLimitExceeded` at
+        deterministic checkpoints.
+    on_memory_pressure:
+        ``"degrade"`` (default) climbs the memory ladder (module
+        docstring) and always completes; ``"fail"`` propagates the first
+        :class:`repro.errors.MemoryLimitExceeded` unchanged.
+    max_leaf_entries:
+        Optional space bound on LIMBO Phase 1: at most this many DCF-tree
+        leaf entries, enforced by threshold escalation + in-place rebuild
+        (the paper's space-bounded variant).  Independent of
+        ``memory_limit``; the ladder also sets it dynamically under
+        pressure.
     """
 
     def __init__(
@@ -289,10 +424,24 @@ class StructureDiscovery:
         start_method: str | None = None,
         backend: str = "auto",
         checkpoint=None,
+        memory_limit=None,
+        on_memory_pressure: str = "degrade",
+        max_leaf_entries: int | None = None,
     ):
         if miner not in ("auto", "fdep", "tane"):
             raise ValueError("miner must be 'auto', 'fdep' or 'tane'")
         kernels.validate_backend(backend)
+        if on_memory_pressure not in MEMORY_POLICIES:
+            raise ValueError(
+                f"on_memory_pressure must be one of {MEMORY_POLICIES}, "
+                f"got {on_memory_pressure!r}"
+            )
+        if isinstance(memory_limit, str):
+            memory_limit = parse_memory_size(memory_limit)
+        if memory_limit is not None and memory_limit <= 0:
+            raise ValueError("memory_limit must be positive (or None)")
+        if max_leaf_entries is not None and max_leaf_entries < 1:
+            raise ValueError("max_leaf_entries must be >= 1 (or None)")
         self.phi_t = phi_t
         self.phi_v = phi_v
         self.double_clustering_phi_t = double_clustering_phi_t
@@ -303,6 +452,9 @@ class StructureDiscovery:
         self.workers = workers
         self.start_method = start_method
         self.backend = backend
+        self.memory_limit = memory_limit
+        self.on_memory_pressure = on_memory_pressure
+        self.max_leaf_entries = max_leaf_entries
         if checkpoint is not None and not isinstance(checkpoint, CheckpointStore):
             checkpoint = CheckpointStore(checkpoint, resume=True)
         self.checkpoint = checkpoint
@@ -325,11 +477,18 @@ class StructureDiscovery:
             "miner": self.miner,
             "backend": self.backend,
             "workers": self.workers,
+            # Memory governance changes which configurations a stage may
+            # have degraded under, so capped and uncapped runs (and runs
+            # with different caps) never share snapshots.
+            "memory_limit_bytes": self.memory_limit,
+            "on_memory_pressure": self.on_memory_pressure,
+            "max_leaf_entries": self.max_leaf_entries,
         }
 
     # -- the stage guard ---------------------------------------------------------
 
-    def _guarded(self, stage, outcomes, primary, fallbacks=(), default=None):
+    def _guarded(self, stage, outcomes, primary, fallbacks=(), default=None,
+                 ladder=None):
         """Run ``primary`` under the stage guard.
 
         ``fallbacks`` is a sequence of ``(name, thunk)`` rungs tried in
@@ -337,6 +496,14 @@ class StructureDiscovery:
         marks the stage ``degraded``.  When every rung fails the stage is
         ``failed`` and ``default`` is returned.  ``KeyboardInterrupt``
         always propagates (the CLI maps it to exit code 130).
+
+        :class:`MemoryLimitExceeded` gets special treatment: under
+        ``on_memory_pressure="fail"`` it propagates unchanged; otherwise,
+        when a ``ladder`` is active, the *primary* path is retried after
+        each rung -- the memory ladder reconfigures the stage rather than
+        replacing it, so a pressured stage still runs the real algorithm,
+        just cheaper.  Only if the ladder runs dry does the stage fall
+        through to its ordinary fallbacks.
         """
         try:
             fault_point(f"discovery.{stage}")
@@ -345,6 +512,16 @@ class StructureDiscovery:
             return result
         except KeyboardInterrupt:
             raise
+        except MemoryLimitExceeded as exc:
+            if self.on_memory_pressure == "fail":
+                raise
+            detail = f"memory limit exceeded: {exc}"
+            cause = exc
+            if ladder is not None and not self.strict:
+                retried = self._climb_and_retry(stage, outcomes, primary,
+                                                ladder, detail)
+                if retried is not None:
+                    return retried[0]
         except ResourceLimitExceeded as exc:
             detail = f"budget exhausted: {exc}"
             cause = exc
@@ -372,6 +549,33 @@ class StructureDiscovery:
         outcomes.append(StageOutcome(stage=stage, status="failed", detail=detail))
         return default
 
+    def _climb_and_retry(self, stage, outcomes, primary, ladder, detail):
+        """Retry ``primary`` up the memory ladder.
+
+        Returns ``(result,)`` once a rung lets the primary path finish
+        (the stage is recorded ``degraded`` with the rungs applied), or
+        ``None`` when the ladder is exhausted and the stage should fall
+        through to its ordinary fallbacks.  The final ``best-effort``
+        rung disables governor enforcement, so this loop terminates.
+        """
+        while True:
+            rung = ladder.climb()
+            if rung is None:
+                return None
+            try:
+                result = primary()
+            except KeyboardInterrupt:
+                raise
+            except MemoryLimitExceeded:
+                continue
+            except Exception:
+                return None
+            outcomes.append(StageOutcome(
+                stage=stage, status="degraded", detail=detail,
+                fallback=f"memory ladder: {ladder.describe()}",
+            ))
+            return (result,)
+
     # -- the pipeline ------------------------------------------------------------
 
     def run(self, relation: Relation, budget: Budget | None = None) -> DiscoveryReport:
@@ -382,6 +586,13 @@ class StructureDiscovery:
         for what actually happened.
         """
         budget = budget if budget is not None else self.budget
+        if self.memory_limit is not None:
+            if budget is None:
+                budget = Budget(max_memory_bytes=self.memory_limit)
+            elif getattr(budget, "memory", None) is None:
+                budget.max_memory_bytes = self.memory_limit
+                budget.memory = MemoryGovernor(self.memory_limit)
+        governor = getattr(budget, "memory", None)
         outcomes: list[StageOutcome] = []
 
         store = self.checkpoint
@@ -397,8 +608,18 @@ class StructureDiscovery:
                 workers=self.workers, start_method=self.start_method,
                 budget=budget,
             )
+            if governor is not None and executor.max_worker_memory_bytes is None:
+                # Split the cap across the pool: a worker that outgrows its
+                # share is treated like a crashed worker (retry once, then
+                # sticky-sequential with smaller shards).
+                executor.max_worker_memory_bytes = max(
+                    1, governor.max_bytes // max(1, executor.workers)
+                )
+        ladder = None
         try:
-            report = self._run_stages(relation, budget, outcomes, executor, store)
+            report, ladder = self._run_stages(
+                relation, budget, outcomes, executor, store
+            )
         finally:
             if executor is not None:
                 executor.close()
@@ -430,7 +651,41 @@ class StructureDiscovery:
                 detail="; ".join(e.render() for e in store.events),
                 fallback="recomputed from source data",
             ))
+        if governor is not None or self.max_leaf_entries is not None:
+            # Only governed (or explicitly space-bounded) runs earn a
+            # ``memory`` entry: ungoverned reports stay byte-identical to
+            # the pre-governance implementation.
+            outcomes.append(self._memory_outcome(governor, ladder, report))
         return report
+
+    def _memory_outcome(self, governor, ladder, report) -> StageOutcome:
+        """The ``memory`` health entry of a governed run.
+
+        Deliberately excludes sampled RSS values -- they vary run to run,
+        and the health section must stay deterministic for a fixed input
+        and configuration.
+        """
+        parts = []
+        if governor is not None:
+            parts.append(f"cap {format_bytes(governor.max_bytes)}")
+            parts.append(f"policy {self.on_memory_pressure}")
+        rebuilds = 0
+        for result in (report.tuple_clustering, report.value_clustering):
+            limbo = getattr(result, "limbo", None)
+            if limbo is not None:
+                rebuilds += getattr(limbo, "buffer_rebuilds", 0)
+        if rebuilds:
+            parts.append(f"{rebuilds} space-bound leaf-buffer rebuild(s)")
+        if ladder is not None and ladder.applied:
+            return StageOutcome(
+                stage="memory", status="degraded",
+                detail="; ".join(parts),
+                fallback=f"memory ladder: {ladder.describe()}",
+            )
+        parts.append("no pressure" if governor is not None
+                     else "space-bounded Phase 1")
+        return StageOutcome(stage="memory", status="ok",
+                            detail="; ".join(parts))
 
     def _checkpointed(self, stage, store, outcomes, compute):
         """Load a stage snapshot, or compute and (when healthy) save one.
@@ -460,18 +715,39 @@ class StructureDiscovery:
 
     def _run_stages(
         self, relation, budget, outcomes, executor, store=None
-    ) -> DiscoveryReport:
+    ):
         def _handle(stage):
             return store.stage_handle(stage) if store is not None else None
+
+        # The knobs the memory ladder may steer mid-run.  Ungoverned runs
+        # (or policy "fail" / strict mode) get no ladder and the params
+        # stay exactly the configured ones.
+        eff = _EffectiveParams(
+            phi_t=self.phi_t,
+            phi_v=self.phi_v,
+            double_clustering_phi_t=self.double_clustering_phi_t,
+            backend=self.backend,
+            max_leaf_entries=self.max_leaf_entries,
+            relation=relation,
+        )
+        governor = getattr(budget, "memory", None)
+        ladder = None
+        if (
+            governor is not None
+            and self.on_memory_pressure == "degrade"
+            and not self.strict
+        ):
+            ladder = _MemoryLadder(eff, governor)
 
         tuples = self._checkpointed(
             "tuple_clustering", store, outcomes,
             lambda: self._guarded(
                 "tuple_clustering", outcomes,
                 primary=lambda: cluster_tuples(
-                    relation, phi_t=self.phi_t, budget=budget,
-                    backend=self.backend, executor=executor,
+                    eff.relation, phi_t=eff.phi_t, budget=budget,
+                    backend=eff.backend, executor=executor,
                     checkpoint=_handle("tuple_clustering"),
+                    max_leaf_entries=eff.max_leaf_entries,
                 ),
                 fallbacks=[
                     ("exact-duplicate scan",
@@ -481,6 +757,7 @@ class StructureDiscovery:
                     relation=relation, view=None, limbo=None,
                     assignment=[], duplicate_groups=[],
                 ),
+                ladder=ladder,
             ),
         )
 
@@ -489,10 +766,11 @@ class StructureDiscovery:
             lambda: self._guarded(
                 "value_clustering", outcomes,
                 primary=lambda: cluster_values(
-                    relation, phi_v=self.phi_v,
-                    phi_t=self.double_clustering_phi_t, budget=budget,
-                    backend=self.backend, executor=executor,
+                    eff.relation, phi_v=eff.phi_v,
+                    phi_t=eff.double_clustering_phi_t, budget=budget,
+                    backend=eff.backend, executor=executor,
                     checkpoint=_handle("value_clustering"),
+                    max_leaf_entries=eff.max_leaf_entries,
                 ),
                 fallbacks=[
                     (
@@ -506,6 +784,7 @@ class StructureDiscovery:
                 default=ValueClusteringResult(
                     relation=relation, view=None, limbo=None, groups=[],
                 ),
+                ladder=ladder,
             ),
         )
 
@@ -515,10 +794,11 @@ class StructureDiscovery:
                     "attribute_grouping", outcomes,
                     primary=lambda: group_attributes(
                         value_clustering=values, budget=budget,
-                        backend=self.backend, executor=executor,
+                        backend=eff.backend, executor=executor,
                         checkpoint=_handle("attribute_grouping"),
                     ),
                     default=None,
+                    ladder=ladder,
                 )
                 return grouping, grouping is None
             outcomes.append(StageOutcome(
@@ -535,7 +815,7 @@ class StructureDiscovery:
             "mining", store, outcomes,
             lambda: self._guarded(
                 "mining", outcomes,
-                primary=lambda: self._mine(relation, budget, executor),
+                primary=lambda: self._mine(eff.relation, budget, executor),
                 fallbacks=[
                     (
                         f"FDEP over a {_SAMPLE_CAP}-tuple deterministic sample",
@@ -543,6 +823,7 @@ class StructureDiscovery:
                     ),
                 ],
                 default=[],
+                ladder=ladder,
             ),
         )
 
@@ -603,7 +884,7 @@ class StructureDiscovery:
             cover=cover,
             ranked=ranked,
             outcomes=outcomes,
-        )
+        ), ladder
 
     def _mine(self, relation: Relation, budget: Budget | None, executor=None) -> list:
         """The configured miner over the full relation (budgeted)."""

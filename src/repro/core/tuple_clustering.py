@@ -70,6 +70,7 @@ def cluster_tuples(
     backend: str = "auto",
     executor=None,
     checkpoint=None,
+    max_leaf_entries: int | None = None,
 ) -> TupleClusteringResult:
     """Run the duplicate-tuple procedure of Section 6.1.1.
 
@@ -79,6 +80,9 @@ def cluster_tuples(
     3. Phase 3 associates every tuple with its closest summary; groups whose
        summary represents more than one tuple (``p(c*) > 1/n``) become the
        candidate duplicate groups.
+
+    ``max_leaf_entries`` bounds the Phase-1 DCF tree to that many leaf
+    entries (space-bounded LIMBO; see :class:`repro.clustering.Limbo`).
     """
     view = build_tuple_view(relation, value_scope=value_scope)
     limbo = Limbo(
@@ -88,6 +92,7 @@ def cluster_tuples(
         backend=backend,
         executor=executor,
         checkpoint=checkpoint,
+        max_leaf_entries=max_leaf_entries,
     ).fit(
         view.rows, view.priors, mutual_information=view.mutual_information()
     )

@@ -98,6 +98,7 @@ def cluster_values(
     backend: str = "auto",
     executor=None,
     checkpoint=None,
+    max_leaf_entries: int | None = None,
 ) -> ValueClusteringResult:
     """Run the attribute-value clustering procedure of Section 6.2.
 
@@ -113,6 +114,9 @@ def cluster_values(
         When given, tuples are first clustered with this ``phi`` and values
         are expressed over the tuple clusters (Double Clustering) -- the
         scale-up for large relations.
+    max_leaf_entries:
+        Optional bound on the Phase-1 DCF trees' leaf-entry count
+        (space-bounded LIMBO; see :class:`repro.clustering.Limbo`).
     """
     tuple_clusters = None
     if phi_t is not None:
@@ -124,6 +128,7 @@ def cluster_values(
             backend=backend,
             executor=executor,
             checkpoint=checkpoint,
+            max_leaf_entries=max_leaf_entries,
         ).fit(
             tuple_view.rows,
             tuple_view.priors,
@@ -148,6 +153,7 @@ def cluster_values(
         backend=backend,
         executor=executor,
         checkpoint=checkpoint,
+        max_leaf_entries=max_leaf_entries,
     ).fit(
         view.rows,
         view.priors,

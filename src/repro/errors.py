@@ -11,6 +11,7 @@ Hierarchy::
     ├── InputError              malformed external input (CSV rows, encodings)
     │   └── SchemaError         header/schema-level problems
     ├── ResourceLimitExceeded   a Budget deadline or work-unit cap was hit
+    │   └── MemoryLimitExceeded the memory governor's byte cap was hit
     ├── StageFailure            a pipeline stage died (wraps the cause)
     └── CheckpointError         a checkpoint store is unusable (not: corrupt
                                 snapshots, which quarantine instead of raising)
@@ -66,6 +67,17 @@ class ResourceLimitExceeded(ReproError):
     def __init__(self, message: str, where: str = "", **context):
         super().__init__(message, where=where or None, **context)
         self.where = where
+
+
+class MemoryLimitExceeded(ResourceLimitExceeded):
+    """The memory governor's byte cap was hit at a cooperative checkpoint.
+
+    Subclasses :class:`ResourceLimitExceeded` so every existing budget
+    recovery path (stage guards, exit code 3, shard degradation) applies
+    unchanged.  Context keys: ``where`` (the checkpoint or reservation
+    site), ``needed``/``reserved``/``rss`` (bytes, whichever are known) and
+    ``max_memory_bytes`` (the cap).
+    """
 
 
 class StageFailure(ReproError):

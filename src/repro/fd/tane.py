@@ -28,6 +28,11 @@ _PARALLEL_MIN_CANDIDATES = 8
 _CANDIDATE_CHUNK = 16
 
 
+def _partition_bytes(part: Partition) -> int:
+    """Deterministic byte estimate of one stripped partition's footprint."""
+    return 96 + 64 * len(part.classes) + 8 * sum(len(c) for c in part.classes)
+
+
 def tane(
     relation,
     max_lhs_size: int | None = None,
@@ -64,17 +69,78 @@ def tane(
     if n == 0:
         return []
     all_attrs = frozenset(names)
+    governor = getattr(budget, "memory", None)
 
     partitions: dict[frozenset, Partition] = {}
-    for name in names:
-        checkpoint(budget, units=n, where="tane.partition_of")
-        partitions[frozenset([name])] = partition_of(relation, [name])
+    booked: dict[frozenset, int] = {}
+
+    def store(key: frozenset, part: Partition) -> None:
+        """Keep a partition, booking its footprint with the governor."""
+        if governor is not None:
+            n_bytes = _partition_bytes(part)
+            governor.reserve(n_bytes, where="tane.partition")
+            booked[key] = n_bytes
+        partitions[key] = part
+
+    def free_below(cutoff: int) -> None:
+        """Drop every partition with fewer than ``cutoff`` attributes.
+
+        Validity at level ``l`` compares partition errors of sizes
+        ``l - 1`` and ``l`` only, and next-level products consume sizes
+        ``l`` only -- once level ``l + 1`` partitions exist, everything
+        below level ``l`` is dead weight.  This bounds TANE's partition
+        store to two lattice levels regardless of schema width.
+        """
+        for key in [k for k in partitions if len(k) < cutoff]:
+            del partitions[key]
+            if governor is not None:
+                governor.release(booked.pop(key, 0))
+
     empty = frozenset()
-    partitions[empty] = partition_of(relation, [])
 
     # C+ candidate sets, per TANE.
     cplus: dict[frozenset, frozenset] = {empty: all_attrs}
     results: list[FD] = []
+
+    level: list[frozenset] = [frozenset([name]) for name in names]
+    level_number = 1
+    try:
+        for name in names:
+            checkpoint(budget, units=n, where="tane.partition_of")
+            store(frozenset([name]), partition_of(relation, [name]))
+        store(empty, partition_of(relation, []))
+        results = _tane_levels(
+            relation, level, level_number, all_attrs, partitions, cplus,
+            results, max_lhs_size, budget, executor, store, free_below,
+        )
+    finally:
+        # Whatever survives (two levels at most) is dead once mining ends
+        # or an error propagates; return the governor's bytes either way.
+        free_below(len(all_attrs) + 2)
+
+    if max_lhs_size is not None:
+        results = [fd for fd in results if len(fd.lhs) <= max_lhs_size]
+    minimal = _minimize(results)
+    if not allow_empty_lhs:
+        promoted: list[FD] = []
+        for fd in minimal:
+            if fd.lhs:
+                promoted.append(fd)
+            else:
+                (rhs_attribute,) = fd.rhs
+                promoted.extend(
+                    FD({other}, fd.rhs)
+                    for other in sorted(all_attrs - {rhs_attribute})
+                )
+        minimal = set(promoted)
+    return sorted(set(minimal), key=FD.sort_key)
+
+
+def _tane_levels(relation, level, level_number, all_attrs, partitions, cplus,
+                 results, max_lhs_size, budget, executor, store, free_below):
+    """The level-wise lattice walk (the body of :func:`tane`)."""
+    names = tuple(relation.schema.names)
+    n = len(relation)
 
     def cplus_of(subset: frozenset) -> frozenset:
         """C+ of any lattice node, computed on demand.
@@ -95,10 +161,8 @@ def tane(
         cplus[subset] = computed
         return computed
 
-    level: list[frozenset] = [frozenset([name]) for name in names]
-    level_number = 1
     while level:
-        fault_point("fd.tane.level")
+        fault_point("fd.tane.level", partitions)
         checkpoint(budget, units=len(level), where="tane.level")
         # -- compute dependencies at this level ---------------------------------
         for x in level:
@@ -171,32 +235,19 @@ def tane(
             )
             for chunk, chunk_partitions in zip(chunks, computed):
                 for candidate, part in zip(chunk, chunk_partitions):
-                    partitions[candidate] = part
+                    store(candidate, part)
         else:
             for candidate in missing:
                 checkpoint(budget, units=n, where="tane.product")
                 x, y = pending[candidate]
-                partitions[candidate] = product(partitions[x], partitions[y])
-        # Free partitions of the previous level to bound memory.
+                store(candidate, product(partitions[x], partitions[y]))
+        # Free partitions of the previous level: with level l+1 generated,
+        # validity and products only ever touch sizes l and l+1 again.
+        free_below(level_number)
         level = sorted(next_level, key=lambda s: tuple(sorted(s)))
         level_number += 1
 
-    if max_lhs_size is not None:
-        results = [fd for fd in results if len(fd.lhs) <= max_lhs_size]
-    minimal = _minimize(results)
-    if not allow_empty_lhs:
-        promoted: list[FD] = []
-        for fd in minimal:
-            if fd.lhs:
-                promoted.append(fd)
-            else:
-                (rhs_attribute,) = fd.rhs
-                promoted.extend(
-                    FD({other}, fd.rhs)
-                    for other in sorted(all_attrs - {rhs_attribute})
-                )
-        minimal = set(promoted)
-    return sorted(set(minimal), key=FD.sort_key)
+    return results
 
 
 def _valid(lhs: frozenset, rhs_attribute: str, partitions) -> bool:

@@ -32,6 +32,7 @@ from repro.kernels.dense import (
     DenseDCFSet,
     DenseMergeEngine,
     closest_entry,
+    dense_bytes,
     merge_cost_many,
     pairwise_merge_costs,
     shared_index,
@@ -50,6 +51,7 @@ __all__ = [
     "DenseDCFSet",
     "DenseMergeEngine",
     "closest_entry",
+    "dense_bytes",
     "merge_cost_many",
     "pairwise_merge_costs",
     "shared_index",

@@ -61,18 +61,39 @@ def validate_backend(backend: str) -> str:
     return backend
 
 
+def dense_bytes(n: int, n_columns: int | None = None,
+                candidates: bool = False) -> int:
+    """Byte estimate of the dense path's allocations for ``n`` objects.
+
+    The merge engine packs a ``(2n - 1) x d`` float64 joint-mass matrix
+    (plus same-shaped scratch); with ``candidates`` the AIB candidate
+    matrix adds ``(2n)^2`` float64 cells.  Used for the memory governor's
+    cooperative refusal -- deterministic, data-independent given shapes.
+    """
+    total = 2 * (2 * n) * (n_columns or 1) * 8
+    if candidates:
+        total += (2 * n) * (2 * n) * 8
+    return total
+
+
 def use_dense(
     backend: str,
     n: int,
     n_columns: int | None = None,
     minimum: int = DENSE_MIN_OBJECTS,
     maximum: int | None = None,
+    governor=None,
+    candidates: bool = False,
 ) -> bool:
     """Resolve the knob for a call site over ``n`` objects.
 
     ``auto`` picks the dense kernels once ``n`` reaches ``minimum``, stays
     at or below ``maximum`` (when given), and the packed matrix fits within
-    :data:`DENSE_MAX_CELLS`; explicit values are always honored.
+    :data:`DENSE_MAX_CELLS`; explicit values are always honored.  With a
+    :class:`repro.budget.MemoryGovernor`, ``auto`` additionally refuses a
+    dense allocation whose :func:`dense_bytes` estimate would cross the
+    byte cap -- the sparse oracle needs no recovery path, so this refusal
+    degrades performance, never results.
     """
     validate_backend(backend)
     if backend == "sparse":
@@ -84,6 +105,10 @@ def use_dense(
     if maximum is not None and n > maximum:
         return False
     if n_columns is not None and 2 * n * n_columns > DENSE_MAX_CELLS:
+        return False
+    if governor is not None and governor.would_exceed(
+        dense_bytes(n, n_columns, candidates=candidates)
+    ):
         return False
     return True
 

@@ -15,10 +15,12 @@ guarantees.
 """
 
 from repro.parallel.executor import (
+    MIN_SHARD_SIZE,
     RETRY_BACKOFF,
     START_METHOD_ENV,
     ExecutorEvent,
     ShardedExecutor,
+    WorkerMemoryExceeded,
     resolve_start_method,
     resolve_workers,
 )
@@ -33,10 +35,12 @@ from repro.parallel.shards import (
 __all__ = [
     "DEFAULT_SHARD_SIZE",
     "MAX_SHARDS",
+    "MIN_SHARD_SIZE",
     "RETRY_BACKOFF",
     "START_METHOD_ENV",
     "ExecutorEvent",
     "ShardedExecutor",
+    "WorkerMemoryExceeded",
     "pair_blocks",
     "resolve_start_method",
     "resolve_workers",

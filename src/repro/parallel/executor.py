@@ -41,8 +41,8 @@ import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass
 
-from repro.budget import Budget, charge, checkpoint
-from repro.errors import ResourceLimitExceeded
+from repro.budget import Budget, charge, checkpoint, format_bytes, read_rss
+from repro.errors import MemoryLimitExceeded, ResourceLimitExceeded
 from repro.parallel.shards import DEFAULT_SHARD_SIZE
 from repro.testing.faults import fault_point
 
@@ -54,6 +54,43 @@ START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
 #: invisible next to the work being retried, and deterministic so retried
 #: runs stay reproducible.
 RETRY_BACKOFF = 0.05
+
+#: Floor for the post-OOM shard-size halving: shards small enough that a
+#: single one cannot dominate a worker's footprint, large enough that the
+#: layout stays coarse (layout changes are recorded; see ``_degrade``).
+MIN_SHARD_SIZE = 16
+
+
+class WorkerMemoryExceeded(MemoryLimitExceeded):
+    """A worker process breached its per-worker memory cap.
+
+    Raised worker-side by :func:`_capped_task` after the task completes
+    (the RSS sample is the *evidence*; the work itself is discarded) and
+    handled parent-side like a worker crash: retry once on a fresh pool,
+    then sticky sequential degradation with halved shards.  Deliberately
+    **not** treated as plain :class:`ResourceLimitExceeded` by the
+    executor -- the parent process is not over its own cap, one worker is.
+    """
+
+
+def _capped_task(payload):
+    """Run a task under a per-worker RSS cap (module-level: picklable).
+
+    Payload: ``(fn, inner_payload, cap_bytes)``.  The cap check runs after
+    the task -- cooperatively, like every memory check in this codebase --
+    so a breach surfaces as a typed exception on the parent's future
+    instead of an opaque OOM kill.
+    """
+    fn, inner, cap = payload
+    result = fn(inner)
+    rss = read_rss()
+    if rss > cap:
+        raise WorkerMemoryExceeded(
+            f"worker RSS {format_bytes(rss)} > per-worker cap "
+            f"{format_bytes(cap)}",
+            where="parallel.worker_oom", rss=rss, max_memory_bytes=cap,
+        )
+    return result
 
 
 def resolve_workers(workers) -> int:
@@ -123,21 +160,32 @@ class ShardedExecutor:
         Items per shard for callers that derive their layout from the
         executor (:data:`repro.parallel.shards.DEFAULT_SHARD_SIZE`).
         Purely a layout knob -- it must never be derived from ``workers``.
+    max_worker_memory_bytes:
+        Optional per-worker RSS cap.  Dispatched tasks are wrapped in
+        :func:`_capped_task`; a worker found over the cap raises
+        :class:`WorkerMemoryExceeded`, which the parent treats like the
+        crash path (retry once, then sticky sequential) and additionally
+        halves ``shard_size`` for later ``map`` calls (floored at
+        :data:`MIN_SHARD_SIZE`) so the degraded run's shards are smaller.
     """
 
     def __init__(self, workers="auto", start_method: str | None = None,
                  budget: Budget | None = None,
                  task_timeout: float | None = None,
-                 shard_size: int = DEFAULT_SHARD_SIZE):
+                 shard_size: int = DEFAULT_SHARD_SIZE,
+                 max_worker_memory_bytes: int | None = None):
         if task_timeout is not None and task_timeout <= 0:
             raise ValueError("task_timeout must be positive (or None)")
         if shard_size < 1:
             raise ValueError("shard_size must be positive")
+        if max_worker_memory_bytes is not None and max_worker_memory_bytes <= 0:
+            raise ValueError("max_worker_memory_bytes must be positive (or None)")
         self.workers = resolve_workers(workers)
         self.start_method = resolve_start_method(start_method)
         self.budget = budget
         self.task_timeout = task_timeout
         self.shard_size = shard_size
+        self.max_worker_memory_bytes = max_worker_memory_bytes
         #: Pool-level incidents, for the discovery health report.
         self.events: list[ExecutorEvent] = []
         self._pool: ProcessPoolExecutor | None = None
@@ -224,7 +272,14 @@ class ShardedExecutor:
             try:
                 fault_point("parallel.worker")
                 pool = self._ensure_pool()
-                futures = [pool.submit(fn, payload) for payload in pending]
+                if self.max_worker_memory_bytes is not None:
+                    cap = self.max_worker_memory_bytes
+                    futures = [
+                        pool.submit(_capped_task, (fn, payload, cap))
+                        for payload in pending
+                    ]
+                else:
+                    futures = [pool.submit(fn, payload) for payload in pending]
             except ResourceLimitExceeded:
                 raise
             except KeyboardInterrupt:
@@ -245,7 +300,23 @@ class ShardedExecutor:
             for offset, future in enumerate(futures):
                 index = position + offset
                 try:
+                    fault_point("parallel.worker_oom")
                     result = future.result(timeout=self._wait_limit(budget))
+                except WorkerMemoryExceeded as exc:
+                    # One worker over its cap: crash path, plus smaller
+                    # shards once the pool is gone for good.
+                    if not retried:
+                        retried = True
+                        self._retry("worker-oom", where, exc, shard=index)
+                        retry_from = index
+                        break
+                    self._degrade("worker-oom", where, exc, shard=index)
+                    self._shrink_shards()
+                    return results + self._run_sequential(
+                        fn, payloads[index:],
+                        units[index:] if units is not None else None,
+                        where, budget,
+                    )
                 except FutureTimeout as exc:
                     if self._deadline_hit(budget):
                         self._shutdown_pool(wait=False)
@@ -339,6 +410,23 @@ class ShardedExecutor:
         self.events.append(ExecutorEvent(kind=kind, where=where, detail=detail))
         self._degraded = True
         self._shutdown_pool(wait=False)
+
+    def _shrink_shards(self) -> None:
+        """Halve the shard size after an OOM degrade (floored).
+
+        Smaller shards mean smaller per-shard footprints for the
+        in-process replay and any later executor user.  The new layout is
+        recorded as an event because shard layout is an input to the
+        sharded Phase-1 result -- a report produced after an OOM degrade
+        is flagged degraded, never silently different.
+        """
+        shrunk = max(MIN_SHARD_SIZE, self.shard_size // 2)
+        if shrunk < self.shard_size:
+            self.shard_size = shrunk
+            self.events.append(ExecutorEvent(
+                kind="shard-shrink", where="parallel.worker_oom",
+                detail=f"shard_size halved to {shrunk} after worker OOM",
+            ))
 
     def _wait_limit(self, budget: Budget | None) -> float | None:
         """How long to block on one shard result."""

@@ -29,18 +29,34 @@ def fit_shard(payload):
     """LIMBO Phase 1 over one tuple shard.
 
     Payload: ``(start, rows, priors, supports, threshold, branching,
-    backend)`` where ``start`` is the shard's global index offset (member
-    lists carry global indices).  Returns the shard's leaf DCFs.
+    backend, max_leaf_entries, threshold_floor)`` where ``start`` is the
+    shard's global index offset (member lists carry global indices).
+    Returns the shard's leaf DCFs.
 
     At ``threshold <= 0`` Phase 1 degenerates to grouping identical
     conditionals (only zero-loss merges are allowed -- Section 5.2's
     ``phi = 0`` case), which :func:`summarize_identical` does in one linear
-    pass instead of paying the DCF-tree's per-insert closest-entry scans.
+    pass instead of paying the DCF-tree's per-insert closest-entry scans;
+    a ``max_leaf_entries`` buffer still applies (escalating from zero),
+    keeping every shard space-bounded.  The space bound is part of the
+    payload -- a pure function of the input and knobs, never of the worker
+    count -- so bounded runs stay worker-count invariant.
     """
-    start, rows, priors, supports, threshold, branching, backend = payload
+    (start, rows, priors, supports, threshold, branching, backend,
+     max_leaf_entries, threshold_floor) = payload
     if threshold <= 0.0:
-        return summarize_identical(start, rows, priors, supports)
-    tree = DCFTree(threshold, branching=branching, backend=backend)
+        leaves = summarize_identical(start, rows, priors, supports)
+        if max_leaf_entries is None or len(leaves) <= max_leaf_entries:
+            return leaves
+        tree = DCFTree(0.0, branching=branching, backend=backend,
+                       max_leaf_entries=max_leaf_entries,
+                       threshold_floor=threshold_floor)
+        for leaf in leaves:
+            tree.insert(leaf)
+        return tree.leaves()
+    tree = DCFTree(threshold, branching=branching, backend=backend,
+                   max_leaf_entries=max_leaf_entries,
+                   threshold_floor=threshold_floor)
     for local, (row, prior) in enumerate(zip(rows, priors)):
         support = supports[local] if supports is not None else None
         tree.insert(DCF.singleton(start + local, prior, row, support=support))

@@ -9,8 +9,10 @@ relations, joins, CSV I/O, and the matrix builders (``M``, ``N``, ``O``,
 
 from repro.relation.correspondence import Correspondence, find_correspondences
 from repro.relation.io import (
+    DEFAULT_CHUNK_ROWS,
     IngestReport,
     atomic_write,
+    iter_csv,
     load_csv,
     read_csv,
     write_csv,
@@ -30,6 +32,7 @@ from repro.relation.schema import Attribute, Schema
 __all__ = [
     "Attribute",
     "Correspondence",
+    "DEFAULT_CHUNK_ROWS",
     "IngestReport",
     "MatrixF",
     "NULL",
@@ -43,6 +46,7 @@ __all__ = [
     "build_value_view",
     "equi_join",
     "find_correspondences",
+    "iter_csv",
     "load_csv",
     "natural_join",
     "read_csv",

@@ -16,6 +16,11 @@ Ingestion runs under one of two policies:
 
 A UTF-8 byte-order mark on the first header cell is stripped under both
 policies -- a BOM is never data.
+
+:func:`load_csv` is built on the streaming :func:`iter_csv` generator,
+which yields the rows in bounded chunks so memory-governed callers can
+checkpoint (and sample RSS) while a large file is still being read,
+instead of discovering the breach only after every row is resident.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.budget import checkpoint
 from repro.errors import InputError, SchemaError
 from repro.relation.relation import NULL, Relation
 from repro.relation.schema import Attribute, Schema
@@ -128,25 +134,45 @@ def _clean_header(raw: list, path: Path, policy: str, report: IngestReport) -> l
     return names
 
 
-def load_csv(path, source: str | None = None,
-             on_error: str = "strict") -> tuple[Relation, IngestReport]:
-    """Load a relation from a headered CSV file, with an ingestion report.
+#: Rows per chunk yielded by :func:`iter_csv`.
+DEFAULT_CHUNK_ROWS = 4096
 
-    Empty fields become :data:`NULL`; everything else stays a string (the
-    tools are generic over value semantics, so no type sniffing is done).
-    ``on_error`` selects the ``"strict"`` or ``"coerce"`` policy described
-    in the module docstring.
+
+def iter_csv(path, source: str | None = None, on_error: str = "strict",
+             chunk_rows: int = DEFAULT_CHUNK_ROWS,
+             report: IngestReport | None = None, budget=None):
+    """Stream a headered CSV file as ``(schema, rows)`` chunks.
+
+    The schema object is identical on every yield, and the first yield
+    always happens once the header parses (its chunk is empty for a
+    header-only file) -- consumers take the schema from the first item and
+    concatenate the chunks.  Repair/skip semantics are exactly those of
+    :func:`load_csv`, which is built on this generator; pass ``report`` to
+    observe them (counters update as chunks are consumed and totals --
+    ``rows_loaded``, the coercion note -- are final once the generator is
+    exhausted).
+
+    ``budget`` is an optional :class:`repro.budget.Budget` checkpointed
+    once per chunk (``where="io.iter_csv"``), so a memory-governed load
+    samples RSS while rows accumulate instead of discovering a breach only
+    after the whole file is resident.  :func:`load_csv` passes none, which
+    keeps its behavior byte-identical to the pre-streaming implementation.
     """
     if on_error not in _POLICIES:
         raise ValueError(f"on_error must be one of {_POLICIES}, got {on_error!r}")
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
     path = Path(path)
-    report = IngestReport(path=str(path), policy=on_error)
+    if report is None:
+        report = IngestReport(path=str(path), policy=on_error)
     errors = "strict" if on_error == "strict" else "replace"
     try:
         handle = path.open(newline="", encoding="utf-8", errors=errors)
     except OSError as exc:
         raise InputError(f"cannot open {path}: {exc.strerror or exc}",
                          path=path) from exc
+    rows_loaded = 0
+    saw_replacement = False
     with handle:
         reader = csv.reader(handle)
         try:
@@ -164,7 +190,8 @@ def load_csv(path, source: str | None = None,
             schema = Schema([Attribute(name, source) for name in names])
             arity = len(schema)
 
-            rows: list[tuple] = []
+            first_yielded = False
+            chunk: list[tuple] = []
             for record in reader:
                 record = fault_point("io.read_csv.row", record)
                 if not record:
@@ -191,10 +218,21 @@ def load_csv(path, source: str | None = None,
                     else:
                         record = record[:arity]
                         report.truncated_rows += 1
-                rows.append(
+                if on_error == "coerce" and not saw_replacement:
+                    saw_replacement = any(
+                        "�" in field_ for field_ in record
+                    )
+                chunk.append(
                     tuple(NULL if field_ == _NULL_FIELD else field_
                           for field_ in record)
                 )
+                if len(chunk) >= chunk_rows:
+                    rows_loaded += len(chunk)
+                    report.rows_loaded = rows_loaded
+                    checkpoint(budget, units=len(chunk), where="io.iter_csv")
+                    yield schema, chunk
+                    first_yielded = True
+                    chunk = []
         except UnicodeDecodeError as exc:
             raise InputError(
                 f"{path} is not valid UTF-8 (byte offset {exc.start}); "
@@ -206,14 +244,36 @@ def load_csv(path, source: str | None = None,
                 f"{path}:{reader.line_num}: malformed CSV: {exc}",
                 path=path, line=reader.line_num,
             ) from exc
-    report.rows_loaded = len(rows)
-    if on_error == "coerce" and any(
-        "�" in f for row in rows for f in row if isinstance(f, str)
-    ):
+        if chunk or not first_yielded:
+            rows_loaded += len(chunk)
+            report.rows_loaded = rows_loaded
+            if chunk:
+                checkpoint(budget, units=len(chunk), where="io.iter_csv")
+            yield schema, chunk
+    if saw_replacement:
         report.notes.append(
             "data contains U+FFFD replacement characters "
             "(undecodable bytes were coerced)"
         )
+
+
+def load_csv(path, source: str | None = None,
+             on_error: str = "strict") -> tuple[Relation, IngestReport]:
+    """Load a relation from a headered CSV file, with an ingestion report.
+
+    Empty fields become :data:`NULL`; everything else stays a string (the
+    tools are generic over value semantics, so no type sniffing is done).
+    ``on_error`` selects the ``"strict"`` or ``"coerce"`` policy described
+    in the module docstring.  Implemented as "exhaust :func:`iter_csv`":
+    the two are the same ingestion, buffered versus streamed.
+    """
+    path = Path(path)
+    report = IngestReport(path=str(path), policy=on_error)
+    schema = None
+    rows: list[tuple] = []
+    for schema, chunk in iter_csv(path, source=source, on_error=on_error,
+                                  report=report):
+        rows.extend(chunk)
     return Relation(schema, rows), report
 
 

@@ -4,9 +4,17 @@ import pickle
 
 import pytest
 
-from repro.budget import Budget, charge, checkpoint
+from repro.budget import (
+    Budget,
+    MemoryGovernor,
+    charge,
+    checkpoint,
+    format_bytes,
+    parse_memory_size,
+)
 from repro.errors import (
     InputError,
+    MemoryLimitExceeded,
     ReproError,
     ResourceLimitExceeded,
     SchemaError,
@@ -19,6 +27,7 @@ class TestTaxonomy:
         assert issubclass(InputError, ReproError)
         assert issubclass(SchemaError, InputError)
         assert issubclass(ResourceLimitExceeded, ReproError)
+        assert issubclass(MemoryLimitExceeded, ResourceLimitExceeded)
         assert issubclass(StageFailure, ReproError)
 
     def test_input_errors_are_value_errors(self):
@@ -158,6 +167,173 @@ class TestShardAccounting:
         assert budget.remaining_units() == 50
 
 
+class TestMemorySizes:
+    """`parse_memory_size` / `format_bytes` round the human byte notation."""
+
+    @pytest.mark.parametrize("text,expected", [
+        ("64M", 64 * 1024 ** 2),
+        ("512k", 512 * 1024),
+        ("1GiB", 1024 ** 3),
+        ("2g", 2 * 1024 ** 3),
+        ("1024", 1024),
+        ("100B", 100),
+        ("1.5M", int(1.5 * 1024 ** 2)),
+        (" 16M ", 16 * 1024 ** 2),
+    ])
+    def test_parse(self, text, expected):
+        assert parse_memory_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "M", "64Q", "-1M", "0", "lots"])
+    def test_parse_rejects_garbage(self, text):
+        with pytest.raises(ValueError):
+            parse_memory_size(text)
+
+    def test_format(self):
+        assert format_bytes(16 * 1024 ** 2) == "16.0M"
+        assert format_bytes(512) == "512B"
+        assert format_bytes(1024 ** 3) == "1.0G"
+        assert format_bytes(None) == "unlimited"
+
+    def test_round_trip(self):
+        assert parse_memory_size(format_bytes(64 * 1024 ** 2)) == 64 * 1024 ** 2
+
+
+class TestMemoryGovernor:
+    def test_reserve_raises_without_booking(self):
+        gov = MemoryGovernor(max_bytes=100)
+        gov.reserve(60, where="dcf.entry")
+        with pytest.raises(MemoryLimitExceeded) as info:
+            gov.reserve(60, where="dcf.entry")
+        # The failed reservation is NOT booked: the caller did not allocate.
+        assert gov.reserved == 60
+        ctx = info.value.context
+        assert ctx["where"] == "dcf.entry"
+        assert ctx["needed"] == 60
+        assert ctx["reserved"] == 60
+        assert ctx["max_memory_bytes"] == 100
+
+    def test_release_clamps_at_zero(self):
+        gov = MemoryGovernor(max_bytes=100)
+        gov.reserve(10)
+        gov.release(50)
+        assert gov.reserved == 0
+        gov.reserve(100)  # the full cap is available again
+
+    def test_would_exceed_is_non_raising(self):
+        gov = MemoryGovernor(max_bytes=100)
+        gov.reserve(90)
+        assert gov.would_exceed(20)
+        assert not gov.would_exceed(10)
+        assert gov.reserved == 90  # queries never book
+
+    def test_tick_samples_on_cadence_only(self):
+        reads = []
+
+        def rss():
+            reads.append(1)
+            return 10
+
+        gov = MemoryGovernor(max_bytes=100, sample_every=4, rss_reader=rss)
+        for _ in range(11):
+            gov.tick(where="loop")
+        assert len(reads) == 2  # ticks 4 and 8
+        assert gov.samples == 2
+        assert gov.last_rss == 10
+
+    def test_rss_breach_raises_with_context(self):
+        gov = MemoryGovernor(max_bytes=100, rss_reader=lambda: 250)
+        with pytest.raises(MemoryLimitExceeded) as info:
+            gov.check(where="aib.merge")
+        ctx = info.value.context
+        assert ctx["where"] == "aib.merge"
+        assert ctx["rss"] == 250
+        assert ctx["max_memory_bytes"] == 100
+        assert gov.peak_sampled_rss == 250
+
+    def test_best_effort_observes_without_raising(self):
+        gov = MemoryGovernor(max_bytes=100, rss_reader=lambda: 999)
+        gov.set_best_effort()
+        gov.reserve(10 ** 6, where="huge")  # over the cap; must not raise
+        gov.check(where="loop")             # RSS over the cap; must not raise
+        assert gov.reserved == 10 ** 6      # accounting continues
+        assert gov.peak_sampled_rss == 999
+        assert not gov.would_exceed(10 ** 9)
+
+    def test_pressured_and_stats(self):
+        gov = MemoryGovernor(max_bytes=100)
+        assert not gov.pressured
+        with pytest.raises(MemoryLimitExceeded):
+            gov.reserve(200, where="x")
+        assert gov.pressured
+        stats = gov.stats()
+        assert stats["max_bytes"] == 100
+        assert stats["pressure_events"] == 1
+        assert stats["best_effort"] is False
+
+    def test_describe_mentions_cap_and_pressure(self):
+        gov = MemoryGovernor(max_bytes=16 * 1024 ** 2)
+        assert "cap 16.0M" in gov.describe()
+        with pytest.raises(MemoryLimitExceeded):
+            gov.reserve(10 ** 9, where="x")
+        gov.set_best_effort()
+        text = gov.describe()
+        assert "pressure event" in text
+        assert "best-effort" in text
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryGovernor(max_bytes=0)
+        with pytest.raises(ValueError):
+            MemoryGovernor(max_bytes=100, sample_every=0)
+        gov = MemoryGovernor(max_bytes=100)
+        with pytest.raises(ValueError):
+            gov.reserve(-1)
+
+
+class TestBudgetMemory:
+    """The memory dimension as seen through Budget itself."""
+
+    def test_budget_attaches_a_governor(self):
+        budget = Budget(max_memory_bytes=1024)
+        assert isinstance(budget.memory, MemoryGovernor)
+        assert budget.memory.max_bytes == 1024
+        assert Budget().memory is None
+
+    def test_invalid_memory_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(max_memory_bytes=0)
+
+    def test_checkpoint_ticks_the_governor(self):
+        budget = Budget(max_memory_bytes=100)
+        budget.memory._rss_reader = lambda: 500
+        budget.memory.sample_every = 2
+        budget.checkpoint(where="loop")  # tick 1: no sample
+        with pytest.raises(MemoryLimitExceeded) as info:
+            budget.checkpoint(where="loop")  # tick 2: samples, breaches
+        assert info.value.context["rss"] == 500
+
+    def test_describe_and_repr_carry_memory(self):
+        budget = Budget(deadline=5.0, max_memory_bytes=16 * 1024 ** 2)
+        assert "memory: cap 16.0M" in budget.describe()
+        assert "max_memory_bytes=16777216" in repr(budget)
+        assert "memory" not in Budget(deadline=5.0).describe()
+
+    def test_module_helpers_tolerate_ungoverned_budgets(self):
+        from repro.budget import governor_of, release, reserve
+
+        assert governor_of(None) is None
+        assert governor_of(Budget()) is None
+        reserve(None, 10)           # must not raise
+        reserve(Budget(), 10)       # must not raise
+        release(Budget(), 10)       # must not raise
+        budget = Budget(max_memory_bytes=100)
+        reserve(budget, 40, where="x")
+        assert budget.memory.reserved == 40
+        release(budget, 40)
+        assert budget.memory.reserved == 0
+        assert governor_of(budget) is budget.memory
+
+
 class TestBudgetPickle:
     """Budgets cross process boundaries carrying their *remaining* allowance."""
 
@@ -194,6 +370,23 @@ class TestBudgetPickle:
         assert restored.remaining_seconds() is None
         assert restored.remaining_units() is None
         restored.checkpoint(units=10**6)  # still unlimited
+
+    def test_memory_cap_survives_with_a_fresh_governor(self):
+        budget = Budget(max_memory_bytes=4096)
+        budget.memory.reserve(1000, where="parent")
+        restored = pickle.loads(pickle.dumps(budget))
+        # The cap travels; reservations are process-local observations and
+        # the receiving worker starts clean under the same cap.
+        assert restored.max_memory_bytes == 4096
+        assert isinstance(restored.memory, MemoryGovernor)
+        assert restored.memory.max_bytes == 4096
+        assert restored.memory.reserved == 0
+        assert restored.memory is not budget.memory
+
+    def test_ungoverned_budget_stays_ungoverned_after_transit(self):
+        restored = pickle.loads(pickle.dumps(Budget(max_units=10)))
+        assert restored.max_memory_bytes is None
+        assert restored.memory is None
 
 
 class TestBudgetedAlgorithms:
