@@ -64,8 +64,10 @@ from repro.errors import (
     ResourceLimitExceeded,
     SchemaError,
     StageFailure,
+    SupervisorError,
 )
 from repro.parallel import ShardedExecutor
+from repro.supervisor import Supervisor, SupervisorConfig
 from repro.relation import (
     NULL,
     Attribute,
@@ -115,6 +117,9 @@ __all__ = [
     "ShardedExecutor",
     "StageFailure",
     "StructureDiscovery",
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisorError",
     "TupleClusteringResult",
     "ValueClusteringResult",
     "ValueGroup",

@@ -12,20 +12,24 @@ for the snapshot layout, manifest fields and determinism guarantee.
 
 from repro.checkpoint.store import (
     DEFAULT_CADENCE,
+    DEFAULT_MAX_QUARANTINED,
     MAGIC,
     SNAPSHOT_VERSION,
     CheckpointEvent,
     CheckpointStore,
+    HeartbeatStatus,
     StageCheckpoint,
     relation_fingerprint,
 )
 
 __all__ = [
     "DEFAULT_CADENCE",
+    "DEFAULT_MAX_QUARANTINED",
     "MAGIC",
     "SNAPSHOT_VERSION",
     "CheckpointEvent",
     "CheckpointStore",
+    "HeartbeatStatus",
     "StageCheckpoint",
     "relation_fingerprint",
 ]

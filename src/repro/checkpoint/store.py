@@ -52,11 +52,13 @@ import hashlib
 import json
 import os
 import pickle
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.budget import read_rss
 from repro.errors import CheckpointError
-from repro.relation.io import atomic_write
+from repro.relation.io import atomic_write, fsync_directory
 from repro.relation.relation import NULL
 from repro.testing.faults import fault_point
 
@@ -69,8 +71,12 @@ MAGIC = b"repro-ckpt\x00"
 #: Budget units between intra-stage progress heartbeats.
 DEFAULT_CADENCE = 10_000
 
+#: Quarantined snapshots kept per store before the oldest are deleted.
+DEFAULT_MAX_QUARANTINED = 8
+
 _MANIFEST_NAME = "manifest.json"
 _PROGRESS_NAME = "progress.json"
+_INCIDENT_NAME = "incident.json"
 
 
 @dataclass
@@ -87,6 +93,42 @@ class CheckpointEvent:
 
     def render(self) -> str:
         return f"{self.kind} at {self.where or 'store'}: {self.detail}"
+
+
+@dataclass
+class HeartbeatStatus:
+    """A watchdog's view of ``progress.json`` at one instant.
+
+    ``state`` is one of:
+
+    * ``"missing"``    -- no heartbeat has ever been written (or the file
+      was removed); ``age_seconds``, ``mtime_ns`` and ``payload`` are None;
+    * ``"ok"``         -- the file parsed; ``payload`` is the heartbeat dict;
+    * ``"unreadable"`` -- the file exists but is truncated or not JSON
+      (e.g. torn by a crash on a filesystem without atomic rename);
+      ``payload`` is None but the mtime-derived age is still usable.
+
+    ``age_seconds`` is computed against the *wall clock* and clamped at
+    zero: a clock-skewed mtime in the future reads as a fresh heartbeat,
+    never as a negative age or an instant hang.  Staleness policy (how old
+    is too old) belongs to the caller -- :class:`repro.supervisor` keys its
+    hang verdict on whether the heartbeat *changed*, using the age only in
+    diagnostics.
+    """
+
+    state: str
+    age_seconds: float | None = None
+    mtime_ns: int | None = None
+    payload: dict | None = None
+
+    def describe(self) -> str:
+        if self.state == "missing":
+            return "no heartbeat written yet"
+        age = f"{self.age_seconds:.1f}s old"
+        if self.state == "unreadable":
+            return f"heartbeat unreadable (torn write?), {age}"
+        stage = (self.payload or {}).get("stage") or "(startup)"
+        return f"heartbeat {age}, stage {stage!r}"
 
 
 def relation_fingerprint(relation) -> str:
@@ -146,15 +188,24 @@ class CheckpointStore:
         snapshots.  ``False`` starts fresh: a new run token is minted and
         nothing on disk is ever loaded (stale files are quarantined only
         if a later resumed run trips over them).
+    max_quarantined:
+        How many quarantined snapshots to keep per store directory
+        (:data:`DEFAULT_MAX_QUARANTINED`); the oldest beyond this are
+        deleted so a crash-looping run cannot fill the disk with
+        forensics.
     """
 
     def __init__(self, directory, cadence: int = DEFAULT_CADENCE,
-                 resume: bool = False):
+                 resume: bool = False,
+                 max_quarantined: int = DEFAULT_MAX_QUARANTINED):
         if cadence < 1:
             raise ValueError("cadence must be positive")
+        if max_quarantined < 1:
+            raise ValueError("max_quarantined must be positive")
         self.directory = Path(directory)
         self.cadence = int(cadence)
         self.resume = bool(resume)
+        self.max_quarantined = int(max_quarantined)
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
@@ -179,6 +230,7 @@ class CheckpointStore:
         self._halt_stage_loads = False
         self._current_stage = ""
         self._last_heartbeat = 0
+        self._last_units = 0
         self._heartbeat_failed = False
 
     # -- run lifecycle -----------------------------------------------------------
@@ -251,8 +303,15 @@ class CheckpointStore:
         return StageCheckpoint(self, stage)
 
     def enter_stage(self, stage: str) -> None:
-        """Label subsequent heartbeats with the stage now executing."""
+        """Label subsequent heartbeats with the stage now executing.
+
+        Writes an immediate heartbeat so the stage transition is durable
+        the moment it happens: a supervisor attributing a crash to a stage
+        reads the right stage even if the child dies before the first
+        cadence tick inside it.
+        """
         self._current_stage = stage
+        self._write_progress(self._last_units, "stage-entry")
 
     # -- stage snapshots ---------------------------------------------------------
 
@@ -398,8 +457,32 @@ class CheckpointStore:
             suffix += 1
         try:
             os.replace(path, target)
+            fsync_directory(self.directory)
         except OSError:
             pass
+        self._prune_quarantined()
+
+    def _prune_quarantined(self) -> None:
+        """Keep only the newest :attr:`max_quarantined` quarantined files.
+
+        A supervised run that crash-loops on the same corrupt snapshot
+        would otherwise accumulate one forensic copy per attempt, without
+        bound.  Newest-first by mtime (name as a deterministic tiebreak);
+        best effort, never raises.
+        """
+        try:
+            quarantined = [
+                (entry.stat().st_mtime_ns, entry.name, entry)
+                for entry in self.directory.glob("*.quarantined-*")
+            ]
+        except OSError:
+            return
+        quarantined.sort(reverse=True)
+        for _, _, stale in quarantined[self.max_quarantined:]:
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass
 
     # -- heartbeats --------------------------------------------------------------
 
@@ -415,9 +498,13 @@ class CheckpointStore:
             budget.on_checkpoint(self._heartbeat)
 
     def _heartbeat(self, units_used: int, where: str) -> None:
+        self._last_units = units_used
         if units_used - self._last_heartbeat < self.cadence:
             return
         self._last_heartbeat = units_used
+        self._write_progress(units_used, where)
+
+    def _write_progress(self, units_used: int, where: str) -> None:
         try:
             with atomic_write(self.directory / _PROGRESS_NAME) as handle:
                 json.dump({
@@ -425,12 +512,62 @@ class CheckpointStore:
                     "stage": self._current_stage,
                     "units_used": units_used,
                     "where": where,
+                    "pid": os.getpid(),
+                    "rss_bytes": read_rss(),
+                    "wall_time": time.time(),
                 }, handle, sort_keys=True)
         except Exception as exc:
             if not self._heartbeat_failed:
                 self._heartbeat_failed = True
                 self._record("save-failure", "progress",
                              f"{type(exc).__name__}: {exc}")
+
+    def heartbeat_status(self, now: float | None = None) -> HeartbeatStatus:
+        """Classify ``progress.json`` for a watchdog (see
+        :class:`HeartbeatStatus`).
+
+        Pure read: usable from a *different* process than the one writing
+        heartbeats (the supervisor's parent-side store never runs the
+        pipeline).  ``now`` defaults to ``time.time()``; pass a fixed value
+        in tests for deterministic ages.
+        """
+        path = self.directory / _PROGRESS_NAME
+        try:
+            stat = path.stat()
+        except OSError:
+            return HeartbeatStatus(state="missing")
+        if now is None:
+            now = time.time()
+        age = max(0.0, now - stat.st_mtime)
+        try:
+            payload = json.loads(path.read_text("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("heartbeat is not a JSON object")
+        except (OSError, ValueError):
+            return HeartbeatStatus(state="unreadable", age_seconds=age,
+                                   mtime_ns=stat.st_mtime_ns)
+        return HeartbeatStatus(state="ok", age_seconds=age,
+                               mtime_ns=stat.st_mtime_ns, payload=payload)
+
+    # -- incident log ------------------------------------------------------------
+
+    def write_incident(self, payload: dict) -> Path | None:
+        """Atomically write ``incident.json`` next to the snapshots.
+
+        The supervisor rewrites this after every attempt so the file is
+        complete even when the supervisor itself is killed next.  Best
+        effort: returns the path, or ``None`` when the write failed (a
+        full disk must not mask the run's real outcome).
+        """
+        path = self.directory / _INCIDENT_NAME
+        try:
+            with atomic_write(path) as handle:
+                json.dump(payload, handle, sort_keys=True, indent=1)
+        except Exception as exc:
+            self._record("save-failure", "incident",
+                         f"{type(exc).__name__}: {exc}")
+            return None
+        return path
 
     # -- events ------------------------------------------------------------------
 

@@ -18,9 +18,10 @@ cooperative memory cap enforced by :class:`repro.budget.MemoryGovernor`;
 breaching it exits 3, except under ``discover``'s degradation policy).
 ``discover`` additionally takes ``--checkpoint-dir`` / ``--resume`` /
 ``--checkpoint-cadence`` for durable checkpoint/resume of interrupted
-runs, plus ``--on-memory-pressure {fail,degrade}`` and
-``--max-leaf-entries N`` for memory-governed execution (see
-``docs/ROBUSTNESS.md``).  All file outputs (``--out`` and snapshots alike)
+runs, ``--supervise`` / ``--max-restarts`` / ``--hang-timeout`` for
+crash/hang-supervised runs that auto-resume from those checkpoints, plus
+``--on-memory-pressure {fail,degrade}`` and ``--max-leaf-entries N`` for
+memory-governed execution (see ``docs/ROBUSTNESS.md``).  All file outputs (``--out`` and snapshots alike)
 are written atomically: temp file + ``os.replace``, so an interrupt never
 leaves a half-written file.
 
@@ -154,6 +155,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 10000)",
     )
     discover.add_argument(
+        "--supervise", action="store_true",
+        help="run the pipeline in a supervised child process: crashes "
+        "(SIGKILL, SIGSEGV, OOM-kill) and heartbeat hangs auto-resume from "
+        "the checkpoint store with bounded restarts; incident.json next to "
+        "the snapshots records the attempt timeline",
+    )
+    discover.add_argument(
+        "--max-restarts", type=int, default=None, metavar="N",
+        help="restarts a supervised run may spend before giving up with "
+        "exit code 1 (default: 5; requires --supervise)",
+    )
+    discover.add_argument(
+        "--hang-timeout", type=float, default=None, metavar="SECONDS",
+        help="heartbeat staleness after which a supervised child is "
+        "declared hung and restarted (default: 300; requires --supervise)",
+    )
+    discover.add_argument(
         "--on-memory-pressure", choices=("fail", "degrade"),
         default="degrade",
         help="response to exceeding --memory-limit: abort with exit code 3 "
@@ -242,12 +260,19 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
     n = getattr(args, "n", None)
     if n is not None:
         require(n >= 1, "--n must be >= 1")
-    if getattr(args, "resume", False):
-        require(getattr(args, "checkpoint_dir", None) is not None,
-                "--resume requires --checkpoint-dir")
     cadence = getattr(args, "checkpoint_cadence", None)
     if cadence is not None:
         require(cadence >= 1, "--checkpoint-cadence must be >= 1")
+    max_restarts = getattr(args, "max_restarts", None)
+    if max_restarts is not None:
+        require(getattr(args, "supervise", False),
+                "--max-restarts requires --supervise")
+        require(max_restarts >= 0, "--max-restarts must be >= 0")
+    hang_timeout = getattr(args, "hang_timeout", None)
+    if hang_timeout is not None:
+        require(getattr(args, "supervise", False),
+                "--hang-timeout requires --supervise")
+        require(hang_timeout > 0, "--hang-timeout must be positive")
     leaf_entries = getattr(args, "max_leaf_entries", None)
     if leaf_entries is not None:
         require(leaf_entries >= 1, "--max-leaf-entries must be >= 1")
@@ -318,6 +343,14 @@ def _budget_of(args) -> Budget | None:
 
 
 def _cmd_discover(args) -> int:
+    if args.resume and args.checkpoint_dir is None:
+        print(
+            "repro: input error: --resume needs --checkpoint-dir DIR to "
+            "know which snapshots to resume from (pass the directory the "
+            "interrupted run was checkpointing into)",
+            file=sys.stderr,
+        )
+        return EXIT_INPUT
     budget = _budget_of(args)
     relation = _load_relation(args, budget)
     checkpoint = None
@@ -329,12 +362,23 @@ def _cmd_discover(args) -> int:
             cadence=args.checkpoint_cadence or DEFAULT_CADENCE,
             resume=args.resume,
         )
+    supervise = None
+    if args.supervise:
+        from repro.supervisor import SupervisorConfig
+
+        supervise = SupervisorConfig(
+            max_restarts=args.max_restarts
+            if args.max_restarts is not None else 5,
+            hang_timeout=args.hang_timeout
+            if args.hang_timeout is not None else 300.0,
+        )
     report = StructureDiscovery(
         phi_t=args.phi_t, phi_v=args.phi_v, psi=args.psi,
         strict=args.strict_stages, workers=args.workers,
         backend=args.backend, checkpoint=checkpoint,
         on_memory_pressure=args.on_memory_pressure,
         max_leaf_entries=args.max_leaf_entries,
+        supervise=supervise,
     ).run(relation, budget=budget)
     print(report.render(top=args.top))
     return EXIT_OK

@@ -213,7 +213,8 @@ class _MemoryLadder:
         "best-effort",
     )
 
-    def __init__(self, params: _EffectiveParams, governor: MemoryGovernor):
+    def __init__(self, params: _EffectiveParams,
+                 governor: MemoryGovernor | None = None):
         self.params = params
         self.governor = governor
         self.original_relation = params.relation
@@ -229,6 +230,24 @@ class _MemoryLadder:
                 self.applied.append(rung)
                 return rung
         return None
+
+    def force(self, count: int) -> list[str]:
+        """Consume ladder positions ``[0, count)``; returns rungs applied.
+
+        Used by supervised poison-stage escalation: the supervisor asks for
+        "the first ``count`` rungs" and an inapplicable position (e.g.
+        ``sparse-backend`` on an already-sparse run) is *consumed without
+        effect* rather than skipped, so the escalation schedule stays a
+        pure function of the failure count, not of the configuration.
+        """
+        applied = []
+        while self._next_rung < min(count, len(self.RUNGS)):
+            rung = self.RUNGS[self._next_rung]
+            self._next_rung += 1
+            if self._apply(rung):
+                self.applied.append(rung)
+                applied.append(rung)
+        return applied
 
     def _apply(self, rung: str) -> bool:
         """Mutate the effective params for one rung; False = inapplicable."""
@@ -250,6 +269,8 @@ class _MemoryLadder:
         if rung == "shrink-leaf-buffer":
             current = params.max_leaf_entries
             if current is None:
+                if self.governor is None:
+                    return False
                 cap = self.governor.max_bytes or 0
                 current = max(_MIN_LEAF_ENTRIES, cap // _LEAF_BYTES_ESTIMATE)
             if current <= _MIN_LEAF_ENTRIES:
@@ -262,11 +283,19 @@ class _MemoryLadder:
             params.relation = deterministic_sample(self.original_relation)
             return True
         # "best-effort": terminal -- stop enforcing, keep observing.
+        if self.governor is None:
+            return False
         self.governor.set_best_effort()
         return True
 
     def describe(self) -> str:
         return " -> ".join(self.applied) if self.applied else "no rungs applied"
+
+
+#: Ladder rungs that provably leave the final report byte-identical (the
+#: backend-parity guarantee).  A supervised escalation that applies only
+#: these does not mark the report degraded.
+_IDENTITY_RUNGS = frozenset({"sparse-backend"})
 
 
 @dataclass
@@ -409,6 +438,15 @@ class StructureDiscovery:
         (the paper's space-bounded variant).  Independent of
         ``memory_limit``; the ladder also sets it dynamically under
         pressure.
+    supervise:
+        ``None``/``False`` (default) runs the pipeline in this process.
+        ``True`` or a :class:`repro.supervisor.SupervisorConfig` runs it in
+        a *child* process under a :class:`repro.supervisor.Supervisor`:
+        crashes (SIGKILL, SIGSEGV, OOM-kill) and hangs are detected, the
+        run auto-resumes from the checkpoint store with bounded restarts,
+        and a stage that keeps dying escalates the degradation ladder.
+        Uses ``checkpoint`` as the durable state (a private temporary
+        directory when unset).  See ``docs/ROBUSTNESS.md``.
     """
 
     def __init__(
@@ -427,6 +465,7 @@ class StructureDiscovery:
         memory_limit=None,
         on_memory_pressure: str = "degrade",
         max_leaf_entries: int | None = None,
+        supervise=None,
     ):
         if miner not in ("auto", "fdep", "tane"):
             raise ValueError("miner must be 'auto', 'fdep' or 'tane'")
@@ -458,6 +497,31 @@ class StructureDiscovery:
         if checkpoint is not None and not isinstance(checkpoint, CheckpointStore):
             checkpoint = CheckpointStore(checkpoint, resume=True)
         self.checkpoint = checkpoint
+        if supervise:
+            from repro.supervisor import SupervisorConfig
+
+            if not isinstance(supervise, SupervisorConfig):
+                supervise = SupervisorConfig()
+        else:
+            supervise = None
+        self.supervise = supervise
+        #: Constructor arguments a supervisor child needs to rebuild this
+        #: driver (checkpoint and supervise are deliberately absent: the
+        #: child gets its own store and must never recurse).
+        self._spec = {
+            "phi_t": phi_t,
+            "phi_v": phi_v,
+            "double_clustering_phi_t": double_clustering_phi_t,
+            "psi": psi,
+            "miner": miner,
+            "strict": strict,
+            "workers": workers,
+            "start_method": start_method,
+            "backend": backend,
+            "memory_limit": self.memory_limit,
+            "on_memory_pressure": on_memory_pressure,
+            "max_leaf_entries": max_leaf_entries,
+        }
 
     def _manifest_params(self) -> dict:
         """The parameters that define checkpoint validity.
@@ -578,13 +642,28 @@ class StructureDiscovery:
 
     # -- the pipeline ------------------------------------------------------------
 
-    def run(self, relation: Relation, budget: Budget | None = None) -> DiscoveryReport:
+    def run(self, relation: Relation, budget: Budget | None = None,
+            escalations: dict | None = None) -> DiscoveryReport:
         """Execute the full pipeline on ``relation``.
 
         Never raises on stage failures unless ``strict`` is set; consult
         :attr:`DiscoveryReport.outcomes` / :meth:`DiscoveryReport.health`
         for what actually happened.
+
+        ``escalations`` maps a stage name to a degradation-ladder position
+        count to pre-apply when that stage is reached (see
+        :meth:`_MemoryLadder.force`).  It is set by the supervisor on
+        post-poison-stage attempts and is not part of the checkpoint
+        manifest: snapshots stay shared across supervised attempts, and
+        escalated stages are never snapshotted (result-affecting rungs mark
+        the run degraded, which already blocks saves).
         """
+        if self.supervise is not None:
+            from repro.supervisor import Supervisor
+
+            return Supervisor(self, config=self.supervise).run(
+                relation, budget=budget
+            )
         budget = budget if budget is not None else self.budget
         if self.memory_limit is not None:
             if budget is None:
@@ -618,7 +697,8 @@ class StructureDiscovery:
         ladder = None
         try:
             report, ladder = self._run_stages(
-                relation, budget, outcomes, executor, store
+                relation, budget, outcomes, executor, store,
+                escalations=escalations,
             )
         finally:
             if executor is not None:
@@ -687,7 +767,8 @@ class StructureDiscovery:
         return StageOutcome(stage="memory", status="ok",
                             detail="; ".join(parts))
 
-    def _checkpointed(self, stage, store, outcomes, compute):
+    def _checkpointed(self, stage, store, outcomes, compute,
+                      ladder=None, escalations=None):
         """Load a stage snapshot, or compute and (when healthy) save one.
 
         A snapshot carries both the stage result and the
@@ -697,6 +778,10 @@ class StructureDiscovery:
         that degraded it, so persisting it would freeze the degradation
         into later runs -- recomputing instead lets a resume with a fresh
         budget heal the stage.
+
+        Supervisor escalations apply here, after the snapshot miss and
+        before the stage body: a poison stage only ever escalates when it
+        is actually about to recompute.
         """
         if store is not None:
             store.enter_stage(stage)
@@ -704,6 +789,7 @@ class StructureDiscovery:
             if snapshot is not None:
                 outcomes.extend(snapshot["outcomes"])
                 return snapshot["result"]
+        self._apply_escalation(stage, outcomes, ladder, escalations)
         before = len(outcomes)
         result = compute()
         if store is not None and all(o.ok for o in outcomes):
@@ -713,8 +799,31 @@ class StructureDiscovery:
             })
         return result
 
+    def _apply_escalation(self, stage, outcomes, ladder, escalations):
+        """Pre-apply supervised ladder rungs for a poison stage.
+
+        Rungs in :data:`_IDENTITY_RUNGS` keep the report byte-identical so
+        they escalate silently (the supervisor still logs them in
+        ``incident.json``); anything stronger marks the run degraded via a
+        ``supervisor`` health entry, which also blocks checkpointing of the
+        escalated results.
+        """
+        count = (escalations or {}).get(stage, 0)
+        if not count or ladder is None:
+            return
+        applied = ladder.force(count)
+        affecting = [rung for rung in applied if rung not in _IDENTITY_RUNGS]
+        if affecting:
+            outcomes.append(StageOutcome(
+                stage="supervisor", status="degraded",
+                detail=(f"degradation ladder escalated before {stage!r} "
+                        "after repeated supervised failures"),
+                fallback=f"ladder: {' -> '.join(applied)}",
+            ))
+
     def _run_stages(
-        self, relation, budget, outcomes, executor, store=None
+        self, relation, budget, outcomes, executor, store=None,
+        escalations=None,
     ):
         def _handle(stage):
             return store.stage_handle(stage) if store is not None else None
@@ -738,6 +847,10 @@ class StructureDiscovery:
             and not self.strict
         ):
             ladder = _MemoryLadder(eff, governor)
+        if escalations and ladder is None:
+            # Supervised escalation needs a ladder even on ungoverned runs;
+            # governor-dependent rungs are consumed as no-ops then.
+            ladder = _MemoryLadder(eff, governor)
 
         tuples = self._checkpointed(
             "tuple_clustering", store, outcomes,
@@ -759,6 +872,7 @@ class StructureDiscovery:
                 ),
                 ladder=ladder,
             ),
+            ladder=ladder, escalations=escalations,
         )
 
         values = self._checkpointed(
@@ -786,6 +900,7 @@ class StructureDiscovery:
                 ),
                 ladder=ladder,
             ),
+            ladder=ladder, escalations=escalations,
         )
 
         def _grouping_stage():
@@ -808,7 +923,8 @@ class StructureDiscovery:
             return None, False
 
         grouping, grouping_failed = self._checkpointed(
-            "attribute_grouping", store, outcomes, _grouping_stage
+            "attribute_grouping", store, outcomes, _grouping_stage,
+            ladder=ladder, escalations=escalations,
         )
 
         dependencies = self._checkpointed(
@@ -825,6 +941,7 @@ class StructureDiscovery:
                 default=[],
                 ladder=ladder,
             ),
+            ladder=ladder, escalations=escalations,
         )
 
         cover = self._checkpointed(
@@ -837,6 +954,7 @@ class StructureDiscovery:
                 ],
                 default=[],
             ),
+            ladder=ladder, escalations=escalations,
         )
 
         def _rank_stage():
@@ -873,7 +991,8 @@ class StructureDiscovery:
             ))
             return []
 
-        ranked = self._checkpointed("rank", store, outcomes, _rank_stage)
+        ranked = self._checkpointed("rank", store, outcomes, _rank_stage,
+                                    ladder=ladder, escalations=escalations)
 
         return DiscoveryReport(
             relation=relation,

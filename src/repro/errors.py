@@ -13,8 +13,10 @@ Hierarchy::
     ├── ResourceLimitExceeded   a Budget deadline or work-unit cap was hit
     │   └── MemoryLimitExceeded the memory governor's byte cap was hit
     ├── StageFailure            a pipeline stage died (wraps the cause)
-    └── CheckpointError         a checkpoint store is unusable (not: corrupt
-                                snapshots, which quarantine instead of raising)
+    ├── CheckpointError         a checkpoint store is unusable (not: corrupt
+    │                           snapshots, which quarantine instead of raising)
+    └── SupervisorError         a supervised run could not be driven to
+                                completion (restart budget exhausted)
 
 ``InputError`` and ``SchemaError`` also subclass :class:`ValueError` so
 pre-existing ``except ValueError`` call sites keep working.
@@ -107,3 +109,16 @@ class CheckpointError(ReproError):
         super().__init__(message, path=str(path) if path is not None else None,
                          **context)
         self.path = str(path) if path is not None else None
+
+
+class SupervisorError(ReproError):
+    """A supervised run gave up: the restart budget was exhausted (or the
+    child failed in a way restarting cannot fix).
+
+    Raised by :class:`repro.supervisor.Supervisor` after the last allowed
+    attempt; by then ``incident.json`` holds the full attempt timeline.
+    Context keys: ``attempts``, ``failure_class`` (the final attempt's
+    classification), ``stage`` (where the child last was) and
+    ``incident_path``.
+    """
+

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass
@@ -71,6 +72,20 @@ class WorkerMemoryExceeded(MemoryLimitExceeded):
     **not** treated as plain :class:`ResourceLimitExceeded` by the
     executor -- the parent process is not over its own cap, one worker is.
     """
+
+
+def _worker_initializer():
+    """Pool workers ignore SIGINT (module-level: picklable).
+
+    A terminal Ctrl-C signals the whole foreground process group --
+    coordinator *and* workers.  Workers dying of their own
+    ``KeyboardInterrupt`` race the coordinator's orderly unwind (which
+    already kills them via ``_shutdown_pool``) and can surface as spurious
+    ``BrokenProcessPool`` noise over the real exit-130 path; under a
+    supervisor the same applies to a forwarded SIGINT.  The coordinator
+    alone decides when workers die.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
 def _capped_task(payload):
@@ -231,7 +246,9 @@ class ShardedExecutor:
         if self._pool is None:
             context = multiprocessing.get_context(self.start_method)
             self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=context
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=_worker_initializer,
             )
         return self._pool
 

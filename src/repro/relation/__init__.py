@@ -12,6 +12,7 @@ from repro.relation.io import (
     DEFAULT_CHUNK_ROWS,
     IngestReport,
     atomic_write,
+    fsync_directory,
     iter_csv,
     load_csv,
     read_csv,
@@ -46,6 +47,7 @@ __all__ = [
     "build_value_view",
     "equi_join",
     "find_correspondences",
+    "fsync_directory",
     "iter_csv",
     "load_csv",
     "natural_join",

@@ -283,6 +283,29 @@ def read_csv(path, source: str | None = None, on_error: str = "strict") -> Relat
     return relation
 
 
+def fsync_directory(path) -> None:
+    """fsync a directory so a rename inside it survives power loss.
+
+    ``os.replace`` makes a write atomic with respect to *crashes of this
+    process*, but the new directory entry itself lives in the page cache
+    until the directory inode is flushed -- after a power cut the rename
+    can vanish even though the file data was fsynced.  Best effort: on
+    filesystems or platforms where directories cannot be opened or synced
+    this is silently a no-op (the rename is still process-crash safe).
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        descriptor = os.open(str(path), flags)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)
+
+
 @contextmanager
 def atomic_write(path, mode: str = "w", encoding: str | None = "utf-8",
                  newline: str | None = None):
@@ -292,11 +315,12 @@ def atomic_write(path, mode: str = "w", encoding: str | None = "utf-8",
     A crash (or SIGKILL) mid-write leaves either the old content or nothing
     -- never a truncated file.  The temp file lives next to the target so
     the replace stays on one filesystem; the handle is fsynced before the
-    rename so the rename never outruns the data.  Used by every CLI
-    ``--out`` write and by the checkpoint store
-    (:mod:`repro.checkpoint`), whose snapshots exist precisely to survive
-    crashes.  Pass ``mode="wb"`` (with ``encoding=None``) for binary
-    payloads.
+    rename so the rename never outruns the data, and the parent directory
+    is fsynced after it so the rename itself survives power loss
+    (:func:`fsync_directory`).  Used by every CLI ``--out`` write and by
+    the checkpoint store (:mod:`repro.checkpoint`), whose snapshots exist
+    precisely to survive crashes.  Pass ``mode="wb"`` (with
+    ``encoding=None``) for binary payloads.
     """
     path = Path(path)
     if "b" in mode:
@@ -311,6 +335,7 @@ def atomic_write(path, mode: str = "w", encoding: str | None = "utf-8",
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp_name, path)
+        fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(temp_name)

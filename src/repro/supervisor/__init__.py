@@ -1,0 +1,42 @@
+"""Supervised discovery runs: crash/hang watchdog with checkpointed
+auto-resume and poison-stage escalation.
+
+:class:`Supervisor` runs the pipeline in a child process, detects crashes
+(SIGKILL/SIGSEGV), OOM kills and heartbeat hangs, resumes from the durable
+checkpoint store with bounded jittered-backoff restarts, escalates the
+degradation ladder for a stage that keeps dying, and journals everything to
+``incident.json``.  Reached via ``StructureDiscovery(supervise=...)`` or
+CLI ``repro discover --supervise``.  See ``docs/ROBUSTNESS.md``.
+"""
+
+from repro.supervisor.child import (
+    ERROR_NAME,
+    RESULT_NAME,
+    load_error,
+    load_result,
+    run_child,
+)
+from repro.supervisor.supervisor import (
+    OOM_RSS_FRACTION,
+    PID_NAME,
+    STARTUP_STAGE,
+    Supervisor,
+    SupervisorConfig,
+    cgroup_oom_kills,
+    classify_exit,
+)
+
+__all__ = [
+    "ERROR_NAME",
+    "OOM_RSS_FRACTION",
+    "PID_NAME",
+    "RESULT_NAME",
+    "STARTUP_STAGE",
+    "Supervisor",
+    "SupervisorConfig",
+    "cgroup_oom_kills",
+    "classify_exit",
+    "load_error",
+    "load_result",
+    "run_child",
+]

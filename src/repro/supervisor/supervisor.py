@@ -1,0 +1,518 @@
+"""Parent-process supervision of discovery runs.
+
+:class:`Supervisor` runs :class:`repro.core.StructureDiscovery` in a child
+process and makes *hard* failures recoverable -- the failures the in-process
+guards of :mod:`repro.core.discovery` can never see because the interpreter
+itself is gone:
+
+* **crashes** -- any death by signal (SIGKILL, SIGSEGV, a C-extension
+  abort), detected from the child's exit status;
+* **OOM kills** -- classified distinctly from other SIGKILLs using the
+  cgroup ``oom_kill`` counter where available, else the last heartbeat's
+  RSS against the configured memory limit;
+* **hangs** -- no forward progress on the checkpoint store's
+  ``progress.json`` heartbeat for ``hang_timeout`` seconds; the stuck
+  child is reaped (SIGTERM, then SIGKILL after a grace period);
+* **deliberate errors** -- the child exits with the CLI's own exit-code
+  protocol; these are deterministic, so they re-raise instead of retrying.
+
+Recovery is *resume, not redo*: every attempt shares one checkpoint store,
+so completed stages load from snapshots and only the dying stage recomputes
+(bit-identically -- the store's determinism guarantee).  Restarts are
+bounded (``max_restarts``) with jittered exponential backoff, and a stage
+that dies twice (a **poison stage**) escalates the degradation ladder on
+subsequent attempts instead of retrying blindly: attempt ``k`` after the
+second death pre-applies the first ``k-1`` ladder positions when the stage
+is reached.  The first position, ``sparse-backend``, is byte-identity
+preserving; stronger rungs mark the report degraded via a ``supervisor``
+health entry.
+
+Every attempt is journaled to ``incident.json`` next to the snapshots --
+attempt timeline, failure classes, stages resumed, ladder rungs -- and
+``child.pid`` always names the live child so external tooling (CI crash
+drills) can target it.  SIGINT/SIGTERM to the parent forward to the child,
+wait for a graceful unwind, and preserve exit code 130.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import random
+import shutil
+import signal
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.checkpoint import CheckpointStore
+from repro.errors import (
+    InputError,
+    ReproError,
+    ResourceLimitExceeded,
+    SupervisorError,
+)
+from repro.relation.io import atomic_write
+from repro.supervisor.child import (
+    clear_attempt_artifacts,
+    load_error,
+    load_result,
+    run_child,
+)
+from repro.testing.faults import fault_point
+
+#: File naming the currently-running child process, next to the snapshots.
+PID_NAME = "child.pid"
+
+#: A SIGKILLed child whose last heartbeat RSS was at least this fraction of
+#: the configured memory limit is classified as OOM-killed.
+OOM_RSS_FRACTION = 0.8
+
+#: Pseudo-stage for failures before the child wrote any heartbeat.
+STARTUP_STAGE = "(startup)"
+
+
+@dataclass
+class SupervisorConfig:
+    """Tuning for one :class:`Supervisor`.
+
+    ``max_restarts`` bounds how many times a *failed* attempt may be
+    retried (so at most ``max_restarts + 1`` attempts run).  ``hang_timeout``
+    is the heartbeat-staleness horizon in seconds: no change on
+    ``progress.json`` for that long declares a hang.  Backoff before
+    restart ``k`` is ``backoff_base * 2**(k-1)`` capped at ``backoff_cap``,
+    then stretched by up to ``jitter`` (a fraction); tests zero both
+    ``backoff_base`` and ``jitter`` for speed and determinism.
+    ``child_setup`` is an optional picklable callable run inside each child
+    first (receiving the attempt number) -- the deterministic-fault
+    harness's hook for arming in-child faults per attempt.
+    """
+
+    max_restarts: int = 5
+    hang_timeout: float = 300.0
+    poll_interval: float | None = None
+    backoff_base: float = 0.5
+    backoff_cap: float = 30.0
+    jitter: float = 0.25
+    term_grace: float = 5.0
+    start_method: str | None = None
+    child_setup: object = None
+
+    def __post_init__(self):
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.hang_timeout <= 0:
+            raise ValueError("hang_timeout must be positive")
+        if self.poll_interval is not None and self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive (or None)")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff must be non-negative")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+
+    @property
+    def effective_poll(self) -> float:
+        """Watchdog poll period: frequent enough to see a hang promptly."""
+        if self.poll_interval is not None:
+            return self.poll_interval
+        return max(0.02, min(0.25, self.hang_timeout / 10.0))
+
+    def backoff(self, restart_number: int) -> float:
+        """Jittered exponential delay before restart ``restart_number``."""
+        if restart_number < 1 or self.backoff_base <= 0:
+            return 0.0
+        delay = min(self.backoff_cap,
+                    self.backoff_base * (2 ** (restart_number - 1)))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * random.random()
+        return delay
+
+
+def _signal_name(signum: int) -> str:
+    try:
+        return signal.Signals(signum).name
+    except ValueError:
+        return f"signal-{signum}"
+
+
+def _rss_near_limit(heartbeat_payload, memory_limit) -> bool:
+    """Did the child's last observed RSS approach the configured cap?"""
+    if not heartbeat_payload or not memory_limit:
+        return False
+    rss = heartbeat_payload.get("rss_bytes")
+    return isinstance(rss, (int, float)) and rss >= OOM_RSS_FRACTION * memory_limit
+
+
+def cgroup_oom_kills() -> int | None:
+    """The cgroup-v2 ``oom_kill`` counter for this process tree, if any.
+
+    Children share the parent's cgroup unless something moved them, so a
+    counter increment across a child's lifetime is strong OOM evidence.
+    ``None`` where unsupported (cgroup v1, macOS, sandboxes).
+    """
+    try:
+        text = Path("/sys/fs/cgroup/memory.events").read_text("ascii")
+        for line in text.splitlines():
+            if line.startswith("oom_kill "):
+                return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def classify_exit(exitcode, heartbeat_payload=None, memory_limit=None,
+                  oom_kill_delta: int = 0) -> str:
+    """Name the failure class of one child exit status.
+
+    ``multiprocessing`` reports death-by-signal as a negative exit code;
+    a shell-style ``128 + N`` is also understood.  SIGKILL splits into
+    ``"oom-kill"`` vs ``"sigkill"`` on the evidence provided (cgroup
+    counter delta, or last-heartbeat RSS against the memory limit).
+    """
+    if exitcode == 0:
+        return "completed"
+    signum = None
+    if exitcode is not None and exitcode < 0:
+        signum = -exitcode
+    elif exitcode is not None and exitcode > 128:
+        signum = exitcode - 128
+    if signum is None:
+        return f"error-exit:{exitcode}"
+    if signum == signal.SIGINT:
+        return "interrupted"
+    if signum == signal.SIGKILL:
+        if oom_kill_delta > 0 or _rss_near_limit(heartbeat_payload,
+                                                 memory_limit):
+            return "oom-kill"
+        return "sigkill"
+    return f"crash-signal:{_signal_name(signum)}"
+
+
+#: Deliberate child exit codes mapped back to the error classes they carry.
+_DELIBERATE_EXITS = {
+    1: ReproError,
+    2: InputError,
+    3: ResourceLimitExceeded,
+}
+
+
+class Supervisor:
+    """Drive one discovery run to completion across child-process attempts.
+
+    Built from a configured :class:`repro.core.StructureDiscovery` (whose
+    ``checkpoint`` store, if any, becomes the shared durable state; a
+    private temporary store is used otherwise) and a
+    :class:`SupervisorConfig`.  :meth:`run` returns the child's
+    :class:`repro.core.DiscoveryReport` exactly as an unsupervised run
+    would have, raises the child's own error for deterministic failures,
+    raises :class:`repro.errors.SupervisorError` once the restart budget is
+    exhausted, and raises :class:`KeyboardInterrupt` after forwarding an
+    interrupt (the CLI maps it to exit code 130).
+    """
+
+    def __init__(self, discovery, config: SupervisorConfig | None = None):
+        self.discovery = discovery
+        self.config = config or getattr(discovery, "supervise", None) \
+            or SupervisorConfig()
+        self._signal_received: int | None = None
+
+    # -- signal forwarding -------------------------------------------------------
+
+    def _install_handlers(self) -> dict:
+        """Trap SIGINT/SIGTERM so they forward to the child; returns the
+        previous handlers (empty off the main thread, where trapping is
+        impossible and the default KeyboardInterrupt path applies)."""
+        previous = {}
+
+        def _handler(signum, frame):
+            self._signal_received = signum
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, _handler)
+            except ValueError:
+                break
+        return previous
+
+    @staticmethod
+    def _restore_handlers(previous: dict) -> None:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, TypeError):
+                pass
+
+    # -- child lifecycle ---------------------------------------------------------
+
+    def _reap(self, proc) -> None:
+        """SIGTERM, grace, then SIGKILL a child that must die now."""
+        if proc.exitcode is None:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+            proc.join(self.config.term_grace)
+        if proc.exitcode is None:
+            try:
+                proc.kill()
+            except Exception:
+                pass
+            proc.join()
+
+    def _resumed_stages(self, directory: Path) -> list[str]:
+        """Stage snapshots present at spawn time (what a resume can reuse)."""
+        stages = []
+        for path in sorted(directory.glob("stage.*.ckpt")):
+            stages.append(path.name[len("stage."):-len(".ckpt")])
+        return stages
+
+    # -- the supervision loop ----------------------------------------------------
+
+    def run(self, relation, budget=None):
+        config = self.config
+        discovery = self.discovery
+        budget = budget if budget is not None else discovery.budget
+
+        store = discovery.checkpoint
+        tempdir = None
+        if store is None:
+            tempdir = tempfile.mkdtemp(prefix="repro-supervised-")
+            store = CheckpointStore(tempdir)
+        directory = store.directory
+        # Attempt 1 honors the store's own resume policy; restarts always
+        # resume -- that is the entire point of supervision.
+        resume_first = store.resume
+
+        incident = {
+            "version": 1,
+            "outcome": "running",
+            "exit_code": None,
+            "config": {
+                "max_restarts": config.max_restarts,
+                "hang_timeout": config.hang_timeout,
+            },
+            "restarts_used": 0,
+            "stage_failures": {},
+            "escalations": [],
+            "attempts": [],
+        }
+
+        def finalize(outcome: str, exit_code) -> Path | None:
+            incident["outcome"] = outcome
+            incident["exit_code"] = exit_code
+            return store.write_incident(incident)
+
+        stage_failures: dict[str, int] = incident["stage_failures"]
+        escalations: dict[str, int] = {}
+        attempt = 0
+        restarts_used = 0
+        previous = self._install_handlers()
+        self._signal_received = None
+        try:
+            while True:
+                attempt += 1
+                backoff = config.backoff(attempt - 1)
+                if backoff:
+                    time.sleep(backoff)
+                record = {
+                    "attempt": attempt,
+                    "pid": None,
+                    "started_wall": time.time(),
+                    "ended_wall": None,
+                    "exit_code": None,
+                    "failure_class": None,
+                    "stage": None,
+                    "resumed_stages": self._resumed_stages(directory),
+                    "escalations": dict(escalations),
+                    "backoff_seconds": backoff,
+                    "detail": "",
+                }
+                incident["attempts"].append(record)
+
+                oom_before = cgroup_oom_kills()
+                try:
+                    proc = self._spawn(relation, budget, store, attempt,
+                                       resume_first if attempt == 1 else True,
+                                       escalations)
+                except Exception as exc:
+                    record["ended_wall"] = time.time()
+                    record["failure_class"] = "spawn-failure"
+                    record["detail"] = f"{type(exc).__name__}: {exc}"
+                    failed_stage = STARTUP_STAGE
+                else:
+                    record["pid"] = proc.pid
+                    hung = self._watch(proc, store)
+                    record["ended_wall"] = time.time()
+                    record["exit_code"] = proc.exitcode
+
+                    if self._signal_received is not None:
+                        record["failure_class"] = "interrupted"
+                        incident["restarts_used"] = restarts_used
+                        finalize("interrupted", 130)
+                        self._cleanup(tempdir, keep=False)
+                        raise KeyboardInterrupt()
+
+                    status = store.heartbeat_status()
+                    payload = status.payload
+                    if payload is not None and payload.get("pid") != proc.pid:
+                        payload = None  # a previous attempt's heartbeat
+                    failed_stage = (payload or {}).get("stage") or STARTUP_STAGE
+
+                    if hung:
+                        record["failure_class"] = "hang"
+                        record["detail"] = status.describe()
+                    else:
+                        oom_after = cgroup_oom_kills()
+                        delta = ((oom_after - oom_before)
+                                 if None not in (oom_before, oom_after) else 0)
+                        record["failure_class"] = classify_exit(
+                            proc.exitcode, payload,
+                            discovery.memory_limit, delta,
+                        )
+
+                    if record["failure_class"] == "completed":
+                        report = load_result(directory)
+                        if report is not None:
+                            record["stage"] = None
+                            incident["restarts_used"] = restarts_used
+                            finalize("completed", 0)
+                            self._cleanup(tempdir, keep=False)
+                            return report
+                        record["failure_class"] = "no-result"
+                        record["detail"] = ("child exited 0 without writing "
+                                            "a result")
+                    elif record["failure_class"] == "interrupted":
+                        # The child was interrupted directly (not via us):
+                        # honor it as an interrupt of the whole run.
+                        incident["restarts_used"] = restarts_used
+                        finalize("interrupted", 130)
+                        self._cleanup(tempdir, keep=False)
+                        raise KeyboardInterrupt()
+                    elif proc.exitcode in _DELIBERATE_EXITS:
+                        error = load_error(directory) or {}
+                        record["stage"] = failed_stage
+                        record["detail"] = error.get("message", "")
+                        incident["restarts_used"] = restarts_used
+                        finalize("failed", proc.exitcode)
+                        self._cleanup(tempdir, keep=True)
+                        raise self._reraise(proc.exitcode, error)
+
+                record["stage"] = failed_stage
+                stage_failures[failed_stage] = \
+                    stage_failures.get(failed_stage, 0) + 1
+                if (failed_stage != STARTUP_STAGE
+                        and stage_failures[failed_stage] >= 2):
+                    positions = stage_failures[failed_stage] - 1
+                    fault_point("supervisor.escalate",
+                                (failed_stage, positions))
+                    escalations[failed_stage] = positions
+                    incident["escalations"].append({
+                        "attempt": attempt,
+                        "stage": failed_stage,
+                        "ladder_positions": positions,
+                    })
+
+                if restarts_used >= config.max_restarts:
+                    incident["restarts_used"] = restarts_used
+                    path = finalize("gave-up", 1)
+                    self._cleanup(tempdir, keep=True)
+                    raise SupervisorError(
+                        f"supervised run gave up after {attempt} attempt(s): "
+                        f"{record['failure_class']} in stage "
+                        f"{failed_stage!r} (restart budget "
+                        f"{config.max_restarts} exhausted); "
+                        f"see {path or directory / 'incident.json'}",
+                        attempts=attempt,
+                        failure_class=record["failure_class"],
+                        stage=failed_stage,
+                        incident_path=str(path) if path else None,
+                    )
+                restarts_used += 1
+                incident["restarts_used"] = restarts_used
+                store.write_incident(incident)
+        finally:
+            self._restore_handlers(previous)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _spawn(self, relation, budget, store, attempt: int, resume: bool,
+               escalations: dict):
+        """Start one child attempt; raises on spawn failure (retried)."""
+        config = self.config
+        fault_point("supervisor.spawn", attempt)
+        clear_attempt_artifacts(store.directory)
+        budget_blob = pickle.dumps(budget) if budget is not None else None
+        ctx = multiprocessing.get_context(config.start_method)
+        proc = ctx.Process(
+            target=run_child,
+            args=(self.discovery._spec, relation, str(store.directory),
+                  store.cadence, resume, dict(escalations) or None, attempt,
+                  budget_blob, config.child_setup),
+            name=f"repro-supervised-{attempt}",
+        )
+        proc.start()
+        try:
+            with atomic_write(store.directory / PID_NAME) as handle:
+                handle.write(str(proc.pid))
+        except OSError:
+            pass
+        return proc
+
+    def _watch(self, proc, store) -> bool:
+        """Block until the child exits or hangs; True means we reaped a
+        hang.  Returns promptly when a trapped signal arrives (the caller
+        forwards it)."""
+        config = self.config
+        poll = config.effective_poll
+        last_marker = None
+        last_progress = time.monotonic()
+        while True:
+            if self._signal_received is not None:
+                try:
+                    os.kill(proc.pid, self._signal_received)
+                except OSError:
+                    pass
+                proc.join(config.term_grace)
+                self._reap(proc)
+                return False
+            proc.join(poll)
+            if proc.exitcode is not None:
+                return False
+            status = fault_point("supervisor.heartbeat",
+                                 store.heartbeat_status())
+            payload = status.payload or {}
+            marker = (status.state, status.mtime_ns,
+                      payload.get("stage"), payload.get("units_used"),
+                      payload.get("wall_time"))
+            now = time.monotonic()
+            if marker != last_marker:
+                last_marker = marker
+                last_progress = now
+            elif now - last_progress > config.hang_timeout:
+                self._reap(proc)
+                return True
+
+    @staticmethod
+    def _reraise(exitcode: int, error: dict) -> ReproError:
+        """Rebuild the child's deliberate error for transparent re-raise."""
+        import repro.errors as errors_module
+
+        cls = getattr(errors_module, error.get("class", ""), None)
+        if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+            cls = _DELIBERATE_EXITS[exitcode]
+        message = error.get("message") or (
+            f"supervised child failed deliberately (exit {exitcode})"
+        )
+        return cls(message)
+
+    @staticmethod
+    def _cleanup(tempdir, keep: bool) -> None:
+        """Drop the private temporary store after a decided run.
+
+        ``keep=True`` preserves it (and its ``incident.json``) when the
+        run failed -- that file is the whole post-mortem.
+        """
+        if tempdir is not None and not keep:
+            shutil.rmtree(tempdir, ignore_errors=True)

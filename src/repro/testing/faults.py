@@ -74,6 +74,17 @@ FAULT_POINTS = frozenset({
     # bit-rotted snapshots, `raises` simulates an unwritable/unreadable disk
     "checkpoint.save",
     "checkpoint.load",
+    # supervised runs (all fired in the parent/supervisor process):
+    # `supervisor.spawn` just before each child spawn (value = attempt
+    # number; `raises` simulates a fork/exec failure, which is retried);
+    # `supervisor.heartbeat` at every watchdog poll with the fresh
+    # HeartbeatStatus as value -- `corrupt` returning a frozen status
+    # simulates a hung child without waiting out a real hang_timeout;
+    # `supervisor.escalate` when a poison stage's ladder escalation is
+    # decided, value = (stage, rung_count)
+    "supervisor.spawn",
+    "supervisor.heartbeat",
+    "supervisor.escalate",
 })
 
 #: Stack of active fault plans (dicts name -> Fault); inner-most wins last.

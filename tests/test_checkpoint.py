@@ -1,6 +1,7 @@
 """Durable checkpoints: store mechanics, quarantine, and discovery wiring."""
 
 import json
+import os
 import shutil
 
 import pytest
@@ -253,18 +254,126 @@ class TestHeartbeat:
         budget = Budget(max_units=10_000)
         store.attach(budget)
         store.enter_stage("mining")
+        # Entering a stage writes an immediate heartbeat so a supervisor can
+        # attribute a crash to the right stage even before the first
+        # cadence-gated beat.
+        progress = json.loads((tmp_path / "progress.json").read_text("utf-8"))
+        assert progress["where"] == "stage-entry"
+        assert progress["stage"] == "mining"
         budget.checkpoint(units=4, where="fdep.pairs")
-        assert not (tmp_path / "progress.json").exists()  # below cadence
+        progress = json.loads((tmp_path / "progress.json").read_text("utf-8"))
+        assert progress["where"] == "stage-entry"  # below cadence: unchanged
         budget.checkpoint(units=20, where="fdep.pairs")
         progress = json.loads((tmp_path / "progress.json").read_text("utf-8"))
         assert progress["stage"] == "mining"
         assert progress["units_used"] == 24
         assert progress["where"] == "fdep.pairs"
+        # Supervisor-facing fields ride along on every beat.
+        assert progress["pid"] == os.getpid()
+        assert progress["wall_time"] > 0
+        assert "rss_bytes" in progress
 
     def test_attach_tolerates_no_budget(self, tmp_path, relation):
         store = CheckpointStore(tmp_path)
         store.open_run(relation, PARAMS)
         store.attach(None)  # must not raise
+
+
+# -- heartbeat staleness classification ---------------------------------------------
+
+
+class TestHeartbeatStatus:
+    """The watchdog-facing read side: every way progress.json can look."""
+
+    def test_missing_heartbeat(self, tmp_path):
+        status = CheckpointStore(tmp_path).heartbeat_status()
+        assert status.state == "missing"
+        assert status.age_seconds is None
+        assert status.payload is None
+        assert status.describe() == "no heartbeat written yet"
+
+    def test_ok_heartbeat_with_age(self, tmp_path, relation):
+        store = CheckpointStore(tmp_path, cadence=1)
+        store.open_run(relation, PARAMS)
+        store.enter_stage("mining")
+        mtime = (tmp_path / "progress.json").stat().st_mtime
+        status = store.heartbeat_status(now=mtime + 7.5)
+        assert status.state == "ok"
+        assert status.age_seconds == pytest.approx(7.5)
+        assert status.payload["stage"] == "mining"
+        assert "stage 'mining'" in status.describe()
+
+    def test_truncated_heartbeat_is_unreadable_but_aged(self, tmp_path):
+        path = tmp_path / "progress.json"
+        path.write_bytes(b'{"token": "abc", "stage": "mini')  # torn write
+        mtime = path.stat().st_mtime
+        status = CheckpointStore(tmp_path).heartbeat_status(now=mtime + 3.0)
+        assert status.state == "unreadable"
+        assert status.age_seconds == pytest.approx(3.0)
+        assert status.payload is None
+        assert "unreadable" in status.describe()
+
+    def test_non_object_json_is_unreadable(self, tmp_path):
+        (tmp_path / "progress.json").write_text("[1, 2, 3]", "utf-8")
+        assert CheckpointStore(tmp_path).heartbeat_status().state == "unreadable"
+
+    def test_future_mtime_clamps_to_fresh(self, tmp_path):
+        # Clock skew (NFS, suspended VM) can stamp progress.json in the
+        # future; that must read as a *fresh* heartbeat, never a negative
+        # age that could confuse a staleness comparison.
+        path = tmp_path / "progress.json"
+        path.write_text(json.dumps({"stage": "mining"}), "utf-8")
+        future = path.stat().st_mtime + 3600
+        os.utime(path, (future, future))
+        status = CheckpointStore(tmp_path).heartbeat_status()
+        assert status.state == "ok"
+        assert status.age_seconds == 0.0
+
+    def test_past_mtime_reads_as_stale(self, tmp_path):
+        path = tmp_path / "progress.json"
+        path.write_text(json.dumps({"stage": "mining"}), "utf-8")
+        past = path.stat().st_mtime - 3600
+        os.utime(path, (past, past))
+        status = CheckpointStore(tmp_path).heartbeat_status()
+        assert status.state == "ok"
+        assert status.age_seconds >= 3600
+
+
+# -- quarantine retention -----------------------------------------------------------
+
+
+class TestQuarantineRetention:
+    def test_max_quarantined_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="max_quarantined"):
+            CheckpointStore(tmp_path, max_quarantined=0)
+
+    def test_only_newest_n_quarantines_survive(self, tmp_path):
+        store = CheckpointStore(tmp_path, max_quarantined=3)
+        for i in range(7):
+            victim = tmp_path / "stage.mining.ckpt"
+            victim.write_bytes(b"corrupt-%d" % i)
+            # Distinct, increasing mtimes so "newest" is unambiguous even
+            # on coarse-granularity filesystems.
+            os.utime(victim, (1_000_000 + i, 1_000_000 + i))
+            store._quarantine(victim)
+        survivors = sorted(tmp_path.glob("*.quarantined-*"))
+        assert len(survivors) == 3
+        contents = {p.read_bytes() for p in survivors}
+        assert contents == {b"corrupt-4", b"corrupt-5", b"corrupt-6"}
+
+    def test_repeated_corruption_during_resume_stays_bounded(
+        self, relation, tmp_path
+    ):
+        # End-to-end: a run that keeps finding the same snapshot corrupt
+        # (the supervised crash-loop shape) never accumulates more than
+        # max_quarantined forensic copies.
+        directory = tmp_path / "run"
+        StructureDiscovery(checkpoint=CheckpointStore(directory)).run(relation)
+        for _ in range(5):
+            flip_byte(directory / "stage.mining.ckpt")
+            store = CheckpointStore(directory, resume=True, max_quarantined=2)
+            StructureDiscovery(checkpoint=store).run(relation)
+        assert len(list(directory.glob("*.quarantined-*"))) <= 2
 
 
 # -- discovery wiring ---------------------------------------------------------------

@@ -88,6 +88,10 @@ class TestParameterValidation:
         ["redesign", "x.csv", "--max-fragments", "0"],
         ["profile", "x.csv", "--deadline", "0"],
         ["dataset", "dblp", "--out", "x.csv", "--n", "0"],
+        ["discover", "x.csv", "--max-restarts", "2"],     # needs --supervise
+        ["discover", "x.csv", "--hang-timeout", "5"],     # needs --supervise
+        ["discover", "x.csv", "--supervise", "--max-restarts", "-1"],
+        ["discover", "x.csv", "--supervise", "--hang-timeout", "0"],
     ])
     def test_out_of_domain_parameters_rejected(self, argv, capsys):
         with pytest.raises(SystemExit) as info:
@@ -100,11 +104,14 @@ class TestParameterValidation:
 
 
 class TestCheckpointFlags:
-    def test_resume_requires_checkpoint_dir(self, capsys):
-        with pytest.raises(SystemExit) as info:
-            main(["discover", "x.csv", "--resume"])
-        assert info.value.code == 2
-        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+    def test_resume_requires_checkpoint_dir(self, db2_csv, capsys):
+        # Not a parser error: the message explains *why* the directory is
+        # needed and what to pass, so it runs after argv parsing and exits
+        # through the ordinary input-error path.
+        assert main(["discover", db2_csv, "--resume"]) == EXIT_INPUT
+        err = capsys.readouterr().err
+        assert "--resume needs --checkpoint-dir DIR" in err
+        assert "the directory the interrupted run was checkpointing into" in err
 
     def test_checkpoint_cadence_validated(self, capsys):
         with pytest.raises(SystemExit) as info:
@@ -155,3 +162,27 @@ class TestCheckpointFlags:
         code = main(["discover", db2_csv, "--checkpoint-dir", str(blocker)])
         assert code == 1
         assert "checkpoint" in capsys.readouterr().err
+
+
+class TestSupervisedDiscover:
+    def test_clean_supervised_run_matches_unsupervised(self, db2_csv, capsys):
+        assert main(["discover", db2_csv]) == EXIT_OK
+        plain = capsys.readouterr().out
+        assert main(["discover", db2_csv, "--supervise"]) == EXIT_OK
+        assert capsys.readouterr().out == plain
+
+    def test_supervised_with_checkpoint_dir_leaves_incident(
+        self, db2_csv, tmp_path, capsys
+    ):
+        import json
+
+        ckpt = tmp_path / "ckpt"
+        code = main(["discover", db2_csv, "--supervise",
+                     "--checkpoint-dir", str(ckpt),
+                     "--max-restarts", "1", "--hang-timeout", "60"])
+        assert code == EXIT_OK
+        incident = json.loads((ckpt / "incident.json").read_text("utf-8"))
+        assert incident["outcome"] == "completed"
+        assert incident["restarts_used"] == 0
+        assert incident["config"]["max_restarts"] == 1
+        capsys.readouterr()

@@ -1,0 +1,201 @@
+"""Supervisor unit behavior: exit classification, config, clean runs.
+
+The heavyweight crash/hang/give-up drills live in
+``tests/test_supervisor_resume.py``; this file covers the pure logic and the
+cheap in-process paths (clean supervised run, spawn retry, deliberate-error
+re-raise).
+"""
+
+import json
+import multiprocessing
+import signal
+
+import pytest
+
+from repro import StructureDiscovery
+from repro.checkpoint import CheckpointStore
+from repro.datasets import db2_sample
+from repro.errors import StageFailure
+from repro.supervisor import (
+    OOM_RSS_FRACTION,
+    Supervisor,
+    SupervisorConfig,
+    classify_exit,
+)
+from repro.testing import inject
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+needs_fork = pytest.mark.skipif(not HAVE_FORK,
+                                reason="fork start method unavailable")
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return db2_sample(seed=7).relation
+
+
+@pytest.fixture(scope="module")
+def baseline(relation):
+    return StructureDiscovery().run(relation).render()
+
+
+# -- exit-status classification -----------------------------------------------------
+
+
+class TestClassifyExit:
+    def test_completed(self):
+        assert classify_exit(0) == "completed"
+
+    def test_sigkill_negative_and_shell_style(self):
+        assert classify_exit(-9) == "sigkill"
+        assert classify_exit(137) == "sigkill"  # 128 + 9
+
+    def test_sigsegv_named(self):
+        assert classify_exit(-int(signal.SIGSEGV)) == "crash-signal:SIGSEGV"
+
+    def test_interrupt_both_spellings(self):
+        assert classify_exit(-int(signal.SIGINT)) == "interrupted"
+        assert classify_exit(130) == "interrupted"
+
+    def test_deliberate_exit_codes_are_not_signals(self):
+        assert classify_exit(1) == "error-exit:1"
+        assert classify_exit(3) == "error-exit:3"
+
+    def test_oom_by_cgroup_counter(self):
+        assert classify_exit(-9, oom_kill_delta=1) == "oom-kill"
+
+    def test_oom_by_heartbeat_rss_against_limit(self):
+        limit = 1_000_000
+        near = {"rss_bytes": int(OOM_RSS_FRACTION * limit)}
+        far = {"rss_bytes": int(0.5 * limit)}
+        assert classify_exit(-9, near, memory_limit=limit) == "oom-kill"
+        assert classify_exit(-9, far, memory_limit=limit) == "sigkill"
+
+    def test_rss_without_limit_is_plain_sigkill(self):
+        assert classify_exit(-9, {"rss_bytes": 10**12}) == "sigkill"
+
+
+# -- config -------------------------------------------------------------------------
+
+
+class TestSupervisorConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_restarts": -1},
+        {"hang_timeout": 0},
+        {"hang_timeout": -5.0},
+        {"poll_interval": 0},
+        {"backoff_base": -1},
+        {"jitter": 1.5},
+    ])
+    def test_out_of_domain_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisorConfig(**kwargs)
+
+    def test_backoff_doubles_and_caps(self):
+        config = SupervisorConfig(backoff_base=0.5, backoff_cap=4.0, jitter=0)
+        assert config.backoff(0) == 0.0  # first attempt: no delay
+        assert config.backoff(1) == 0.5
+        assert config.backoff(2) == 1.0
+        assert config.backoff(3) == 2.0
+        assert config.backoff(4) == 4.0
+        assert config.backoff(10) == 4.0  # capped
+
+    def test_backoff_jitter_stretches_within_bounds(self):
+        config = SupervisorConfig(backoff_base=1.0, jitter=0.25)
+        for _ in range(50):
+            assert 1.0 <= config.backoff(1) <= 1.25
+
+    def test_effective_poll_tracks_hang_timeout(self):
+        assert SupervisorConfig(hang_timeout=1.0).effective_poll == 0.1
+        assert SupervisorConfig(hang_timeout=0.05).effective_poll == 0.02
+        assert SupervisorConfig(hang_timeout=300).effective_poll == 0.25
+        assert SupervisorConfig(poll_interval=0.07).effective_poll == 0.07
+
+
+# -- clean supervised runs ----------------------------------------------------------
+
+
+@needs_fork
+class TestCleanSupervisedRun:
+    def test_supervised_report_matches_unsupervised(self, relation, baseline):
+        report = StructureDiscovery(supervise=True).run(relation)
+        assert report.render() == baseline
+
+    def test_supervise_accepts_config_and_journals(self, relation, baseline,
+                                                   tmp_path):
+        config = SupervisorConfig(max_restarts=2, hang_timeout=60.0,
+                                  backoff_base=0, jitter=0)
+        store = CheckpointStore(tmp_path / "ckpt")
+        report = StructureDiscovery(
+            checkpoint=store, supervise=config,
+        ).run(relation)
+        assert report.render() == baseline
+
+        incident = json.loads(
+            (tmp_path / "ckpt" / "incident.json").read_text("utf-8"))
+        assert incident["outcome"] == "completed"
+        assert incident["exit_code"] == 0
+        assert incident["restarts_used"] == 0
+        assert incident["stage_failures"] == {}
+        assert incident["escalations"] == []
+        assert incident["config"] == {"max_restarts": 2, "hang_timeout": 60.0}
+        (attempt,) = incident["attempts"]
+        assert attempt["attempt"] == 1
+        assert attempt["failure_class"] == "completed"
+        assert attempt["exit_code"] == 0
+        assert attempt["pid"] is not None
+        assert attempt["resumed_stages"] == []
+        assert attempt["ended_wall"] >= attempt["started_wall"]
+
+    def test_spawn_failure_is_retried(self, relation, baseline, tmp_path):
+        config = SupervisorConfig(max_restarts=2, backoff_base=0, jitter=0)
+        store = CheckpointStore(tmp_path / "ckpt")
+        discovery = StructureDiscovery(checkpoint=store)
+        with inject("supervisor.spawn", raises=OSError("fork: EAGAIN"),
+                    limit=1):
+            report = Supervisor(discovery, config=config).run(relation)
+        assert report.render() == baseline
+
+        incident = json.loads(
+            (tmp_path / "ckpt" / "incident.json").read_text("utf-8"))
+        assert incident["outcome"] == "completed"
+        assert incident["restarts_used"] == 1
+        classes = [a["failure_class"] for a in incident["attempts"]]
+        assert classes == ["spawn-failure", "completed"]
+        assert "EAGAIN" in incident["attempts"][0]["detail"]
+        # Startup failures never poison a pipeline stage.
+        assert incident["escalations"] == []
+
+    def test_deliberate_child_error_reraises_without_retry(
+        self, relation, tmp_path
+    ):
+        # strict=True turns an injected stage failure into a StageFailure
+        # (a ReproError): deterministic, so the supervisor must re-raise it
+        # after one attempt instead of burning the restart budget.
+        config = SupervisorConfig(max_restarts=5, backoff_base=0, jitter=0,
+                                  child_setup=_arm_strict_mining_failure)
+        store = CheckpointStore(tmp_path / "ckpt")
+        discovery = StructureDiscovery(checkpoint=store, strict=True)
+        with pytest.raises(StageFailure, match="injected"):
+            Supervisor(discovery, config=config).run(relation)
+
+        incident = json.loads(
+            (tmp_path / "ckpt" / "incident.json").read_text("utf-8"))
+        assert incident["outcome"] == "failed"
+        assert incident["exit_code"] == 1
+        assert incident["restarts_used"] == 0
+        assert len(incident["attempts"]) == 1
+        assert incident["attempts"][0]["failure_class"] == "error-exit:1"
+
+
+#: In-child fault contexts armed by ``child_setup`` hooks.  The entered
+#: context managers MUST be retained: a garbage-collected ``inject`` context
+#: closes its generator, which pops the fault plan and disarms the fault.
+_ARMED = []
+
+
+def _arm_strict_mining_failure(attempt):
+    ctx = inject("discovery.mining", raises=RuntimeError("injected"))
+    ctx.__enter__()
+    _ARMED.append(ctx)
