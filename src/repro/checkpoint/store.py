@@ -59,7 +59,6 @@ from pathlib import Path
 from repro.budget import read_rss
 from repro.errors import CheckpointError
 from repro.relation.io import atomic_write, fsync_directory
-from repro.relation.relation import NULL
 from repro.testing.faults import fault_point
 
 #: Bumped whenever the snapshot byte format changes; a mismatch quarantines.
@@ -134,20 +133,16 @@ class HeartbeatStatus:
 def relation_fingerprint(relation) -> str:
     """A stable hex digest of a relation's schema and exact row contents.
 
-    NULLs hash distinctly from any string (including ``"NULL"``); values
-    hash by ``repr`` so ordinary str/int/float cells are unambiguous.
+    Hashes the coded representation (per-attribute value dictionaries plus
+    ``int32`` code columns), which determines the rows exactly and -- codes
+    being assigned in first-seen stream order -- depends only on the data,
+    never on how the ingest stream was chunked: a resume under a different
+    ``chunk_rows`` (or a governed-ingest stride escalation replayed from
+    the same surviving rows) still validates.  NULLs hash distinctly from
+    any string (including ``"NULL"``); values hash by ``repr`` so ordinary
+    str/int/float cells are unambiguous.
     """
-    digest = hashlib.sha256()
-    digest.update(
-        "\x1f".join(relation.schema.names).encode("utf-8", "surrogatepass")
-    )
-    for row in relation.rows:
-        encoded = "\x1e".join(
-            "\x00" if value is NULL else repr(value) for value in row
-        )
-        digest.update(b"\x1d")
-        digest.update(encoded.encode("utf-8", "surrogatepass"))
-    return digest.hexdigest()
+    return relation.coded.content_digest()
 
 
 class StageCheckpoint:

@@ -302,24 +302,33 @@ _MAX_INGEST_STRIDE = 1024
 
 
 def _governed_load(args, budget: Budget):
-    """Memory-governed streaming ingest with the strided degrade path."""
+    """Memory-governed streaming ingest with the strided degrade path.
+
+    Chunks are dictionary-encoded into a coded column store as they stream
+    in (never buffered as value tuples), so the resident cost of the load
+    is the int32 columns plus the dictionaries.  First-seen encoding makes
+    the result identical to encoding the strided row stream in one piece.
+    """
     from repro.relation import iter_csv
+    from repro.relation.columns import ColumnStore
     from repro.relation.io import IngestReport
 
     degrade = getattr(args, "on_memory_pressure", "fail") == "degrade"
     stride = 1
     while True:
         report = IngestReport(path=str(args.csv), policy=args.on_error)
-        schema, rows = None, []
+        schema, store = None, None
         try:
             for schema, chunk in iter_csv(
                 args.csv, on_error=args.on_error, report=report, budget=budget,
             ):
-                rows.extend(chunk if stride == 1 else chunk[::stride])
+                if store is None:
+                    store = ColumnStore(schema.names)
+                store.append_rows(chunk if stride == 1 else chunk[::stride])
         except MemoryLimitExceeded:
             if not degrade:
                 raise
-            del rows
+            del store
             if stride >= _MAX_INGEST_STRIDE:
                 # Thinning further would discard nearly everything; stop
                 # enforcing and let the pipeline's ladder cope instead.
@@ -331,7 +340,7 @@ def _governed_load(args, budget: Budget):
             report.notes.append(
                 f"memory pressure during ingest: kept every {stride}th row"
             )
-        return Relation(schema, rows), report
+        return Relation.from_columns(schema, store), report
 
 
 def _budget_of(args) -> Budget | None:

@@ -28,6 +28,8 @@ from __future__ import annotations
 import math
 from collections.abc import Mapping
 
+import numpy as np
+
 _LOG2 = math.log(2.0)
 
 #: Mantissa bits kept when snapping a ``delta_I`` to the shared loss grid.
@@ -80,7 +82,8 @@ class DCF:
         Section 6.2); ``None`` for plain DCFs.
     """
 
-    __slots__ = ("weight", "mass", "members", "support", "_mass_log_sum", "_entropy")
+    __slots__ = ("weight", "mass", "members", "support", "_mass_log_sum",
+                 "_entropy", "_arrays", "_wlogw")
 
     def __init__(
         self,
@@ -99,6 +102,8 @@ class DCF:
         self.support = dict(support) if support is not None else None
         self._mass_log_sum = math.fsum(_xlogx(m) for m in self.mass.values())
         self._entropy = None
+        self._arrays = None
+        self._wlogw = None
 
     @classmethod
     def singleton(
@@ -116,7 +121,22 @@ class DCF:
         duplicate.support = dict(self.support) if self.support is not None else None
         duplicate._mass_log_sum = self._mass_log_sum
         duplicate._entropy = self._entropy
+        duplicate._arrays = self._arrays  # read-only cache, safe to share
+        duplicate._wlogw = self._wlogw
         return duplicate
+
+    def __getstate__(self):
+        # Exclude the packed-array cache: int64/float64 copies of the mass
+        # would double every worker payload, and workers rebuild them on
+        # first use anyway.
+        return (self.weight, self.mass, self.members, self.support,
+                self._mass_log_sum, self._entropy)
+
+    def __setstate__(self, state):
+        (self.weight, self.mass, self.members, self.support,
+         self._mass_log_sum, self._entropy) = state
+        self._arrays = None
+        self._wlogw = None
 
     # -- views ---------------------------------------------------------------------
 
@@ -130,6 +150,34 @@ class DCF:
     def size(self) -> int:
         """Number of summarized objects."""
         return len(self.members)
+
+    @property
+    def wlogw(self) -> float:
+        """Cached ``w ln w`` (invalidated when ``absorb`` changes the prior)."""
+        if self._wlogw is None:
+            self._wlogw = self.weight * math.log(self.weight)
+        return self._wlogw
+
+    def arrays(self):
+        """Sorted ``(columns, values)`` of the mass as int64/float64 arrays.
+
+        The gather form the packed kernels consume: ``columns`` ascending so
+        lookups can binary-search.  Returns ``None`` when any column key is
+        not a plain int (the kernels fall back to dict gathering); either
+        answer is cached until the next ``absorb``.
+        """
+        cached = self._arrays
+        if cached is None:
+            mass = self.mass
+            if all(type(key) is int for key in mass):
+                columns = np.fromiter(mass.keys(), dtype=np.int64, count=len(mass))
+                values = np.fromiter(mass.values(), dtype=np.float64, count=len(mass))
+                order = np.argsort(columns, kind="stable")
+                cached = (columns[order], values[order])
+            else:
+                cached = (None, None)
+            self._arrays = cached
+        return None if cached[0] is None else cached
 
     @property
     def mass_log_sum(self) -> float:
@@ -172,6 +220,8 @@ class DCF:
             delta += _xlogx(merged) - _xlogx(m_self)
         self._mass_log_sum += delta
         self._entropy = None
+        self._arrays = None
+        self._wlogw = None
         self.weight += other.weight
         self.members.extend(other.members)
         if other.support is not None:
@@ -191,8 +241,7 @@ def merge_cost(dcf_a: DCF, dcf_b: DCF) -> float:
     """
     if len(dcf_b.mass) > len(dcf_a.mass):
         dcf_a, dcf_b = dcf_b, dcf_a
-    w_a, w_b = dcf_a.weight, dcf_b.weight
-    w = w_a + w_b
+    w = dcf_a.weight + dcf_b.weight
     mass_a = dcf_a.mass
     overlap = 0.0
     for column, m_b in dcf_b.mass.items():
@@ -200,8 +249,8 @@ def merge_cost(dcf_a: DCF, dcf_b: DCF) -> float:
         overlap += _xlogx(m_a + m_b) - _xlogx(m_a)
     loss = (
         w * math.log(w)
-        - w_a * math.log(w_a)
-        - w_b * math.log(w_b)
+        - dcf_a.wlogw
+        - dcf_b.wlogw
         + dcf_b._mass_log_sum
         - overlap
     ) / _LOG2
@@ -223,6 +272,8 @@ def merge(dcf_a: DCF, dcf_b: DCF) -> DCF:
     merged.support = dict(dcf_a.support) if dcf_a.support is not None else None
     merged._mass_log_sum = dcf_a._mass_log_sum
     merged._entropy = None
+    merged._arrays = None
+    merged._wlogw = None
     merged.absorb(dcf_b)
     return merged
 

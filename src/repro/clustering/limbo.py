@@ -400,12 +400,14 @@ def assign_rows(representatives, rows, priors, backend, budget=None) -> list[int
     cannot change any result.
     """
     reps = list(representatives)
-    packed = None
-    if kernels.use_dense(
-        backend, len(reps), minimum=kernels.DENSE_MIN_REPRESENTATIVES,
+    rows = rows if isinstance(rows, list) else list(rows)
+    priors = priors if isinstance(priors, list) else list(priors)
+    if kernels.use_dense_assign(
+        backend, len(reps), len(rows),
         governor=getattr(budget, "memory", None),
     ):
         packed = kernels.DenseDCFSet.pack(reps)
+        return _assign_rows_packed(packed, rows, priors, budget)
     assignment = []
     for index, (row, prior) in enumerate(zip(rows, priors)):
         if index % _CHECK_EVERY == 0:
@@ -414,13 +416,6 @@ def assign_rows(representatives, rows, priors, backend, budget=None) -> list[int
                 units=_CHECK_EVERY * len(reps),
                 where="limbo.assign",
             )
-        if packed is not None:
-            if prior <= 0.0:
-                raise ValueError("cluster prior must be positive")
-            mass = {key: prior * p for key, p in row.items() if p > 0.0}
-            costs = kernels.merge_cost_many(packed, mass, prior)
-            assignment.append(int(costs.argmin()))
-            continue
         singleton = DCF(prior, row)
         best_index, best_cost = 0, merge_cost(reps[0], singleton)
         for rep_index in range(1, len(reps)):
@@ -428,6 +423,39 @@ def assign_rows(representatives, rows, priors, backend, budget=None) -> list[int
             if cost < best_cost:
                 best_index, best_cost = rep_index, cost
         assignment.append(best_index)
+    return assignment
+
+
+def _assign_rows_packed(packed, rows, priors, budget) -> list[int]:
+    """The dense Phase-3 loop, one ``_CHECK_EVERY``-object chunk at a time.
+
+    Chunking serves the budget cadence (one checkpoint per chunk, the same
+    count and units the sparse loop emits) and bounds the CSR scratch of
+    :func:`repro.kernels.assign_many`.  Chunks the batched kernel declines
+    (non-int keys, empty rows) fall back to per-object
+    :func:`repro.kernels.merge_cost_many` -- identical assignments either
+    way, both paths emit grid-quantized losses.
+    """
+    n_reps = len(packed)
+    assignment: list[int] = []
+    for start in range(0, len(rows), _CHECK_EVERY):
+        checkpoint(
+            budget,
+            units=_CHECK_EVERY * n_reps,
+            where="limbo.assign",
+        )
+        chunk_rows = rows[start:start + _CHECK_EVERY]
+        chunk_priors = priors[start:start + _CHECK_EVERY]
+        block = kernels.assign_many(packed, chunk_rows, chunk_priors)
+        if block is not None:
+            assignment.extend(block)
+            continue
+        for row, prior in zip(chunk_rows, chunk_priors):
+            if prior <= 0.0:
+                raise ValueError("cluster prior must be positive")
+            mass = {key: prior * p for key, p in row.items() if p > 0.0}
+            costs = kernels.merge_cost_many(packed, mass, prior)
+            assignment.append(int(costs.argmin()))
     return assignment
 
 

@@ -21,12 +21,14 @@ from __future__ import annotations
 
 from itertools import combinations
 
+import numpy as np
+
 from repro.budget import checkpoint
 from repro.fd.dependency import FD
 from repro.fd.partitions import partition_of
 from repro.testing.faults import fault_point
 
-#: Pair-scan iterations between cooperative budget checkpoints.
+#: Pair-scan iterations between cooperative budget checkpoints (scalar path).
 _CHECK_EVERY = 512
 
 #: Minimum tuple count before the pair scan fans out to worker processes.
@@ -35,14 +37,82 @@ _PARALLEL_MIN_TUPLES = 64
 #: Target tuple pairs per parallel block of the scan.
 _PAIRS_PER_BLOCK = 16_384
 
+#: Widest schema the bitmask pair scan handles (one ``int64`` bit per
+#: attribute, with headroom under the sign bit).
+_MAX_MASK_ATTRIBUTES = 62
+
+
+def _signature_matrix(relation) -> np.ndarray:
+    """``(arity, n)`` ``int32`` class labels per attribute (``-1`` singleton).
+
+    Row ``a`` is the label array of the stripped partition under attribute
+    ``a`` alone: two tuples agree on the attribute iff their labels are
+    equal *and* non-negative.
+    """
+    names = relation.schema.names
+    sig = np.empty((len(names), len(relation)), dtype=np.int32)
+    for a, name in enumerate(names):
+        sig[a] = partition_of(relation, [name]).label_array
+    return sig
+
+
+def _agree_masks_block(sig: np.ndarray, start: int, stop: int) -> set:
+    """Distinct agree-set bitmasks over the pair rows ``start <= i < stop``.
+
+    Bit ``a`` of a mask is set iff the pair agrees on attribute ``a``.  One
+    vectorized compare of row ``i`` against rows ``i+1 .. n-1`` replaces the
+    inner Python pair loop.
+    """
+    arity = sig.shape[0]
+    weights = (np.int64(1) << np.arange(arity, dtype=np.int64))[:, None]
+    masks: set = set()
+    for i in range(start, stop):
+        anchor = sig[:, i : i + 1]
+        eq = (sig[:, i + 1 :] == anchor) & (anchor >= 0)
+        bits = (eq * weights).sum(axis=0)
+        masks.update(np.unique(bits).tolist())
+    return masks
+
+
+def _masks_to_sets(masks, names) -> set[frozenset]:
+    """Decode agree-set bitmasks back to attribute-name frozensets."""
+    return {
+        frozenset(name for a, name in enumerate(names) if (mask >> a) & 1)
+        for mask in masks
+    }
+
+
+def _agree_block(sig: np.ndarray, names, start: int, stop: int) -> set[frozenset]:
+    """Agree sets of one block of pair rows (the parallel task body)."""
+    return _masks_to_sets(_agree_masks_block(sig, start, stop), names)
+
+
+def _agree_sets_scalar(sig: np.ndarray, names, n: int, budget) -> set[frozenset]:
+    """Per-pair fallback for schemas wider than ``_MAX_MASK_ATTRIBUTES``."""
+    result: set[frozenset] = set()
+    arity = len(names)
+    for pair_index, (i, j) in enumerate(combinations(range(n), 2)):
+        if pair_index % _CHECK_EVERY == 0:
+            checkpoint(budget, units=_CHECK_EVERY, where="fdep.agree_sets")
+        column_i = sig[:, i]
+        column_j = sig[:, j]
+        agree = frozenset(
+            names[a]
+            for a in range(arity)
+            if column_i[a] >= 0 and column_i[a] == column_j[a]
+        )
+        result.add(agree)
+    return result
+
 
 def agree_sets(relation, budget=None, executor=None) -> set[frozenset]:
     """All distinct agree sets of tuple pairs.
 
-    Computed from the stripped partitions of single attributes rather than
-    raw pairwise scans where possible; falls back to pair enumeration within
-    equivalence classes, which matches FDEP's negative-cover construction
-    but skips pairs that agree nowhere cheaply.
+    Computed over per-attribute label arrays derived from the coded columns:
+    the scan compares tuple ``i`` against all later tuples in one vectorized
+    pass, packing the per-attribute agreements into ``int64`` bitmasks (one
+    bit per attribute) and deduplicating masks before any frozensets are
+    built.  Schemas wider than 62 attributes fall back to the per-pair scan.
 
     With a multi-worker ``executor`` the quadratic scan splits into
     pair-balanced blocks of ``i``-rows; the union of the per-block agree-set
@@ -51,16 +121,12 @@ def agree_sets(relation, budget=None, executor=None) -> set[frozenset]:
     """
     names = relation.schema.names
     n = len(relation)
-    # Row signature per attribute: class id or unique marker.
-    signatures = [[None] * n for _ in names]
-    for a, name in enumerate(names):
-        part = partition_of(relation, [name])
-        for class_id, members in enumerate(part.classes):
-            for row in members:
-                signatures[a][row] = class_id
+    sig = _signature_matrix(relation)
 
     result: set[frozenset] = set()
     fault_point("fd.fdep.pairs")
+    if len(names) > _MAX_MASK_ATTRIBUTES:
+        return _agree_sets_scalar(sig, names, n, budget)
     if executor is not None and executor.parallel and n >= _PARALLEL_MIN_TUPLES:
         from repro.parallel import shards, tasks
 
@@ -69,7 +135,7 @@ def agree_sets(relation, budget=None, executor=None) -> set[frozenset]:
         )
         for block_sets in executor.map(
             tasks.agree_pairs_block,
-            [(signatures, names, start, stop, n) for start, stop in blocks],
+            [(sig, names, start, stop, n) for start, stop in blocks],
             units=[
                 sum(n - 1 - i for i in range(start, stop))
                 for start, stop in blocks
@@ -79,16 +145,11 @@ def agree_sets(relation, budget=None, executor=None) -> set[frozenset]:
         ):
             result.update(block_sets)
         return result
-    for pair_index, (i, j) in enumerate(combinations(range(n), 2)):
-        if pair_index % _CHECK_EVERY == 0:
-            checkpoint(budget, units=_CHECK_EVERY, where="fdep.agree_sets")
-        agree = frozenset(
-            names[a]
-            for a in range(len(names))
-            if signatures[a][i] is not None and signatures[a][i] == signatures[a][j]
-        )
-        result.add(agree)
-    return result
+    masks: set = set()
+    for i in range(n - 1):
+        checkpoint(budget, units=n - 1 - i, where="fdep.agree_sets")
+        masks.update(_agree_masks_block(sig, i, i + 1))
+    return _masks_to_sets(masks, names)
 
 
 def _maximal_sets(sets) -> list[frozenset]:

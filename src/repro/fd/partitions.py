@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import cached_property
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class Partition:
@@ -60,6 +62,19 @@ class Partition:
                 labels[row] = class_index
         return labels
 
+    @cached_property
+    def label_array(self) -> "np.ndarray":
+        """``labels`` as an ``int32`` NumPy array (``-1`` for singletons).
+
+        The FDEP pair scan consumes this form: equality of two rows under an
+        attribute is one vectorized compare of their labels (with the ``-1``
+        stripped-singleton rows masked out).
+        """
+        labels = np.full(self.n_rows, -1, dtype=np.int32)
+        for class_index, members in enumerate(self.classes):
+            labels[list(members)] = class_index
+        return labels
+
     def refines(self, other: "Partition") -> bool:
         """Whether every class of ``self`` lies within a class of ``other``.
 
@@ -82,8 +97,44 @@ def partition_of(relation, attributes) -> Partition:
     """The stripped partition of a relation under an attribute set.
 
     An empty attribute set yields the single all-rows class (every tuple
-    agrees on nothing vacuously).
+    agrees on nothing vacuously).  Grouping runs over the relation's coded
+    columns: equal ``X``-projections are equal code vectors, found with one
+    stable ``argsort`` over a fused per-row key instead of a per-row dict of
+    value tuples.
     """
+    attributes = sorted(attributes) if not isinstance(attributes, str) else [attributes]
+    n = len(relation)
+    if not attributes:
+        classes = [list(range(n))] if n else []
+        return Partition.from_classes(classes, n)
+    positions = relation.schema.positions(attributes)
+    if n == 0:
+        return Partition.from_classes([], 0)
+
+    store = relation.coded
+    columns = store.columns
+    # Fuse the selected columns into one int64 group key.  Re-compressing
+    # with ``np.unique(return_inverse)`` after every pairing keeps the key
+    # dense, so ``inv * cardinality + code`` can never overflow.
+    inv = columns[positions[0]].astype(np.int64)
+    for p in positions[1:]:
+        inv = inv * len(store.dictionaries[p]) + columns[p]
+        if len(positions) > 2:
+            _, inv = np.unique(inv, return_inverse=True)
+    order = np.argsort(inv, kind="stable")
+    fused = inv[order]
+    boundaries = np.flatnonzero(fused[1:] != fused[:-1]) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [n]))
+    classes = [
+        order[s:e].tolist() for s, e in zip(starts.tolist(), ends.tolist())
+        if e - s > 1
+    ]
+    return Partition.from_classes(classes, n)
+
+
+def _partition_of_rows(relation, attributes) -> Partition:
+    """Row-tuple oracle for :func:`partition_of` (parity tests only)."""
     attributes = sorted(attributes) if not isinstance(attributes, str) else [attributes]
     if not attributes:
         classes = [list(range(len(relation)))] if len(relation) else []

@@ -25,18 +25,25 @@ from repro.kernels.dense import (
     BACKENDS,
     DENSE_MAX_CELLS,
     DENSE_MAX_OBJECTS,
+    DENSE_MIN_ASSIGN_CELLS,
     DENSE_MIN_ENTRIES,
     DENSE_MIN_OBJECTS,
     DENSE_MIN_REPRESENTATIVES,
+    DENSE_MIN_SCAN_CELLS,
+    DENSE_WIDE_COLUMNS,
     CandidateMatrix,
     DenseDCFSet,
     DenseMergeEngine,
+    assign_many,
     closest_entry,
     dense_bytes,
     merge_cost_many,
+    pack_seconds,
     pairwise_merge_costs,
+    reset_pack_seconds,
     shared_index,
     use_dense,
+    use_dense_assign,
     validate_backend,
 )
 
@@ -45,16 +52,23 @@ __all__ = [
     "CandidateMatrix",
     "DENSE_MAX_CELLS",
     "DENSE_MAX_OBJECTS",
+    "DENSE_MIN_ASSIGN_CELLS",
     "DENSE_MIN_ENTRIES",
     "DENSE_MIN_OBJECTS",
     "DENSE_MIN_REPRESENTATIVES",
+    "DENSE_MIN_SCAN_CELLS",
+    "DENSE_WIDE_COLUMNS",
     "DenseDCFSet",
     "DenseMergeEngine",
+    "assign_many",
     "closest_entry",
     "dense_bytes",
     "merge_cost_many",
+    "pack_seconds",
     "pairwise_merge_costs",
+    "reset_pack_seconds",
     "shared_index",
     "use_dense",
+    "use_dense_assign",
     "validate_backend",
 ]

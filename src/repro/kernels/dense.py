@@ -22,18 +22,44 @@ implementation.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
-from repro.clustering.dcf import LOSS_FLOOR, LOSS_QUANTUM_BITS
+from repro.clustering.dcf import LOSS_FLOOR, LOSS_QUANTUM_BITS, merge_cost
 
 _LOG2 = math.log(2.0)
+
+#: Wall-clock seconds spent packing DCFs into dense form (matrix gathers in
+#: ``DenseDCFSet.pack``, ``DenseMergeEngine.__init__`` and the
+#: ``closest_entry`` sub-matrix build).  The benchmark's ``pack_s`` metric.
+_pack_seconds = 0.0
+
+
+def reset_pack_seconds() -> None:
+    """Zero the pack-time accumulator (call before a timed region)."""
+    global _pack_seconds
+    _pack_seconds = 0.0
+
+
+def pack_seconds() -> float:
+    """Seconds spent in dense packing since the last reset."""
+    return _pack_seconds
 
 #: Legal values of the ``backend=`` knob.
 BACKENDS = ("auto", "sparse", "dense")
 
 #: ``backend="auto"`` switches AIB to the dense engine at this many clusters.
-DENSE_MIN_OBJECTS = 32
+#: Measured crossover on narrow (tuple-width) supports: sparse/dense wall
+#: ratio 0.83 at 32 clusters, 1.27 at 48 -- the break-even sits near 40.
+DENSE_MIN_OBJECTS = 40
+
+#: ``backend="auto"`` also goes dense *below* ``DENSE_MIN_OBJECTS`` when the
+#: shared support is at least this wide (and the call site reports it).  Wide
+#: supports shift the crossover hard toward dense: on phi=1.0 LIMBO summaries
+#: (1100+ columns) the dense engine already wins 1.5x at 9 clusters, while
+#: narrow supports stay under ~150 columns well past the object crossover.
+DENSE_WIDE_COLUMNS = 512
 
 #: ``backend="auto"`` switches a DCF-tree node scan to the batched kernel at
 #: this many entries (below it the NumPy call overhead dominates).
@@ -50,6 +76,16 @@ DENSE_MAX_CELLS = 50_000_000
 #: clusters: the candidate matrix is O((2n)^2) memory.  AIB inputs are
 #: normally LIMBO leaf summaries (hundreds), far below the cap.
 DENSE_MAX_OBJECTS = 2048
+
+#: A node scan gathering fewer cells than this (entries x query support)
+#: runs the scalar smaller-operand loop inside :func:`closest_entry`: NumPy
+#: dispatch overhead dominates the tiny scans a branching-4 DCF-tree does.
+DENSE_MIN_SCAN_CELLS = 4096
+
+#: ``backend="auto"`` packs LIMBO Phase-3 representatives only when the
+#: assignment workload (objects x representatives) reaches this many cost
+#: evaluations -- below it the pack + per-chunk CSR overhead beats nothing.
+DENSE_MIN_ASSIGN_CELLS = 2048
 
 
 def validate_backend(backend: str) -> str:
@@ -89,7 +125,10 @@ def use_dense(
 
     ``auto`` picks the dense kernels once ``n`` reaches ``minimum``, stays
     at or below ``maximum`` (when given), and the packed matrix fits within
-    :data:`DENSE_MAX_CELLS`; explicit values are always honored.  With a
+    :data:`DENSE_MAX_CELLS`; explicit values are always honored.  Call sites
+    that report ``n_columns`` also go dense below ``minimum`` when the shared
+    support is :data:`DENSE_WIDE_COLUMNS` or wider (see that constant's
+    rationale) -- the gather amortizes over columns as well as rows.  With a
     :class:`repro.budget.MemoryGovernor`, ``auto`` additionally refuses a
     dense allocation whose :func:`dense_bytes` estimate would cross the
     byte cap -- the sparse oracle needs no recovery path, so this refusal
@@ -101,13 +140,50 @@ def use_dense(
     if backend == "dense":
         return True
     if n < minimum:
-        return False
+        wide = (
+            n_columns is not None
+            and n_columns >= DENSE_WIDE_COLUMNS
+            and n >= DENSE_MIN_ENTRIES
+        )
+        if not wide:
+            return False
     if maximum is not None and n > maximum:
         return False
     if n_columns is not None and 2 * n * n_columns > DENSE_MAX_CELLS:
         return False
     if governor is not None and governor.would_exceed(
         dense_bytes(n, n_columns, candidates=candidates)
+    ):
+        return False
+    return True
+
+
+def use_dense_assign(
+    backend: str,
+    n_representatives: int,
+    n_objects: int,
+    governor=None,
+) -> bool:
+    """Resolve the knob for a Phase-3 assignment workload.
+
+    The decision variable is the number of cost evaluations, ``objects x
+    representatives``, not the representative count alone: packing a handful
+    of representatives already pays off over thousands of objects (the
+    common LIMBO shape, e.g. ``k = 5`` over 10^4 tuples), while a few dozen
+    objects never amortize the pack.  ``auto`` also defers to the memory
+    governor the way :func:`use_dense` does.
+    """
+    validate_backend(backend)
+    if backend == "sparse":
+        return False
+    if backend == "dense":
+        return True
+    if n_representatives < 2:
+        return False
+    if n_objects * n_representatives < DENSE_MIN_ASSIGN_CELLS:
+        return False
+    if governor is not None and governor.would_exceed(
+        dense_bytes(n_representatives)
     ):
         return False
     return True
@@ -162,6 +238,48 @@ def shared_index(dcfs) -> dict:
     return {key: position for position, key in enumerate(ordered)}
 
 
+def _index_lookup(index: dict) -> np.ndarray | None:
+    """An ``int64`` key -> matrix-column LUT for an all-int column index.
+
+    Value/group ids are dense non-negative ints everywhere in this codebase,
+    so the LUT is about as large as the index itself; ``None`` when the keys
+    are not ints (or are too sparse for a table to make sense), in which
+    case callers gather through the dict.
+    """
+    if not index:
+        return np.zeros(0, dtype=np.int64)
+    keys = list(index.keys())
+    if not all(type(key) is int for key in keys):
+        return None
+    key_array = np.fromiter(keys, dtype=np.int64, count=len(keys))
+    low = int(key_array.min())
+    high = int(key_array.max())
+    if low < 0 or high + 1 > 4 * len(keys) + 1024:
+        return None
+    lut = np.full(high + 1, -1, dtype=np.int64)
+    lut[key_array] = np.fromiter(index.values(), dtype=np.int64, count=len(keys))
+    return lut
+
+
+def _gather_row(lut: np.ndarray, columns: np.ndarray, values: np.ndarray,
+                out: np.ndarray) -> bool:
+    """Scatter ``values`` into ``out`` at the LUT positions of ``columns``.
+
+    Returns ``False`` (leaving ``out`` untouched) when some column is
+    missing from the LUT -- the caller decides whether missing columns are
+    droppable or an error.
+    """
+    if columns.size == 0:
+        return True
+    if int(columns[0]) < 0 or int(columns[-1]) >= lut.size:
+        return False
+    positions = lut[columns]
+    if positions.min() < 0:
+        return False
+    out[positions] = values
+    return True
+
+
 def _gather_columns(index: dict, mass) -> tuple[list, np.ndarray]:
     """Positions and values of a sparse mass dict under a column index.
 
@@ -198,7 +316,8 @@ class DenseDCFSet:
         pack time, never per pairwise call.
     """
 
-    __slots__ = ("index", "matrix", "weights", "wlogw", "row_log_sums", "supports")
+    __slots__ = ("index", "matrix", "weights", "wlogw", "row_log_sums",
+                 "_supports")
 
     def __init__(self, index: dict, matrix: np.ndarray, weights: np.ndarray):
         self.index = index
@@ -206,12 +325,28 @@ class DenseDCFSet:
         self.weights = np.asarray(weights, dtype=np.float64)
         self.wlogw = _xlogx(self.weights)
         self.row_log_sums = _xlogx(self.matrix).sum(axis=1)
-        #: Per-row nonzero columns, for support-restricted pairwise scans.
-        self.supports = [np.flatnonzero(row) for row in self.matrix]
+        self._supports = None
+
+    @property
+    def supports(self) -> list:
+        """Per-row nonzero columns, for support-restricted pairwise scans.
+
+        Computed lazily: the Phase-3 assignment path never touches it.
+        """
+        if self._supports is None:
+            self._supports = [np.flatnonzero(row) for row in self.matrix]
+        return self._supports
 
     @classmethod
     def pack(cls, dcfs, index: dict | None = None) -> "DenseDCFSet":
-        """Pack a DCF collection over a shared (or provided) column index."""
+        """Pack a DCF collection over a shared (or provided) column index.
+
+        Rows gather through each DCF's sorted column arrays and an int
+        lookup table where the keys allow it; columns absent from the index
+        are dropped (their contribution cancels, see ``_gather_columns``).
+        """
+        global _pack_seconds
+        started = time.perf_counter()
         dcfs = list(dcfs)
         if not dcfs:
             raise ValueError("cannot pack zero DCFs")
@@ -219,14 +354,29 @@ class DenseDCFSet:
             index = shared_index(dcfs)
         matrix = np.zeros((len(dcfs), len(index)), dtype=np.float64)
         weights = np.empty(len(dcfs), dtype=np.float64)
+        lut = _index_lookup(index)
         for r, dcf in enumerate(dcfs):
             weights[r] = dcf.weight
             row = matrix[r]
+            arrays = dcf.arrays() if lut is not None else None
+            if arrays is not None:
+                columns, values = arrays
+                if _gather_row(lut, columns, values, row):
+                    continue
+                if lut.size:
+                    # Some column is outside the index: drop just those.
+                    keep = (columns >= 0) & (columns < lut.size)
+                    positions = lut[np.where(keep, columns, 0)]
+                    keep &= positions >= 0
+                    row[positions[keep]] = values[keep]
+                continue
             for key, m in dcf.mass.items():
                 position = index.get(key)
                 if position is not None:
                     row[position] = m
-        return cls(index, matrix, weights)
+        packed = cls(index, matrix, weights)
+        _pack_seconds += time.perf_counter() - started
+        return packed
 
     def __len__(self) -> int:
         return self.matrix.shape[0]
@@ -246,6 +396,71 @@ def merge_cost_many(dense: DenseDCFSet, mass, weight: float) -> np.ndarray:
         base += _xlogx(values).sum()
         base += (_xlogx(sub) - _xlogx(sub + values)).sum(axis=1)
     return _quantize(np.maximum(base / _LOG2, 0.0))
+
+
+def assign_many(dense: DenseDCFSet, rows, priors) -> list[int] | None:
+    """Closest packed row per object, for one block of Phase-3 objects.
+
+    ``rows`` are sparse conditionals ``p(T|v)`` and ``priors`` the matching
+    ``p(v)``; the block is flattened into one CSR-style gather so the whole
+    chunk costs a handful of NumPy calls instead of per-object dispatch.
+    Returns ``None`` when the block cannot be packed (non-int column keys,
+    an empty row, or an index without a lookup table) -- the caller then
+    runs the per-object :func:`merge_cost_many` path, which handles every
+    case.  Ties resolve to the lowest representative index and every loss
+    passes the shared quantization grid, so assignments are identical to
+    the per-object path's.
+    """
+    lut = _index_lookup(dense.index)
+    if lut is None or lut.size == 0:
+        return None
+    columns: list = []
+    values: list = []
+    indptr = np.empty(len(rows) + 1, dtype=np.int64)
+    indptr[0] = 0
+    for i, (row, prior) in enumerate(zip(rows, priors)):
+        if prior <= 0.0:
+            raise ValueError("cluster prior must be positive")
+        before = len(columns)
+        for key, p in row.items():
+            if p > 0.0:
+                columns.append(key)
+                values.append(prior * p)
+        if len(columns) == before:
+            return None  # empty row: np.add.reduceat cannot segment it
+        indptr[i + 1] = len(columns)
+    try:
+        column_array = np.array(columns, dtype=np.int64)
+    except (TypeError, ValueError, OverflowError):
+        return None
+    value_array = np.array(values, dtype=np.float64)
+
+    # Columns outside the packed index contribute exactly zero
+    # (xlogx(g) - xlogx(g + 0) = 0), so misses gather column 0 with value 0.
+    inside = (column_array >= 0) & (column_array < lut.size)
+    positions = lut[np.where(inside, column_array, 0)]
+    np.putmask(positions, ~inside, -1)
+    misses = positions < 0
+    if misses.any():
+        positions[misses] = 0
+        value_array[misses] = 0.0
+
+    gathered = dense.matrix[:, positions]  # (k, nnz)
+    tail = _xlogx(gathered)
+    tail -= _xlogx(gathered + value_array)
+    starts = indptr[:-1]
+    per_object = np.add.reduceat(tail, starts, axis=1)  # (k, n)
+    per_object += np.add.reduceat(_xlogx(value_array), starts)
+    prior_array = np.asarray(priors, dtype=np.float64)
+    costs = (
+        _xlogx(dense.weights[:, None] + prior_array[None, :])
+        - dense.wlogw[:, None]
+        - _xlogx(prior_array)[None, :]
+        + per_object
+    ) / _LOG2
+    np.maximum(costs, 0.0, out=costs)
+    costs = _quantize(costs)
+    return np.argmin(costs, axis=0).tolist()
 
 
 def pairwise_merge_costs(dense: DenseDCFSet) -> np.ndarray:
@@ -275,6 +490,16 @@ def pairwise_merge_costs(dense: DenseDCFSet) -> np.ndarray:
     return out
 
 
+def _closest_entry_scalar(entries, dcf) -> tuple[int, float]:
+    """The sparse strict-``<`` scan (tiny node scans; identical results)."""
+    best_index, best_cost = 0, merge_cost(entries[0], dcf)
+    for index in range(1, len(entries)):
+        cost = merge_cost(entries[index], dcf)
+        if cost < best_cost:
+            best_index, best_cost = index, cost
+    return best_index, best_cost
+
+
 def closest_entry(entries, dcf) -> tuple[int, float]:
     """Index and cost of the entry closest to ``dcf`` (minimum ``delta_I``).
 
@@ -282,16 +507,40 @@ def closest_entry(entries, dcf) -> tuple[int, float]:
     columns in ``supp(dcf)``, so cost is ``O(|entries| * |supp(dcf)|)``
     regardless of how wide the entries' own supports are.  Ties resolve to
     the lowest index, exactly like the sparse strict-``<`` loop.
+
+    Scans gathering fewer than :data:`DENSE_MIN_SCAN_CELLS` cells run that
+    sparse loop directly -- on a branching-4 tree node the NumPy dispatch
+    overhead is several times the arithmetic.  Both implementations emit
+    grid-quantized losses, so the answer is identical either way.
     """
-    keys = list(dcf.mass)
-    values = np.fromiter(dcf.mass.values(), dtype=np.float64, count=len(keys))
-    sub = np.empty((len(entries), len(keys)), dtype=np.float64)
+    widest = max(len(entry.mass) for entry in entries)
+    if len(entries) * min(len(dcf.mass), widest) < DENSE_MIN_SCAN_CELLS:
+        return _closest_entry_scalar(entries, dcf)
+    query = dcf.arrays()
+    if query is None:
+        return _closest_entry_scalar(entries, dcf)
+    global _pack_seconds
+    started = time.perf_counter()
+    q_columns, values = query
+    sub = np.zeros((len(entries), q_columns.size), dtype=np.float64)
     for r, entry in enumerate(entries):
-        get = entry.mass.get
-        sub[r] = [get(key, 0.0) for key in keys]
+        arrays = entry.arrays()
+        if arrays is None:
+            get = entry.mass.get
+            sub[r] = [get(int(key), 0.0) for key in q_columns]
+            continue
+        e_columns, e_values = arrays
+        if e_columns.size == 0:
+            continue
+        positions = np.minimum(
+            np.searchsorted(e_columns, q_columns), e_columns.size - 1
+        )
+        hits = e_columns[positions] == q_columns
+        sub[r, hits] = e_values[positions[hits]]
     weights = np.fromiter(
         (entry.weight for entry in entries), dtype=np.float64, count=len(entries)
     )
+    _pack_seconds += time.perf_counter() - started
     costs = (
         _xlogx(weights + dcf.weight)
         - _xlogx(weights)
@@ -317,6 +566,8 @@ class DenseMergeEngine:
     __slots__ = ("index", "matrix", "weights", "wlogw", "log_sums", "supports")
 
     def __init__(self, dcfs, index: dict | None = None):
+        global _pack_seconds
+        started = time.perf_counter()
         dcfs = list(dcfs)
         if not dcfs:
             raise ValueError("cannot build a merge engine over zero DCFs")
@@ -329,14 +580,25 @@ class DenseMergeEngine:
         self.wlogw = np.zeros(capacity, dtype=np.float64)
         self.log_sums = np.zeros(capacity, dtype=np.float64)
         self.supports: list = [None] * capacity
+        lut = _index_lookup(self.index)
         for r, dcf in enumerate(dcfs):
             row = self.matrix[r]
-            for key, m in dcf.mass.items():
-                row[self.index[key]] = m
+            arrays = dcf.arrays() if lut is not None else None
+            if arrays is not None and _gather_row(lut, arrays[0], arrays[1], row):
+                self.supports[r] = np.flatnonzero(row)
+            else:
+                # Engine semantics: every key must be in the index (KeyError
+                # otherwise, exactly like the direct dict fill).
+                for key, m in dcf.mass.items():
+                    row[self.index[key]] = m
+                self.supports[r] = np.flatnonzero(row)
             self.weights[r] = dcf.weight
             self.wlogw[r] = _xlogx_scalar(dcf.weight)
-            self.supports[r] = np.flatnonzero(row)
-            self.log_sums[r] = _xlogx(row[self.supports[r]]).sum()
+            # The DCF's additively maintained fsum, not a fresh pairwise
+            # sum: workers rebuilding an engine from pickled DCFs land on
+            # the very same float the coordinator holds.
+            self.log_sums[r] = dcf.mass_log_sum
+        _pack_seconds += time.perf_counter() - started
 
     @property
     def n_columns(self) -> int:

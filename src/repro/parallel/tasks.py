@@ -18,9 +18,12 @@ bit-identical output.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.clustering.dcf import DCF
 from repro.clustering.dcf_tree import DCFTree
 from repro.clustering.limbo import assign_rows, summarize_identical
+from repro.fd.fdep import _agree_block
 from repro.fd.partitions import partition_of
 from repro.kernels import DenseMergeEngine
 
@@ -79,11 +82,16 @@ def agree_pairs_block(payload):
     """FDEP agree sets for one block of tuple-pair rows.
 
     Payload: ``(signatures, names, start, stop, n)``; the block owns the
-    pairs ``(i, j)`` with ``start <= i < stop`` and ``i < j < n``.  Returns
-    the set of distinct agree sets seen -- the union over blocks equals the
-    sequential full-scan result exactly, because sets are content-based.
+    pairs ``(i, j)`` with ``start <= i < stop`` and ``i < j < n``.
+    ``signatures`` is the ``(arity, n)`` label matrix of
+    :func:`repro.fd.fdep._signature_matrix` (or the legacy per-attribute
+    label lists, with ``None`` marking singletons).  Returns the set of
+    distinct agree sets seen -- the union over blocks equals the sequential
+    full-scan result exactly, because sets are content-based.
     """
     signatures, names, start, stop, n = payload
+    if isinstance(signatures, np.ndarray):
+        return _agree_block(signatures, names, start, stop)
     n_attributes = len(names)
     result: set = set()
     for i in range(start, stop):

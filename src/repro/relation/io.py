@@ -266,15 +266,26 @@ def load_csv(path, source: str | None = None,
     ``on_error`` selects the ``"strict"`` or ``"coerce"`` policy described
     in the module docstring.  Implemented as "exhaust :func:`iter_csv`":
     the two are the same ingestion, buffered versus streamed.
+
+    Each chunk is dictionary-encoded as it arrives
+    (:class:`repro.relation.columns.ColumnStore`), so the returned relation
+    is born columnar: the mining paths consume the coded columns directly
+    and row tuples only materialize if a display/join path asks for them.
+    First-seen code assignment makes the encoding invariant to the chunk
+    size.
     """
+    from repro.relation.columns import ColumnStore
+
     path = Path(path)
     report = IngestReport(path=str(path), policy=on_error)
     schema = None
-    rows: list[tuple] = []
+    store = None
     for schema, chunk in iter_csv(path, source=source, on_error=on_error,
                                   report=report):
-        rows.extend(chunk)
-    return Relation(schema, rows), report
+        if store is None:
+            store = ColumnStore(schema.names)
+        store.append_rows(chunk)
+    return Relation.from_columns(schema, store), report
 
 
 def read_csv(path, source: str | None = None, on_error: str = "strict") -> Relation:

@@ -104,13 +104,50 @@ class TupleView:
         return mutual_information_rows(self.rows, self.priors)
 
 
+def _catalog_from_codes(relation: Relation, value_scope: str):
+    """Catalog + per-cell id matrix from the relation's coded columns.
+
+    The coded store assigns catalog ids in the same row-major first-sight
+    order the per-row :meth:`ValueCatalog.id_for` loop does, so the catalog
+    is bit-identical to the legacy tuple-path one -- only the id assignment
+    is a vectorized gather instead of ``n * m`` hash lookups.
+    """
+    ids, keys = relation.coded.global_codes(value_scope)
+    catalog = ValueCatalog(scope=value_scope)
+    catalog.keys = list(keys)
+    catalog.ids = {key: value_id for value_id, key in enumerate(keys)}
+    return catalog, ids
+
+
 def build_tuple_view(relation: Relation, value_scope: str = "global") -> TupleView:
     """Build the tuple representation of Figure 2.
 
     Each tuple ``t`` gets ``p(t) = 1/n`` and ``p(v|t) = 1/m`` on the values
     it contains.  If the same literal occupies several attributes of one
     tuple (possible under global scope), its masses accumulate, keeping each
-    row normalized.
+    row normalized.  Works directly off the relation's coded columns; the
+    row tuples are never materialized.
+    """
+    _check_scope(value_scope)
+    if not len(relation):
+        raise ValueError("cannot build a tuple view of an empty relation")
+    catalog, ids = _catalog_from_codes(relation, value_scope)
+    cell_mass = 1.0 / len(relation.schema)
+    rows = []
+    for row_ids in ids.tolist():
+        sparse: dict = {}
+        for value_id in row_ids:
+            sparse[value_id] = sparse.get(value_id, 0.0) + cell_mass
+        rows.append(sparse)
+    priors = [1.0 / len(rows)] * len(rows)
+    return TupleView(relation=relation, rows=rows, priors=priors, catalog=catalog)
+
+
+def _build_tuple_view_rows(relation: Relation, value_scope: str = "global") -> TupleView:
+    """Legacy tuple-path builder (per-row catalog hashing).
+
+    Kept as the parity oracle for the coded-column builder; the property
+    suite asserts both produce identical views.
     """
     _check_scope(value_scope)
     if not relation.rows:
@@ -195,6 +232,64 @@ def build_value_view(
     ``O`` counts every occurrence (so a literal filling two attributes of one
     tuple counts twice in ``O`` but once in ``N``, matching the paper's
     definitions of ``N`` as an indicator matrix and ``O`` as support counts).
+    Works directly off the relation's coded columns.
+    """
+    _check_scope(value_scope)
+    n_rows = len(relation)
+    if not n_rows:
+        raise ValueError("cannot build a value view of an empty relation")
+    if tuple_clusters is not None and len(tuple_clusters) != n_rows:
+        raise ValueError("tuple_clusters must assign a cluster to every tuple")
+
+    catalog, ids = _catalog_from_codes(relation, value_scope)
+    names = relation.schema.names
+    n_values = len(catalog)
+    membership: list = [{} for _ in range(n_values)]  # value_id -> {column: count}
+    support: list = [{} for _ in range(n_values)]  # value_id -> {attribute: count}
+    tuple_counts: list = [0] * n_values  # value_id -> number of distinct tuples
+
+    for t, row_ids in enumerate(ids.tolist()):
+        column = tuple_clusters[t] if tuple_clusters is not None else t
+        seen_in_tuple: set = set()
+        for name, value_id in zip(names, row_ids):
+            attr_counts = support[value_id]
+            attr_counts[name] = attr_counts.get(name, 0) + 1
+            if value_id not in seen_in_tuple:
+                seen_in_tuple.add(value_id)
+                tuple_counts[value_id] += 1
+                cols = membership[value_id]
+                cols[column] = cols.get(column, 0) + 1
+        del seen_in_tuple
+
+    rows = []
+    for cols in membership:
+        d_v = sum(cols.values())
+        rows.append({column: count / d_v for column, count in cols.items()})
+    priors = [1.0 / len(rows)] * len(rows)
+    n_columns = (
+        len(set(tuple_clusters)) if tuple_clusters is not None else n_rows
+    )
+    return ValueView(
+        relation=relation,
+        rows=rows,
+        priors=priors,
+        support=support,
+        catalog=catalog,
+        n_columns=n_columns,
+        tuple_counts=tuple_counts,
+        double_clustered=tuple_clusters is not None,
+    )
+
+
+def _build_value_view_rows(
+    relation: Relation,
+    value_scope: str = "global",
+    tuple_clusters: list | None = None,
+) -> ValueView:
+    """Legacy tuple-path value-view builder (per-row catalog hashing).
+
+    Kept as the parity oracle for the coded-column builder; the property
+    suite asserts both produce identical views.
     """
     _check_scope(value_scope)
     if not relation.rows:
@@ -204,9 +299,9 @@ def build_value_view(
 
     catalog = ValueCatalog(scope=value_scope)
     names = relation.schema.names
-    membership: list = []  # value_id -> {column: tuple-presence count}
-    support: list = []  # value_id -> {attribute: occurrence count}
-    tuple_counts: list = []  # value_id -> number of distinct tuples
+    membership: list = []
+    support: list = []
+    tuple_counts: list = []
 
     for t, row in enumerate(relation.rows):
         column = tuple_clusters[t] if tuple_clusters is not None else t

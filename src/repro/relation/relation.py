@@ -45,9 +45,18 @@ class Relation:
     Construction copies the rows into canonical tuple form and verifies
     arity.  Values may be any hashable object; use :data:`NULL` for missing
     values.
+
+    Internally a relation has two interchangeable representations: the row
+    tuples and an integer-coded :class:`repro.relation.columns.ColumnStore`
+    (per-attribute value dictionaries + ``int32`` code columns).  Either can
+    be the one a relation is born with -- :meth:`from_columns` builds a
+    relation straight from coded columns (the CSV ingest path) and the row
+    tuples materialize lazily, only when a display/join/REPL path asks for
+    them.  The coded form is what the mining hot paths (partitions, matrix
+    builders, fingerprints) consume via :attr:`coded`.
     """
 
-    __slots__ = ("schema", "rows")
+    __slots__ = ("schema", "_rows", "_coded")
 
     def __init__(self, schema, rows: Iterable = ()):
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
@@ -60,12 +69,62 @@ class Relation:
                     f"row {row!r} has arity {len(row)}, schema expects {arity}"
                 )
             canonical.append(row)
-        self.rows = canonical
+        self._rows = canonical
+        self._coded = None
+
+    @classmethod
+    def from_columns(cls, schema, store) -> "Relation":
+        """A relation whose native representation is a coded column store.
+
+        Row tuples are not materialized until something asks for
+        :attr:`rows`; the mining paths never do.
+        """
+        schema = schema if isinstance(schema, Schema) else Schema(schema)
+        if tuple(store.names) != schema.names:
+            raise ValueError(
+                f"column store covers {list(store.names)!r}, "
+                f"schema expects {list(schema.names)!r}"
+            )
+        relation = object.__new__(cls)
+        relation.schema = schema
+        relation._rows = None
+        relation._coded = store
+        return relation
+
+    @property
+    def rows(self) -> list:
+        """The row tuples (materialized from the coded columns on demand)."""
+        if self._rows is None:
+            self._rows = self._coded.row_tuples()
+        return self._rows
+
+    @property
+    def coded(self):
+        """The integer-coded column store (built from the rows on demand)."""
+        if self._coded is None:
+            from repro.relation.columns import ColumnStore
+
+            self._coded = ColumnStore.from_rows(self.schema.names, self._rows)
+        return self._coded
+
+    def __getstate__(self):
+        # Prefer shipping the coded form: dictionaries + int32 columns pickle
+        # far smaller than value tuples, and workers rebuild rows lazily.
+        if self._coded is not None:
+            return {"schema": self.schema, "coded": self._coded}
+        return {"schema": self.schema, "rows": self._rows}
+
+    def __setstate__(self, state):
+        self.schema = state["schema"]
+        self._coded = state.get("coded")
+        self._rows = state.get("rows") if self._coded is None else None
 
     # -- basics -----------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.rows)
+        if self._rows is not None:
+            return len(self._rows)
+        return self._coded.n_rows
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
@@ -81,7 +140,7 @@ class Relation:
         return NotImplemented
 
     def __repr__(self) -> str:
-        return f"Relation({list(self.schema.names)!r}, {len(self.rows)} tuples)"
+        return f"Relation({list(self.schema.names)!r}, {len(self)} tuples)"
 
     @property
     def attributes(self) -> tuple[str, ...]:

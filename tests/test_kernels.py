@@ -300,3 +300,199 @@ class TestEntropyCache:
         dcf = DCF(0.5, {0: 0.5, 1: 0.5})
         expected = 2 * (0.25 * math.log(0.25))
         assert dcf.mass_log_sum == pytest.approx(expected)
+
+
+class TestAutoHeuristic:
+    """The re-derived ``auto`` rule picks the measured-faster backend.
+
+    Calibrated against wall-clock sweeps of the AIB merge loop on DBLP
+    summaries: narrow (tuple-width, <150 column) supports cross over near 40
+    clusters (sparse/dense ratio 0.83 at 32, 1.27 at 48), while wide phi=1.0
+    summaries (1100+ columns) favor dense from 9 clusters up (1.5x-5.2x).
+    These are decision-function tests -- no timing -- pinning that ``auto``
+    lands on the right side of both measured ends of the sweep.
+    """
+
+    def test_small_narrow_end_stays_sparse(self):
+        # 16 leaves x 33 columns (measured sweep floor): sparse is ~4x faster.
+        assert kernels.use_dense("auto", 16, n_columns=33) is False
+
+    def test_large_narrow_end_goes_dense(self):
+        # 96 leaves x 151 columns: dense measured ~2.5x faster.
+        assert kernels.use_dense("auto", 96, n_columns=151) is True
+
+    def test_wide_supports_go_dense_below_object_threshold(self):
+        # 9 summaries x 1110 columns (phi=1.0, n_tuples=500): dense 1.5x.
+        assert 9 < kernels.DENSE_MIN_OBJECTS
+        assert kernels.use_dense("auto", 9, n_columns=1110) is True
+
+    def test_wide_rule_needs_reported_columns(self):
+        # The DCF-tree node scan passes no n_columns; its threshold is
+        # unchanged by the wide-support rule.
+        assert kernels.use_dense(
+            "auto", 9, minimum=kernels.DENSE_MIN_ENTRIES
+        ) is True
+        assert kernels.use_dense("auto", 9) is False
+
+    def test_wide_rule_floor(self):
+        # Below DENSE_MIN_ENTRIES objects even the widest support stays
+        # sparse: one or two rows never amortize a pack.
+        assert kernels.use_dense(
+            "auto", kernels.DENSE_MIN_ENTRIES - 1, n_columns=100_000
+        ) is False
+
+    def test_wide_rule_respects_caps(self):
+        blown = kernels.DENSE_MAX_CELLS  # 2 * n * n_columns over the cap
+        assert kernels.use_dense("auto", 9, n_columns=blown) is False
+
+    def test_assign_small_end_stays_sparse(self):
+        # k=5 over 64 objects = 320 cells: sparse measured faster (~0.8x).
+        assert kernels.use_dense_assign("auto", 5, 64) is False
+
+    def test_assign_large_end_goes_dense(self):
+        # k=5 over 8000 objects: dense measured ~3x faster.
+        assert kernels.use_dense_assign("auto", 5, 8000) is True
+
+    def test_assign_threshold_is_cells_not_reps(self):
+        cells = kernels.DENSE_MIN_ASSIGN_CELLS
+        assert kernels.use_dense_assign("auto", 4, cells // 4) is True
+        assert kernels.use_dense_assign("auto", 4, cells // 4 - 1) is False
+
+    def test_assign_explicit_values_honored(self):
+        assert kernels.use_dense_assign("sparse", 100, 10_000) is False
+        assert kernels.use_dense_assign("dense", 2, 4) is True
+
+    def test_assign_rejects_singleton_rep_set(self):
+        assert kernels.use_dense_assign("auto", 1, 1_000_000) is False
+
+    def test_assign_defers_to_memory_governor(self):
+        class Refusing:
+            def would_exceed(self, n_bytes):
+                return True
+
+        assert kernels.use_dense_assign("auto", 5, 8000, governor=Refusing()) \
+            is False
+
+
+class TestClosestEntryVectorized:
+    """The gather path of ``closest_entry`` (scan >= DENSE_MIN_SCAN_CELLS)."""
+
+    def wide_instance(self, n_entries=8, n_columns=700, seed=21):
+        # n_entries * n_columns cells comfortably above the scalar cutoff,
+        # with a query support as wide as the entries'.
+        entries = random_dcfs(n_entries, n_columns, seed=seed, density=0.95)
+        query = random_dcfs(1, n_columns, seed=seed + 1, density=0.95)[0]
+        assert len(entries) * len(query.mass) >= kernels.DENSE_MIN_SCAN_CELLS
+        return entries, query
+
+    def test_matches_scalar_oracle(self):
+        entries, query = self.wide_instance()
+        best, cost = kernels.closest_entry(entries, query)
+        oracle_best, oracle_cost = kernels.dense._closest_entry_scalar(
+            entries, query
+        )
+        assert best == oracle_best
+        assert cost == oracle_cost  # both grid-snapped -> bitwise equal
+
+    def test_tie_resolves_to_lowest_index(self):
+        base = random_dcfs(1, 700, seed=23, density=0.95)[0]
+        entries = [base.copy() for _ in range(8)]
+        query = random_dcfs(1, 700, seed=24, density=0.95)[0]
+        assert len(entries) * len(query.mass) >= kernels.DENSE_MIN_SCAN_CELLS
+        best, _ = kernels.closest_entry(entries, query)
+        assert best == 0
+
+    def test_query_columns_missing_from_entries(self):
+        entries, query = self.wide_instance(seed=25)
+        shifted = DCF(query.weight, {
+            column + 10_000: p for column, p in query.conditional.items()
+        })
+        best, cost = kernels.closest_entry(entries, shifted)
+        oracle = kernels.dense._closest_entry_scalar(entries, shifted)
+        assert (best, cost) == oracle
+
+    def test_non_int_keys_fall_back_to_dict_gather(self):
+        entries, query = self.wide_instance(seed=26)
+        relabeled = [
+            DCF(e.weight, {f"c{k}": p for k, p in e.conditional.items()})
+            for e in entries
+        ]
+        wide_query = DCF(query.weight, {
+            f"c{k}": p for k, p in query.conditional.items()
+        })
+        best, cost = kernels.closest_entry(relabeled, wide_query)
+        oracle = kernels.dense._closest_entry_scalar(relabeled, wide_query)
+        assert (best, cost) == oracle
+
+
+class TestAssignMany:
+    def packed_and_rows(self, n_reps=6, n_columns=20, n_rows=40, seed=31):
+        reps = random_dcfs(n_reps, n_columns, seed=seed)
+        packed = kernels.DenseDCFSet.pack(reps)
+        objects = random_dcfs(n_rows, n_columns, seed=seed + 1, density=0.3)
+        rows = [o.conditional for o in objects]
+        priors = [o.weight for o in objects]
+        return reps, packed, rows, priors
+
+    def assignment_oracle(self, packed, rows, priors):
+        out = []
+        for row, prior in zip(rows, priors):
+            mass = {k: prior * p for k, p in row.items() if p > 0.0}
+            costs = kernels.merge_cost_many(packed, mass, prior)
+            out.append(int(costs.argmin()))
+        return out
+
+    def test_matches_per_object_kernel(self):
+        _, packed, rows, priors = self.packed_and_rows()
+        block = kernels.assign_many(packed, rows, priors)
+        assert block == self.assignment_oracle(packed, rows, priors)
+
+    def test_rows_with_unseen_columns(self):
+        _, packed, rows, priors = self.packed_and_rows(seed=32)
+        rows = [dict(row) for row in rows]
+        for i, row in enumerate(rows):
+            row[10_000 + i] = 0.5  # mass on a column no representative has
+        block = kernels.assign_many(packed, rows, priors)
+        assert block == self.assignment_oracle(packed, rows, priors)
+
+    def test_zero_mass_entries_dropped(self):
+        _, packed, rows, priors = self.packed_and_rows(seed=33)
+        padded = [{**row, 999: 0.0} for row in rows]
+        assert kernels.assign_many(packed, padded, priors) == \
+            kernels.assign_many(packed, rows, priors)
+
+    def test_empty_row_defers_to_caller(self):
+        _, packed, rows, priors = self.packed_and_rows(seed=34)
+        rows[3] = {}
+        assert kernels.assign_many(packed, rows, priors) is None
+
+    def test_non_int_columns_defer_to_caller(self):
+        reps = [DCF(0.5, {"a": 1.0}), DCF(0.5, {"b": 1.0})]
+        packed = kernels.DenseDCFSet.pack(reps)
+        assert kernels.assign_many(packed, [{"a": 1.0}], [0.1]) is None
+
+    def test_nonpositive_prior_raises(self):
+        _, packed, rows, priors = self.packed_and_rows(seed=35)
+        priors[0] = 0.0
+        with pytest.raises(ValueError, match="prior must be positive"):
+            kernels.assign_many(packed, rows, priors)
+
+    def test_tie_breaks_to_lowest_representative(self):
+        rep = DCF(0.5, {0: 0.5, 1: 0.5})
+        packed = kernels.DenseDCFSet.pack([rep, rep.copy(), rep.copy()])
+        block = kernels.assign_many(packed, [{0: 0.5, 1: 0.5}], [0.1])
+        assert block == [0]
+
+
+class TestPackAccounting:
+    def test_pack_time_accumulates_and_resets(self):
+        kernels.reset_pack_seconds()
+        assert kernels.pack_seconds() == 0.0
+        dcfs = random_dcfs(50, 40, seed=41)
+        kernels.DenseDCFSet.pack(dcfs)
+        after_pack = kernels.pack_seconds()
+        assert after_pack > 0.0
+        kernels.DenseMergeEngine(dcfs)
+        assert kernels.pack_seconds() > after_pack
+        kernels.reset_pack_seconds()
+        assert kernels.pack_seconds() == 0.0
