@@ -38,8 +38,11 @@ from repro.relation import build_tuple_view
 #: Bump when the JSON layout changes.  v4 added ``pack_s`` per sweep backend
 #: (dense packing overhead: matrix gathers + engine builds) and
 #: ``dict_build_s`` per sweep entry (dictionary-encoding time of the input
-#: slice's columnar store).
-SCHEMA_VERSION = 4
+#: slice's columnar store).  v5 added the ``fd_mining`` section: exhaustive
+#: TANE vs the reliable top-k branch-and-bound miner at the largest sweep
+#: size, compared by materialized-partition counts (the shared lattice-work
+#: unit both miners' ``stats`` report).
+SCHEMA_VERSION = 5
 
 #: Worker counts the parallel sweep compares against sequential Phase 1.
 PARALLEL_WORKERS = (1, 2, 4)
@@ -274,6 +277,65 @@ def run_parallel_sweep(relation, repeats, n_tuples=PARALLEL_N_TUPLES):
     return result
 
 
+def run_fd_mining(relation, repeats, k=10, max_lhs_size=3):
+    """Exhaustive TANE vs the reliable top-k miner on the same relation.
+
+    Both miners report lattice work in the same unit -- one materialized
+    partition per ``stats`` increment -- so the comparison is of search
+    strategy, not of implementation constants.  The branch-and-bound miner
+    must do *strictly less* lattice work than level-wise TANE at the same
+    LHS cap; that is its reason to exist, and the gate in ``main`` holds it
+    to that on every run.
+    """
+    from repro.fd import mine_topk, tane
+    from repro.fd.reliable import ReliableMiningStats
+
+    tane_stats: dict = {}
+    tane_s, _ = best_of(
+        repeats, lambda: tane(relation, max_lhs_size=max_lhs_size,
+                              stats=tane_stats)
+    )
+    # ``best_of`` reruns the miner; counters accumulate, so divide back.
+    tane_partitions = tane_stats["partitions_computed"] // repeats
+
+    reliable_stats = ReliableMiningStats()
+    reliable_s, top = best_of(
+        repeats, lambda: mine_topk(relation, k=k,
+                                   max_lhs_size=max_lhs_size,
+                                   stats=reliable_stats)
+    )
+    result = {
+        "n_tuples": len(relation),
+        "k": k,
+        "max_lhs_size": max_lhs_size,
+        "tane": {
+            "seconds": tane_s,
+            "partitions_computed": tane_partitions,
+        },
+        "reliable": {
+            "seconds": reliable_s,
+            "partitions_computed":
+                reliable_stats.partitions_computed // repeats,
+            "nodes_visited": reliable_stats.nodes_visited // repeats,
+            "candidates_scored":
+                reliable_stats.candidates_scored // repeats,
+            "subtrees_pruned": reliable_stats.subtrees_pruned // repeats,
+            "top_score": top[0].score if top else None,
+        },
+    }
+    result["fewer_partitions_than_tane"] = (
+        result["reliable"]["partitions_computed"] < tane_partitions
+    )
+    print(
+        f"  n={len(relation)}  tane {tane_partitions} partitions "
+        f"({tane_s:.2f}s)  reliable top-{k} "
+        f"{result['reliable']['partitions_computed']} partitions "
+        f"({reliable_s:.2f}s, {result['reliable']['subtrees_pruned']} "
+        f"subtrees pruned)"
+    )
+    return result
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -312,6 +374,11 @@ def main(argv=None):
     print("Parallel Phase-1 sweep (phi=0.0):")
     parallel = run_parallel_sweep(relation, preset["repeats"])
 
+    print("FD mining: exhaustive TANE vs reliable top-k (largest sweep size):")
+    fd_mining = run_fd_mining(
+        relation.take(range(max(preset["sizes"]))), preset["repeats"]
+    )
+
     report = {
         "schema_version": SCHEMA_VERSION,
         "config": {
@@ -336,6 +403,7 @@ def main(argv=None):
         "aib": aib_micro,
         "pairwise": pairwise,
         "parallel_sweep": parallel,
+        "fd_mining": fd_mining,
         # High-water-mark RSS of the whole benchmark process (bytes; None
         # where the platform offers no counter) -- the baseline memory
         # governance caps can be sanity-checked against.
@@ -355,6 +423,15 @@ def main(argv=None):
     ):
         print(
             "FAIL: worker counts disagree on Phase-1 summaries", file=sys.stderr
+        )
+        return 1
+    if not fd_mining["fewer_partitions_than_tane"]:
+        print(
+            f"FAIL: reliable top-k computed "
+            f"{fd_mining['reliable']['partitions_computed']} partitions at "
+            f"n={fd_mining['n_tuples']}, not strictly fewer than TANE's "
+            f"{fd_mining['tane']['partitions_computed']}",
+            file=sys.stderr,
         )
         return 1
     if args.check_speedup is not None:

@@ -21,7 +21,10 @@ breaching it exits 3, except under ``discover``'s degradation policy).
 runs, ``--supervise`` / ``--max-restarts`` / ``--hang-timeout`` for
 crash/hang-supervised runs that auto-resume from those checkpoints, plus
 ``--on-memory-pressure {fail,degrade}`` and ``--max-leaf-entries N`` for
-memory-governed execution (see ``docs/ROBUSTNESS.md``).  All file outputs (``--out`` and snapshots alike)
+memory-governed execution (see ``docs/ROBUSTNESS.md``).  ``discover`` and
+``rank`` both take ``--fd-mode {exact,reliable,topk}`` with ``--fd-k``,
+``--fd-alpha``, ``--fd-max-lhs`` and ``--seed`` to swap the exact miners for the reliable
+branch-and-bound miner of ``repro.fd.reliable`` (see ``docs/FD_MINING.md``).  All file outputs (``--out`` and snapshots alike)
 are written atomically: temp file + ``os.replace``, so an interrupt never
 leaves a half-written file.
 
@@ -51,7 +54,7 @@ from repro.errors import (
     ReproError,
     ResourceLimitExceeded,
 )
-from repro.fd import fdep, minimum_cover, tane
+from repro.fd import fdep, mine_reliable_fds, minimum_cover, tane
 from repro.relation import Relation, load_csv, write_csv
 
 #: Exit codes for the failure classes the taxonomy distinguishes.
@@ -94,6 +97,38 @@ def _memory_limit_arg(value: str) -> int:
     if parsed <= 0:
         raise argparse.ArgumentTypeError("--memory-limit must be positive")
     return parsed
+
+
+def _add_fd_mode_arguments(parser: argparse.ArgumentParser) -> None:
+    """The reliable-FD-mining knobs shared by ``discover`` and ``rank``."""
+    parser.add_argument(
+        "--fd-mode", choices=("exact", "reliable", "topk"), default="exact",
+        help="dependency miner: exact minimal FDs + minimum cover (exact), "
+        "or the reliable branch-and-bound miner scored by bias-corrected "
+        "fraction of information -- every FD above 1-alpha (reliable) or "
+        "the k best (topk); reliable modes skip the exhaustive cover and "
+        "feed FD-RANK directly",
+    )
+    parser.add_argument(
+        "--fd-k", type=int, default=10, metavar="K",
+        help="result size for --fd-mode=topk (default: 10)",
+    )
+    parser.add_argument(
+        "--fd-max-lhs", type=int, default=3, metavar="N",
+        help="LHS size cap for the reliable modes; 0 lifts the cap "
+        "(default: 3 -- wide relations explode the uncapped lattice)",
+    )
+    parser.add_argument(
+        "--fd-alpha", type=float, default=0.05, metavar="ALPHA",
+        help="reliability level for the reliable modes: score threshold "
+        "1-ALPHA (reliable) and confidence level of sampled-fallback "
+        "radii (default: 0.05)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for every randomized ingredient (the reliable "
+        "miner's sampled fallback); same seed, byte-identical output",
+    )
 
 
 def _add_csv_argument(parser: argparse.ArgumentParser) -> None:
@@ -183,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
         "escalating the merge threshold when the buffer overflows",
     )
     _add_workers_argument(discover)
+    _add_fd_mode_arguments(discover)
 
     rank = commands.add_parser("rank", help="rank mined dependencies")
     _add_csv_argument(rank)
@@ -193,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--miner", choices=("auto", "fdep", "tane"), default="auto"
     )
     rank.add_argument("--top", type=int, default=10)
+    _add_fd_mode_arguments(rank)
 
     partition = commands.add_parser("partition", help="horizontal partitioning")
     _add_csv_argument(partition)
@@ -276,6 +313,15 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
     leaf_entries = getattr(args, "max_leaf_entries", None)
     if leaf_entries is not None:
         require(leaf_entries >= 1, "--max-leaf-entries must be >= 1")
+    fd_k = getattr(args, "fd_k", None)
+    if fd_k is not None:
+        require(fd_k >= 1, "--fd-k must be >= 1")
+    fd_alpha = getattr(args, "fd_alpha", None)
+    if fd_alpha is not None:
+        require(0.0 < fd_alpha < 1.0, "--fd-alpha must be in (0, 1)")
+    fd_max_lhs = getattr(args, "fd_max_lhs", None)
+    if fd_max_lhs is not None:
+        require(fd_max_lhs >= 0, "--fd-max-lhs must be >= 0")
 
 
 def _load_relation(args, budget: Budget | None = None):
@@ -383,6 +429,8 @@ def _cmd_discover(args) -> int:
         )
     report = StructureDiscovery(
         phi_t=args.phi_t, phi_v=args.phi_v, psi=args.psi,
+        fd_mode=args.fd_mode, fd_k=args.fd_k, fd_alpha=args.fd_alpha,
+        fd_max_lhs=args.fd_max_lhs or None, seed=args.seed,
         strict=args.strict_stages, workers=args.workers,
         backend=args.backend, checkpoint=checkpoint,
         on_memory_pressure=args.on_memory_pressure,
@@ -402,15 +450,30 @@ def _cmd_rank(args) -> int:
     if args.workers is not None:
         executor = ShardedExecutor(workers=args.workers, budget=budget)
     try:
-        miner = args.miner
-        if miner == "auto":
-            miner = "fdep" if len(relation) <= 2000 else "tane"
-        if miner == "fdep":
-            fds = fdep(relation, budget=budget, executor=executor)
+        if args.fd_mode != "exact":
+            mined = mine_reliable_fds(
+                relation, mode=args.fd_mode, k=args.fd_k,
+                alpha=args.fd_alpha, seed=args.seed,
+                max_lhs_size=args.fd_max_lhs or None,
+                budget=budget, executor=executor,
+            )
+            cover = [entry.fd for entry in mined]
+            print(f"{len(mined)} reliable dependencies mined "
+                  f"({args.fd_mode}); exhaustive cover skipped")
+            for entry in mined[: args.top]:
+                print(f"  {entry}")
         else:
-            fds = tane(relation, max_lhs_size=3, budget=budget, executor=executor)
-        cover = minimum_cover(fds, group_rhs=True)
-        print(f"{len(fds)} dependencies mined ({miner}); cover of {len(cover)}")
+            miner = args.miner
+            if miner == "auto":
+                miner = "fdep" if len(relation) <= 2000 else "tane"
+            if miner == "fdep":
+                fds = fdep(relation, budget=budget, executor=executor)
+            else:
+                fds = tane(relation, max_lhs_size=3, budget=budget,
+                           executor=executor)
+            cover = minimum_cover(fds, group_rhs=True)
+            print(f"{len(fds)} dependencies mined ({miner}); "
+                  f"cover of {len(cover)}")
         grouping = group_attributes(
             relation, phi_v=args.phi_v, budget=budget, executor=executor
         )

@@ -26,9 +26,19 @@ tuple_clustering      exact-duplicate scan (hash identical rows)
 value_clustering      exact clustering of a deterministic sample
 attribute_grouping    none (rank degrades to cover order)
 mining                FDEP over a deterministic tuple sample
-cover                 the raw mined dependency list
+                      (``fd_mode="exact"``); the reliable miner over
+                      a seeded row sample with confidence radii
+                      (``fd_mode="reliable"``/``"topk"``)
+cover                 the raw mined dependency list (exact mode;
+                      reliable modes skip the exhaustive cover and
+                      feed the top-k output to FD-RANK directly)
 rank                  cover order, unranked (singleton grouping)
 ====================  ==========================================
+
+Sampled reliable-mining results are flagged in the health section and in
+the rendered score list (``sampled=True`` plus a per-FD confidence
+radius), and -- being degraded -- are never persisted by the checkpoint
+store as if they were exact.
 
 With ``memory_limit`` set (or a :class:`repro.budget.Budget` carrying
 ``max_memory_bytes``), stages additionally run under the **memory
@@ -65,7 +75,7 @@ from repro.errors import (
     ResourceLimitExceeded,
     StageFailure,
 )
-from repro.fd import fdep, minimum_cover, tane
+from repro.fd import ReliableFD, fdep, mine_reliable_fds, minimum_cover, tane
 from repro.relation import Relation
 from repro.testing.faults import fault_point
 
@@ -169,6 +179,11 @@ def _unranked_cover(cover) -> list[RankedFD]:
 
 #: Accepted ``on_memory_pressure`` policies.
 MEMORY_POLICIES = ("fail", "degrade")
+
+#: Accepted ``fd_mode`` values: the exact miners (FDEP/TANE + minimum
+#: cover) or the reliable branch-and-bound miner of :mod:`repro.fd.reliable`
+#: in its threshold ("reliable") or top-k ("topk") mode.
+FD_MODES = ("exact", "reliable", "topk")
 
 #: Conservative per-leaf-entry byte estimate used to derive a default
 #: ``max_leaf_entries`` from the memory budget (rung 3 of the ladder).
@@ -354,8 +369,19 @@ class DiscoveryReport:
         ]
         if self.attribute_grouping is not None:
             lines += ["", "Attribute dendrogram:", self.attribute_grouping.render()]
-        lines += ["", f"Dependencies mined: {len(self.dependencies)}; "
-                      f"minimum cover: {len(self.cover)}"]
+        reliable = [d for d in self.dependencies if isinstance(d, ReliableFD)]
+        if reliable:
+            lines += ["", f"Dependencies mined: {len(self.dependencies)} "
+                          f"(reliable; exhaustive cover skipped)"]
+            lines.append("Reliable FD scores (bias-corrected fraction of "
+                         "information):")
+            for entry in reliable[:top]:
+                tag = (f"  [sampled, radius {entry.confidence_radius:.3f}]"
+                       if entry.sampled else "")
+                lines.append(f"  {entry.fd}  score={entry.score:.4f}{tag}")
+        else:
+            lines += ["", f"Dependencies mined: {len(self.dependencies)}; "
+                          f"minimum cover: {len(self.cover)}"]
         if self.ranked:
             lines.append("")
             lines.append(f"Top-{top} ranked dependencies (ascending rank):")
@@ -383,6 +409,31 @@ class StructureDiscovery:
     :func:`repro.core.tuple_clustering.cluster_tuples`,
     :func:`repro.core.value_clustering.cluster_values` and
     :func:`repro.core.fd_rank.fd_rank`.
+
+    Dependency-mining knobs:
+
+    fd_mode:
+        ``"exact"`` (default) mines exact minimal dependencies with the
+        configured ``miner`` and reduces them to a minimum cover.
+        ``"topk"`` / ``"reliable"`` run the branch-and-bound miner of
+        :func:`repro.fd.mine_reliable_fds` instead, scoring candidates by
+        the bias-corrected fraction of information; the exhaustive cover
+        stage is skipped and the miner's output feeds FD-RANK directly.
+    fd_k:
+        Result size for ``fd_mode="topk"`` (default 10).
+    fd_alpha:
+        Reliability level for the reliable modes: the default score
+        threshold in ``"reliable"`` mode (``1 - fd_alpha``) and the
+        confidence level of sampled-fallback radii.
+    fd_max_lhs:
+        LHS size cap for the reliable modes (default 3; ``None`` lifts
+        it).  Wide relations make the uncapped lattice explode when many
+        near-tied exact dependencies defeat pruning, and FD-RANK gains
+        nothing from determinant sets larger than a few attributes.
+    seed:
+        Base seed for every randomized ingredient (currently the reliable
+        miner's sampled fallback), derived per scope by
+        :mod:`repro.seeding`.  Same seed, same report, byte for byte.
 
     Additional robustness knobs:
 
@@ -456,6 +507,11 @@ class StructureDiscovery:
         double_clustering_phi_t: float | None = None,
         psi: float = 0.5,
         miner: str = "auto",
+        fd_mode: str = "exact",
+        fd_k: int = 10,
+        fd_alpha: float = 0.05,
+        fd_max_lhs: int | None = 3,
+        seed: int = 0,
         strict: bool = False,
         budget: Budget | None = None,
         workers=None,
@@ -469,6 +525,16 @@ class StructureDiscovery:
     ):
         if miner not in ("auto", "fdep", "tane"):
             raise ValueError("miner must be 'auto', 'fdep' or 'tane'")
+        if fd_mode not in FD_MODES:
+            raise ValueError(
+                f"fd_mode must be one of {FD_MODES}, got {fd_mode!r}"
+            )
+        if fd_k < 1:
+            raise ValueError("fd_k must be >= 1")
+        if not 0.0 < fd_alpha < 1.0:
+            raise ValueError(f"fd_alpha must lie in (0, 1), got {fd_alpha!r}")
+        if fd_max_lhs is not None and fd_max_lhs < 1:
+            raise ValueError("fd_max_lhs must be >= 1 (or None)")
         kernels.validate_backend(backend)
         if on_memory_pressure not in MEMORY_POLICIES:
             raise ValueError(
@@ -486,6 +552,11 @@ class StructureDiscovery:
         self.double_clustering_phi_t = double_clustering_phi_t
         self.psi = psi
         self.miner = miner
+        self.fd_mode = fd_mode
+        self.fd_k = fd_k
+        self.fd_alpha = fd_alpha
+        self.fd_max_lhs = fd_max_lhs
+        self.seed = seed
         self.strict = strict
         self.budget = budget
         self.workers = workers
@@ -514,6 +585,11 @@ class StructureDiscovery:
             "double_clustering_phi_t": double_clustering_phi_t,
             "psi": psi,
             "miner": miner,
+            "fd_mode": fd_mode,
+            "fd_k": fd_k,
+            "fd_alpha": fd_alpha,
+            "fd_max_lhs": fd_max_lhs,
+            "seed": seed,
             "strict": strict,
             "workers": workers,
             "start_method": start_method,
@@ -539,6 +615,11 @@ class StructureDiscovery:
             "double_clustering_phi_t": self.double_clustering_phi_t,
             "psi": self.psi,
             "miner": self.miner,
+            "fd_mode": self.fd_mode,
+            "fd_k": self.fd_k,
+            "fd_alpha": self.fd_alpha,
+            "fd_max_lhs": self.fd_max_lhs,
+            "seed": self.seed,
             "backend": self.backend,
             "workers": self.workers,
             # Memory governance changes which configurations a stage may
@@ -927,33 +1008,67 @@ class StructureDiscovery:
             ladder=ladder, escalations=escalations,
         )
 
+        if self.fd_mode == "exact":
+            mining_fallbacks = [
+                (
+                    f"FDEP over a {_SAMPLE_CAP}-tuple deterministic sample",
+                    lambda: fdep(deterministic_sample(relation)),
+                ),
+            ]
+        else:
+            # The reliable rung of the ladder: rescore on a seeded row
+            # sample.  Results carry sampled=True and per-FD confidence
+            # radii, the stage is recorded degraded (so it is never
+            # checkpointed as exact), and the flag survives into the
+            # rendered score list.
+            mining_fallbacks = [
+                (
+                    f"reliable miner over a seeded {_SAMPLE_CAP}-row "
+                    f"sample (confidence {1.0 - self.fd_alpha:g})",
+                    lambda: mine_reliable_fds(
+                        relation, mode=self.fd_mode, k=self.fd_k,
+                        alpha=self.fd_alpha, seed=self.seed,
+                        max_lhs_size=self.fd_max_lhs,
+                        sample_rows=_SAMPLE_CAP,
+                    ),
+                ),
+            ]
+
         dependencies = self._checkpointed(
             "mining", store, outcomes,
             lambda: self._guarded(
                 "mining", outcomes,
                 primary=lambda: self._mine(eff.relation, budget, executor),
-                fallbacks=[
-                    (
-                        f"FDEP over a {_SAMPLE_CAP}-tuple deterministic sample",
-                        lambda: fdep(deterministic_sample(relation)),
-                    ),
-                ],
+                fallbacks=mining_fallbacks,
                 default=[],
                 ladder=ladder,
             ),
             ladder=ladder, escalations=escalations,
         )
 
-        cover = self._checkpointed(
-            "cover", store, outcomes,
-            lambda: self._guarded(
+        def _cover_stage():
+            if self.fd_mode != "exact":
+                # Top-k miner output is already minimal *for its purpose*
+                # (a ranked shortlist, not a closure-complete cover);
+                # running Maier's exhaustive cover over it would only
+                # discard evidence.  Feed the FDs straight to FD-RANK.
+                outcomes.append(StageOutcome(
+                    stage="cover", status="ok",
+                    detail="skipped: reliable top-k output feeds FD-RANK "
+                           "directly",
+                ))
+                return [entry.fd for entry in dependencies]
+            return self._guarded(
                 "cover", outcomes,
                 primary=lambda: minimum_cover(dependencies),
                 fallbacks=[
                     ("raw mined dependencies", lambda: list(dependencies)),
                 ],
                 default=[],
-            ),
+            )
+
+        cover = self._checkpointed(
+            "cover", store, outcomes, _cover_stage,
             ladder=ladder, escalations=escalations,
         )
 
@@ -1006,7 +1121,19 @@ class StructureDiscovery:
         ), ladder
 
     def _mine(self, relation: Relation, budget: Budget | None, executor=None) -> list:
-        """The configured miner over the full relation (budgeted)."""
+        """The configured miner over the full relation (budgeted).
+
+        Reliable modes return :class:`repro.fd.ReliableFD` entries (already
+        in the deterministic ``(-score, lhs, rhs)`` order); exact mode
+        returns plain :class:`repro.fd.FD` sets for the cover stage.
+        """
+        if self.fd_mode != "exact":
+            return mine_reliable_fds(
+                relation, mode=self.fd_mode, k=self.fd_k,
+                alpha=self.fd_alpha, seed=self.seed,
+                max_lhs_size=self.fd_max_lhs,
+                budget=budget, executor=executor,
+            )
         miner = self.miner
         if miner == "auto":
             miner = "fdep" if len(relation) <= _FDEP_TUPLE_LIMIT else "tane"

@@ -11,6 +11,14 @@ from repro.fd.cover import minimum_cover
 from repro.fd.dependency import FD, closure, implies, is_trivial, split_rhs
 from repro.fd.fdep import agree_sets, fdep
 from repro.fd.partitions import Partition, partition_of
+from repro.fd.reliable import (
+    ReliableFD,
+    ReliableMiningStats,
+    fraction_of_information,
+    mine_reliable_fds,
+    mine_topk,
+    reliable_score,
+)
 from repro.fd.tane import tane
 from repro.fd.verify import g3_error, holds, violating_pairs
 
@@ -18,16 +26,22 @@ __all__ = [
     "ApproximateFD",
     "FD",
     "Partition",
+    "ReliableFD",
+    "ReliableMiningStats",
     "agree_sets",
     "mine_approximate_fds",
     "closure",
     "fdep",
+    "fraction_of_information",
     "g3_error",
     "holds",
     "implies",
     "is_trivial",
     "minimum_cover",
+    "mine_reliable_fds",
+    "mine_topk",
     "partition_of",
+    "reliable_score",
     "split_rhs",
     "tane",
     "violating_pairs",

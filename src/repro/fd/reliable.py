@@ -1,0 +1,759 @@
+"""Reliable approximate and top-k FD mining by bias-corrected information.
+
+Exact TANE/FDEP walk the full attribute lattice; FD-RANK (paper Section 6)
+only needs a *ranking*.  This module collapses the two passes into one
+branch-and-bound search that scores candidate dependencies ``X -> Y`` by
+the **bias-corrected fraction of information** of Mandros et al.
+("Discovering Reliable Approximate Functional Dependencies"):
+
+    F0(X -> Y) = ( I(X; Y) - EMI(X, Y) ) / H(Y)        clamped to [0, 1]
+
+``I/H`` is the plug-in fraction of information (1.0 exactly when ``X -> Y``
+holds); ``EMI`` is the *expected* mutual information between the two
+partitions under the permutation null model -- the score an uninformative
+LHS with the same partition shape would get by chance.  Subtracting it
+stops near-keys (high-cardinality LHSs) from looking like dependencies,
+which is precisely the failure mode of raw ``g3``-style error on samples.
+
+Search follows Wan & Han ("Redundancy-Driven Top-k FD Discovery"): a
+set-enumeration tree per RHS over the coded int32 columns (partitions are
+fused-key ``np.unique`` passes, the PR-7 columnar idiom), pruned with the
+admissible bound
+
+    F0(X' -> Y) <= I(X u T; Y) / H(Y)    for every X <= X' <= X u T
+
+(mutual information is monotone under partition refinement and EMI >= 0).
+Pruning is *strict* (``ub < threshold``), so score ties at the top-k
+boundary are never discarded and the result is a pure function of the
+candidate set -- independent of traversal order, worker count, and the
+pruning schedule.  That is what makes sharded runs bit-identical: a
+worker's local k-th-best score is at most the global one (a subset's k-th
+order statistic never exceeds the superset's), hence every worker-local
+threshold is admissible too.
+
+Sampled mode scores on a seeded row sample (``repro.seeding``) and attaches
+a conservative confidence radius to every result; callers must surface the
+degradation (discovery flags the run DEGRADED and never checkpoints sampled
+results as exact).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.budget import checkpoint
+from repro.fd.dependency import FD
+from repro.infotheory.entropy import entropy_of_counts
+from repro.seeding import sample_indices
+from repro.testing.faults import fault_point
+
+__all__ = [
+    "ReliableFD",
+    "ReliableMiningStats",
+    "expected_mutual_information",
+    "fraction_of_information",
+    "reliable_score",
+    "specialization_upper_bound",
+    "confidence_radius",
+    "mine_reliable_fds",
+    "mine_topk",
+]
+
+#: Fan the per-RHS root subtrees out to workers in fixed-size chunks.  The
+#: chunk layout is a pure function of the schema (never of the worker
+#: count), so the executor's deterministic shard layout applies unchanged.
+_SUBTREE_CHUNK = 8
+
+#: Below this many chunks the pool overhead dwarfs the work; stay inline.
+_PARALLEL_MIN_CHUNKS = 2
+
+#: Compact the candidate buffer when it outgrows this multiple of k.
+_COMPACT_FACTOR = 8
+
+#: Cross-RHS partition memo capacity (LRU; entries are governor-booked).
+_MEMO_ENTRIES = 1024
+
+
+# ---------------------------------------------------------------------------
+# Scoring: plug-in information and the permutation-model correction.
+# ---------------------------------------------------------------------------
+
+
+def _log_factorial_table(n: int) -> np.ndarray:
+    """``table[i] = ln(i!)`` for ``0 <= i <= n`` via one cumulative sum."""
+    table = np.zeros(n + 1)
+    if n >= 2:
+        table[2:] = np.cumsum(np.log(np.arange(2.0, n + 1.0)))
+    return table
+
+
+def expected_mutual_information(a_counts, b_counts, logfact=None) -> float:
+    """``E[I(A; B)]`` under the permutation (hypergeometric) null model.
+
+    ``a_counts`` and ``b_counts`` are the class sizes of two partitions of
+    the same ``n`` rows.  Under the null, the rows of ``B`` are randomly
+    permuted against ``A``; the expected contingency cell ``n_ij`` then
+    follows a hypergeometric law, and the expectation depends only on the
+    two class-*size* multisets.  We therefore sum over unique size pairs
+    weighted by their multiplicities -- the standard exact EMI computation
+    (Vinh et al.), vectorized over the inner ``n_ij`` range.
+
+    Natural-log units (the caller only ever uses ratios of information
+    quantities, so the base cancels).
+    """
+    a = np.asarray(a_counts, dtype=np.int64)
+    b = np.asarray(b_counts, dtype=np.int64)
+    a = a[a > 0]
+    b = b[b > 0]
+    n = int(a.sum())
+    if n != int(b.sum()):
+        raise ValueError("EMI needs two partitions of the same row count")
+    if n <= 1 or a.size <= 1 or b.size <= 1:
+        return 0.0
+    table = _log_factorial_table(n) if logfact is None else logfact
+    a_sizes, a_mult = np.unique(a, return_counts=True)
+    b_sizes, b_mult = np.unique(b, return_counts=True)
+    # One flat pass over every (a_i, b_j, n_ij) triple: the per-pair n_ij
+    # ranges are concatenated (repeat/cumsum segmentation), so the whole
+    # expectation is a handful of large vector ops instead of ~u_a * u_b
+    # tiny ones.  The summation order is fixed by the sorted unique sizes,
+    # hence a pure function of the two count multisets.
+    ai = np.repeat(a_sizes, b_sizes.size)
+    ma = np.repeat(a_mult, b_sizes.size)
+    bj = np.tile(b_sizes, a_sizes.size)
+    mb = np.tile(b_mult, a_sizes.size)
+    lo = np.maximum(1, ai + bj - n)
+    hi = np.minimum(ai, bj)
+    lengths = hi - lo + 1
+    keep = lengths > 0
+    ai, ma, bj, mb, lo, lengths = (
+        ai[keep], ma[keep], bj[keep], mb[keep], lo[keep], lengths[keep])
+    if lengths.size == 0:
+        return 0.0
+    total_len = int(lengths.sum())
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    nij = (np.arange(total_len, dtype=np.int64)
+           - np.repeat(starts, lengths) + np.repeat(lo, lengths))
+    ai_f = np.repeat(ai, lengths)
+    bj_f = np.repeat(bj, lengths)
+    mult = np.repeat(ma * mb, lengths).astype(np.float64)
+    # Hypergeometric log-pmf of the cell count n_ij.
+    log_p = (
+        table[bj_f] - table[nij] - table[bj_f - nij]
+        + table[n - bj_f] - table[ai_f - nij]
+        - table[n - bj_f - ai_f + nij]
+        - table[n] + table[ai_f] + table[n - ai_f]
+    )
+    # (n_ij / n) * ln(n * n_ij / (a_i * b_j))
+    terms = (nij / n) * (np.log(nij) + math.log(n)
+                         - np.log(ai_f) - np.log(bj_f))
+    total = float(np.sum(mult * np.exp(log_p) * terms))
+    return max(total, 0.0)
+
+
+@dataclass
+class ReliableMiningStats:
+    """Work counters for one mining run (summed across shards).
+
+    ``partitions_computed`` counts materialized lattice partitions -- one
+    per scored node plus one per upper-bound evaluation -- the same unit
+    TANE's ``stats`` counts per stored partition, so the two miners are
+    directly comparable.  ``pruned`` records ``(rhs, lhs, tail)`` name
+    tuples for every cut subtree; the admissibility property tests replay
+    them against the brute-force oracle.
+    """
+
+    nodes_visited: int = 0
+    candidates_scored: int = 0
+    partitions_computed: int = 0
+    subtrees_pruned: int = 0
+    sampled_rows: int | None = None
+    pruned: list = field(default_factory=list)
+
+    def absorb(self, other: "ReliableMiningStats") -> None:
+        self.nodes_visited += other.nodes_visited
+        self.candidates_scored += other.candidates_scored
+        self.partitions_computed += other.partitions_computed
+        self.subtrees_pruned += other.subtrees_pruned
+        self.pruned.extend(other.pruned)
+
+
+def _canonical_entropy(counts: np.ndarray) -> float:
+    """Natural-log entropy of a count vector, independent of label order.
+
+    Partitions reached along different fold paths carry permuted group
+    labels; summing the very same masses in a different order can move the
+    float result by an ulp.  Sorting the positive counts first makes every
+    entropy a pure function of the count *multiset*, which is what lets the
+    cross-RHS partition memo (and sharded workers with different memo-hit
+    patterns) stay bit-identical to the sequential pass.
+    """
+    positive = np.sort(counts[counts > 0])
+    return entropy_of_counts(positive, base=math.e)
+
+
+class _Scorer:
+    """Information quantities over one coded relation, natural-log units.
+
+    Partitions are row-group inverse arrays (``inv``) plus their group
+    sizes, built by fusing int64 keys and re-compressing with ``np.unique``
+    -- the same kernel as :func:`repro.fd.partitions.partition_of`, minus
+    the stripped-class bookkeeping the lattice miners need.
+
+    An LRU memo keyed by the attribute *set* shares partitions across the
+    per-RHS search trees (an LHS like ``{Month, School}`` appears in up to
+    ``arity`` trees); every hit is one whole fused-key pass saved, which is
+    how the miner's partition count stays below level-wise TANE's.  Entries
+    are booked with the memory governor and released on LRU eviction, so a
+    capped run degrades to recomputation instead of growing without bound.
+    """
+
+    def __init__(self, relation, budget=None,
+                 stats: ReliableMiningStats | None = None,
+                 memo_entries: int = None):
+        store = relation.coded
+        self.n = int(store.n_rows)
+        self.names = list(store.names)
+        self.columns = [np.asarray(c, dtype=np.int64) for c in store.columns]
+        self.cards = [max(1, len(d)) for d in store.dictionaries]
+        self.budget = budget
+        self.stats = stats if stats is not None else ReliableMiningStats()
+        self.logfact = _log_factorial_table(self.n)
+        self.marginals = [
+            np.bincount(col, minlength=card)
+            for col, card in zip(self.columns, self.cards)
+        ]
+        self.h = [_canonical_entropy(counts) for counts in self.marginals]
+        self._memo: OrderedDict = OrderedDict()
+        self._memo_cap = _MEMO_ENTRIES if memo_entries is None else memo_entries
+        self._governor = getattr(budget, "memory", None)
+        self._booked: dict = {}
+        self._roots_counted: set[int] = set()
+
+    def release_memo(self) -> None:
+        """Return every booked memo byte to the governor."""
+        self._memo.clear()
+        if self._governor is not None:
+            for key in list(self._booked):
+                self._governor.release(self._booked.pop(key))
+
+    def _lookup(self, key: frozenset):
+        hit = self._memo.get(key)
+        if hit is not None:
+            self._memo.move_to_end(key)
+        return hit
+
+    def _remember(self, key: frozenset, inv, counts) -> None:
+        if self._memo_cap <= 0:
+            return
+        if self._governor is not None:
+            n_bytes = int(inv.nbytes) + int(counts.nbytes)
+            self._governor.reserve(n_bytes, where="fd.reliable.memo")
+            self._booked[key] = n_bytes
+        self._memo[key] = (inv, counts)
+        if len(self._memo) > self._memo_cap:
+            old_key, _ = self._memo.popitem(last=False)
+            if self._governor is not None:
+                self._governor.release(self._booked.pop(old_key, 0))
+
+    def _fuse(self, inv: np.ndarray, position: int):
+        """Refine a partition by one attribute: fuse keys, re-compress."""
+        fused = inv * self.cards[position] + self.columns[position]
+        uniques, new_inv = np.unique(fused, return_inverse=True)
+        counts = np.bincount(new_inv, minlength=len(uniques))
+        self.stats.partitions_computed += 1
+        return new_inv.astype(np.int64), counts
+
+    def root(self, position: int):
+        """The singleton partition of one attribute (codes are dense)."""
+        if position not in self._roots_counted:
+            self._roots_counted.add(position)
+            self.stats.partitions_computed += 1
+        return self.columns[position], self.marginals[position]
+
+    def extend(self, key: frozenset, inv: np.ndarray, position: int):
+        """The partition of ``key | {position}``, via memo or one fuse."""
+        child_key = key | {position}
+        hit = self._lookup(child_key)
+        if hit is not None:
+            return hit
+        child_inv, child_counts = self._fuse(inv, position)
+        self._remember(child_key, child_inv, child_counts)
+        return child_inv, child_counts
+
+    def information(self, inv: np.ndarray, counts: np.ndarray,
+                    y_position: int):
+        """``(I(X;Y), support)`` where support = occupied joint cells.
+
+        The joint is compressed with ``np.unique`` rather than a dense
+        ``len(counts) * card_y`` bincount -- for a near-key LHS the dense
+        grid would be ``O(n * card_y)`` cells, the compressed form never
+        exceeds ``n``.
+        """
+        fused = inv * self.cards[y_position] + self.columns[y_position]
+        _, joint = np.unique(fused, return_counts=True)
+        h_joint = _canonical_entropy(joint)
+        h_x = _canonical_entropy(counts)
+        mi = max(h_x + self.h[y_position] - h_joint, 0.0)
+        return mi, int(joint.size)
+
+    def score(self, inv: np.ndarray, counts: np.ndarray, y_position: int):
+        """``(F0, F, support)`` for one candidate against attribute ``y``."""
+        h_y = self.h[y_position]
+        if h_y <= 0.0:
+            return 0.0, 0.0, 1
+        mi, support = self.information(inv, counts, y_position)
+        emi = expected_mutual_information(
+            counts, self.marginals[y_position], self.logfact)
+        self.stats.candidates_scored += 1
+        fraction = min(1.0, mi / h_y)
+        corrected = min(1.0, max(0.0, (mi - emi) / h_y))
+        return corrected, fraction, support
+
+    def upper_bound(self, key: frozenset, inv: np.ndarray, tail_positions,
+                    y_position: int):
+        """Admissible bound on every score in the subtree under ``key``.
+
+        ``I(X u T; Y)/H(Y)`` bounds ``F0(X' -> Y)`` for all ``X'`` between
+        ``X`` and ``X u T``: refining the LHS only grows plug-in MI, and
+        the EMI correction only ever subtracts.  (EMI of a specialization
+        is *not* provably below the parent's, so the bound deliberately
+        uses ``EMI >= 0`` and nothing sharper.)
+
+        The closure partition is folded from-scratch and counted as *one*
+        materialized partition -- the same unit as TANE's ``partition_of``,
+        which also hides its internal per-attribute fuses.  Only the final
+        closure is memoized: the intermediates are never scored, and suffix
+        closures repeat heavily across RHS trees (``{r..m}`` is shared by
+        every ``y < r``).
+        """
+        h_y = self.h[y_position]
+        if h_y <= 0.0:
+            return 0.0
+        closure_key = key.union(tail_positions)
+        hit = self._lookup(closure_key)
+        if hit is None:
+            closure = inv
+            for p in tail_positions:
+                fused = closure * self.cards[p] + self.columns[p]
+                _, closure = np.unique(fused, return_inverse=True)
+                closure = closure.astype(np.int64)
+            counts = np.bincount(closure)
+            self.stats.partitions_computed += 1
+            self._remember(closure_key, closure, counts)
+        else:
+            closure, counts = hit
+        mi, _ = self.information(closure, counts, y_position)
+        return min(1.0, mi / h_y)
+
+
+# ---------------------------------------------------------------------------
+# Public scoring helpers (the oracle and the property suites call these).
+# ---------------------------------------------------------------------------
+
+
+def _fold(scorer: _Scorer, positions) -> tuple:
+    """The partition of an arbitrary attribute set, folded in sorted order."""
+    inv, counts = scorer.root(positions[0])
+    key = frozenset(positions[:1])
+    for p in positions[1:]:
+        inv, counts = scorer.extend(key, inv, p)
+        key = key | {p}
+    return inv, counts
+
+
+def _positions(relation, names) -> list[int]:
+    schema = list(relation.coded.names)
+    missing = [a for a in names if a not in schema]
+    if missing:
+        raise ValueError(f"unknown attribute(s) {missing!r}")
+    return [schema.index(a) for a in names]
+
+
+def fraction_of_information(relation, lhs, rhs) -> float:
+    """Plug-in ``I(X;Y)/H(Y)`` -- 1.0 exactly when ``X -> Y`` holds."""
+    scorer = _Scorer(relation)
+    (y,) = _positions(relation, [rhs])
+    lhs_positions = sorted(_positions(relation, list(lhs)))
+    if not lhs_positions:
+        raise ValueError("lhs must be non-empty")
+    if scorer.h[y] <= 0.0:
+        return 0.0
+    inv, counts = _fold(scorer, lhs_positions)
+    mi, _ = scorer.information(inv, counts, y)
+    return min(1.0, mi / scorer.h[y])
+
+
+def reliable_score(relation, lhs, rhs) -> float:
+    """Bias-corrected fraction of information ``F0(lhs -> rhs)`` in [0, 1]."""
+    scorer = _Scorer(relation)
+    (y,) = _positions(relation, [rhs])
+    lhs_positions = sorted(_positions(relation, list(lhs)))
+    if not lhs_positions:
+        raise ValueError("lhs must be non-empty")
+    inv, counts = _fold(scorer, lhs_positions)
+    score, _, _ = scorer.score(inv, counts, y)
+    return score
+
+
+def specialization_upper_bound(relation, lhs, tail, rhs) -> float:
+    """Admissible bound on ``F0(X' -> rhs)`` for every ``lhs <= X' <= lhs u tail``."""
+    scorer = _Scorer(relation)
+    (y,) = _positions(relation, [rhs])
+    lhs_positions = sorted(_positions(relation, list(lhs)))
+    tail_positions = sorted(_positions(relation, list(tail)))
+    if not lhs_positions:
+        raise ValueError("lhs must be non-empty")
+    inv, _ = _fold(scorer, lhs_positions)
+    return scorer.upper_bound(frozenset(lhs_positions), inv, tail_positions, y)
+
+
+def confidence_radius(m: int, support: int, alpha: float, h_y: float) -> float:
+    """Conservative half-width of the sampled-score confidence interval.
+
+    With probability ``>= 1 - alpha`` over the row sample, the exact score
+    lies within ``radius`` of the sampled one.  The bound combines a
+    McDiarmid deviation for the three plug-in entropies (replacing one of
+    ``m`` rows moves each by at most ``~ln(m)/m``) with a Miller-Madow
+    style bias term ``~support/m``, normalized by the sampled ``H(Y)``.
+    Scores live in [0, 1], so the radius is capped at 1.0 -- once the cap
+    binds the interval is trivially valid, which keeps the guarantee
+    honest even for tiny samples.
+    """
+    if m <= 0:
+        return 1.0
+    deviation = 3.0 * math.log(max(m, 2)) * math.sqrt(
+        math.log(4.0 / alpha) / (2.0 * m))
+    bias = 4.0 * support / m
+    return min(1.0, (deviation + bias) / max(h_y, 1e-9))
+
+
+# ---------------------------------------------------------------------------
+# The branch-and-bound search.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReliableFD:
+    """One mined dependency with its reliability evidence.
+
+    ``score`` is the bias-corrected fraction of information, ``information``
+    the uncorrected plug-in fraction (``1.0`` iff the FD holds exactly on
+    the scored rows).  ``sampled`` marks scores computed on a row sample;
+    ``confidence_radius`` then bounds ``|exact - sampled|`` at the miner's
+    confidence level (0.0 for exact runs).
+    """
+
+    fd: FD
+    score: float
+    information: float
+    sampled: bool = False
+    confidence_radius: float = 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        tag = f" ±{self.confidence_radius:.3f}" if self.sampled else ""
+        return f"{self.fd} [score={self.score:.4f}{tag}]"
+
+
+class _Collector:
+    """Accumulates scored candidates and exposes the pruning threshold.
+
+    In ``topk`` mode the threshold is the current k-th best *score* (ties
+    ignored), tracked with a bounded min-heap; candidates below it are
+    discarded lazily so boundary ties always survive to final selection.
+    In ``reliable`` mode the threshold is the fixed ``min_score``.
+    """
+
+    def __init__(self, mode: str, k: int, min_score: float):
+        self.mode = mode
+        self.k = k
+        self.min_score = min_score
+        self.entries: list[tuple[float, float, int, tuple, str]] = []
+        self._heap: list[float] = []
+
+    def threshold(self) -> float:
+        if self.mode == "reliable":
+            return self.min_score
+        if len(self._heap) < self.k:
+            return -math.inf
+        return self._heap[0]
+
+    def add(self, score: float, fraction: float, support: int,
+            lhs_names: tuple, rhs_name: str) -> None:
+        if self.mode == "reliable":
+            if score >= self.min_score:
+                self.entries.append(
+                    (score, fraction, support, lhs_names, rhs_name))
+            return
+        heappush(self._heap, score)
+        if len(self._heap) > self.k:
+            heappop(self._heap)
+        self.entries.append((score, fraction, support, lhs_names, rhs_name))
+        if len(self.entries) > max(64, _COMPACT_FACTOR * self.k):
+            floor = self.threshold()
+            self.entries = [e for e in self.entries if e[0] >= floor]
+
+    def merge_entries(self, entries) -> None:
+        for score, fraction, support, lhs_names, rhs_name in entries:
+            self.add(score, fraction, support, tuple(lhs_names), rhs_name)
+
+    def results(self) -> list[tuple[float, float, int, tuple, str]]:
+        """Final selection under the deterministic total order."""
+        ordered = sorted(
+            self.entries,
+            key=lambda e: (-e[0], tuple(sorted(e[3])), e[4]),
+        )
+        if self.mode == "reliable":
+            return ordered
+        return ordered[: self.k]
+
+
+def _descend(scorer: _Scorer, collector: _Collector, y: int,
+             chosen: tuple, key: frozenset, inv, counts, tail: tuple,
+             max_lhs_size: int, tree_bound: float | None) -> None:
+    """Score the node ``chosen -> y`` and recurse over its tail.
+
+    ``tree_bound`` is the root subtree's closure bound; every node's own
+    closure is a subset of the root's, so one bound per (rhs, root) tree is
+    admissible everywhere inside it.  It is checked at every node because
+    the threshold keeps rising while the tree is walked.
+    """
+    checkpoint(scorer.budget, units=scorer.n, where="fd.reliable.node")
+    fault_point("fd.reliable.node")
+    scorer.stats.nodes_visited += 1
+    score, fraction, support = scorer.score(inv, counts, y)
+    collector.add(score, fraction, support,
+                  tuple(scorer.names[p] for p in chosen), scorer.names[y])
+    usable_tail = tail if len(chosen) < max_lhs_size else ()
+    if not usable_tail:
+        return
+    threshold = collector.threshold()
+    if (tree_bound is not None and threshold > -math.inf
+            and tree_bound < threshold):
+        scorer.stats.subtrees_pruned += 1
+        scorer.stats.pruned.append((
+            scorer.names[y],
+            tuple(scorer.names[p] for p in chosen),
+            tuple(scorer.names[p] for p in usable_tail),
+        ))
+        return
+    for i, t in enumerate(usable_tail):
+        child_inv, child_counts = scorer.extend(key, inv, t)
+        _descend(scorer, collector, y, chosen + (t,), key | {t}, child_inv,
+                 child_counts, usable_tail[i + 1:], max_lhs_size, tree_bound)
+
+
+def _run_jobs(scorer: _Scorer, collector: _Collector, jobs,
+              max_lhs_size: int) -> None:
+    """Run ``(rhs_position, root_position, tail_positions)`` subtrees."""
+    for y, root, tail in jobs:
+        if scorer.h[y] <= 0.0:
+            continue  # constant RHS: F0 is 0/0 -- excluded by definition
+        inv, counts = scorer.root(root)
+        tail = tuple(tail)
+        root_key = frozenset((root,))
+        tree_bound = (scorer.upper_bound(root_key, inv, tail, y)
+                      if tail else None)
+        _descend(scorer, collector, y, (root,), root_key, inv,
+                 counts, tail, max_lhs_size, tree_bound)
+
+
+def _subtree_jobs(arity: int, rhs_positions) -> list[tuple[int, int, tuple]]:
+    """The full job list: every (rhs, root) set-enumeration subtree.
+
+    Tails follow canonical schema order, so the candidate set -- and with
+    it the mined result -- is a pure function of the schema.
+    """
+    jobs = []
+    for y in rhs_positions:
+        others = [p for p in range(arity) if p != y]
+        for i, root in enumerate(others):
+            jobs.append((y, root, tuple(others[i + 1:])))
+    return jobs
+
+
+def run_subtree_chunk(relation, jobs, mode: str, k: int, min_score: float,
+                      max_lhs_size: int):
+    """One shard's work: run a chunk of subtrees, return plain data.
+
+    This is the body of :func:`repro.parallel.tasks.reliable_subtree` -- a
+    pure function of its payload (no budget, no shared collector), which is
+    what lets the executor re-run a shard in-process after a pool failure.
+    Returns ``(entries, counters)`` with worker-local top-k trimming only
+    (admissible: a shard's k-th best never exceeds the global one).
+    """
+    stats = ReliableMiningStats()
+    scorer = _Scorer(relation, budget=None, stats=stats)
+    collector = _Collector(mode, k, min_score)
+    _run_jobs(scorer, collector, jobs, max_lhs_size)
+    floor = collector.threshold()
+    entries = [e for e in collector.entries if e[0] >= floor]
+    counters = (stats.nodes_visited, stats.candidates_scored,
+                stats.partitions_computed, stats.subtrees_pruned,
+                list(stats.pruned))
+    return entries, counters
+
+
+def _validate(mode, k, min_score, alpha, max_lhs_size, sample_rows):
+    if mode not in ("topk", "reliable"):
+        raise ValueError("mode must be 'topk' or 'reliable'")
+    if mode == "topk" and k < 1:
+        raise ValueError("k must be at least 1")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must lie in (0, 1), got {alpha!r}")
+    if min_score is not None and not 0.0 <= min_score <= 1.0:
+        raise ValueError(f"min_score must lie in [0, 1], got {min_score!r}")
+    if max_lhs_size is not None and max_lhs_size < 1:
+        raise ValueError("max_lhs_size must be at least 1")
+    if sample_rows is not None and sample_rows < 1:
+        raise ValueError("sample_rows must be at least 1")
+
+
+def mine_reliable_fds(
+    relation,
+    *,
+    mode: str = "topk",
+    k: int = 10,
+    min_score: float | None = None,
+    alpha: float = 0.05,
+    max_lhs_size: int | None = None,
+    rhs: str | None = None,
+    sample_rows: int | None = None,
+    seed: int = 0,
+    budget=None,
+    executor=None,
+    stats: ReliableMiningStats | None = None,
+) -> list[ReliableFD]:
+    """Mine the most reliable approximate FDs of ``relation``.
+
+    Parameters
+    ----------
+    mode:
+        ``"topk"`` returns the ``k`` highest-scoring dependencies under the
+        deterministic total order ``(-score, sorted lhs, rhs)``;
+        ``"reliable"`` returns every dependency scoring at least
+        ``min_score`` (default ``1 - alpha``).
+    alpha:
+        Reliability level: the default ``min_score`` in reliable mode and
+        the confidence level ``1 - alpha`` of sampled-mode radii.
+    rhs:
+        Restrict mining to one consequent attribute (all attributes
+        otherwise).
+    sample_rows:
+        Score on a seeded sample of this many rows; results carry
+        ``sampled=True`` and a per-FD confidence radius.  ``>= len(relation)``
+        degenerates to the exact computation.
+    seed:
+        Feeds :mod:`repro.seeding`; same seed, same sample, same report.
+    budget / executor:
+        Cooperative :class:`repro.budget.Budget` checkpoints per scored
+        node (memory-governed runs tick RSS sampling through the same
+        call); a :class:`repro.parallel.ShardedExecutor` shards root
+        subtrees in fixed chunks with bit-identical output for any worker
+        count.
+    stats:
+        Optional :class:`ReliableMiningStats` to fill in place (summed
+        across shards).
+    """
+    _validate(mode, k, min_score, alpha, max_lhs_size, sample_rows)
+    if min_score is None:
+        min_score = 1.0 - alpha
+    names = list(relation.coded.names)
+    arity = len(names)
+    if max_lhs_size is None:
+        max_lhs_size = max(arity - 1, 1)
+    if rhs is not None:
+        _positions(relation, [rhs])
+
+    n = len(relation)
+    sampled = False
+    radius_m = 0
+    work = relation
+    if sample_rows is not None and sample_rows < n:
+        indices = sample_indices(n, sample_rows, seed, "fd.reliable.sample")
+        work = relation.take(indices.tolist())
+        sampled = True
+        radius_m = int(sample_rows)
+
+    if stats is None:
+        stats = ReliableMiningStats()
+    stats.sampled_rows = radius_m if sampled else None
+    if arity < 2 or len(work) == 0:
+        return []
+
+    rhs_positions = ([names.index(rhs)] if rhs is not None
+                     else list(range(arity)))
+    jobs = _subtree_jobs(arity, rhs_positions)
+    collector = _Collector(mode, k, min_score)
+
+    governor = getattr(budget, "memory", None)
+    booked = 0
+    if governor is not None:
+        # The scorer widens every code column to int64 and keeps the int32
+        # originals alive through the relation; transient per-node arrays
+        # are a few more rows-sized vectors.
+        booked = (12 * len(work) * arity) + (4 * 8 * len(work))
+        governor.reserve(booked, where="fd.reliable.scorer")
+    try:
+        chunks = [jobs[i:i + _SUBTREE_CHUNK]
+                  for i in range(0, len(jobs), _SUBTREE_CHUNK)]
+        use_pool = (executor is not None and executor.parallel
+                    and len(chunks) >= _PARALLEL_MIN_CHUNKS)
+        if use_pool:
+            from repro.parallel import tasks
+
+            job_names = [
+                [(names[y], names[root], tuple(names[p] for p in tail))
+                 for y, root, tail in chunk]
+                for chunk in chunks
+            ]
+            payloads = [
+                (work, chunk, mode, k, min_score, max_lhs_size)
+                for chunk in job_names
+            ]
+            shard_results = executor.map(
+                tasks.reliable_subtree, payloads,
+                units=[len(work) * len(chunk) for chunk in chunks],
+                where="fd.reliable.subtree", budget=budget)
+            for entries, counters in shard_results:
+                collector.merge_entries(entries)
+                visited, scored, parts, pruned, pruned_list = counters
+                stats.nodes_visited += visited
+                stats.candidates_scored += scored
+                stats.partitions_computed += parts
+                stats.subtrees_pruned += pruned
+                stats.pruned.extend(tuple(p) for p in pruned_list)
+        else:
+            scorer = _Scorer(work, budget=budget, stats=stats)
+            try:
+                _run_jobs(scorer, collector, jobs, max_lhs_size)
+            finally:
+                scorer.release_memo()
+    finally:
+        if governor is not None:
+            governor.release(booked)
+
+    if sampled:
+        sample_scorer = _Scorer(work)
+    results = []
+    for score, fraction, support, lhs_names, rhs_name in collector.results():
+        radius = 0.0
+        if sampled:
+            y = names.index(rhs_name)
+            radius = confidence_radius(
+                radius_m, support, alpha, sample_scorer.h[y])
+        results.append(ReliableFD(
+            fd=FD(frozenset(lhs_names), frozenset({rhs_name})),
+            score=score, information=fraction,
+            sampled=sampled, confidence_radius=radius))
+    return results
+
+
+def mine_topk(relation, k: int = 10, **kwargs) -> list[ReliableFD]:
+    """The ``k`` highest-scoring dependencies (see :func:`mine_reliable_fds`)."""
+    return mine_reliable_fds(relation, mode="topk", k=k, **kwargs)

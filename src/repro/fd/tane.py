@@ -39,6 +39,7 @@ def tane(
     allow_empty_lhs: bool = False,
     budget=None,
     executor=None,
+    stats: dict | None = None,
 ) -> list[FD]:
     """Mine all minimal functional dependencies ``X -> A`` of the instance.
 
@@ -63,6 +64,11 @@ def tane(
         processes (directly from the relation -- partitions are canonical,
         so the result equals the incremental ``product`` of the sequential
         path).  The mined dependency set is identical with or without it.
+    stats:
+        Optional dict filled with work counters; ``partitions_computed``
+        counts every stored lattice partition -- the unit
+        :class:`repro.fd.reliable.ReliableMiningStats` also counts, so the
+        benchmark can compare the two miners' lattice work directly.
     """
     names = tuple(relation.schema.names)
     n = len(relation)
@@ -80,6 +86,9 @@ def tane(
             n_bytes = _partition_bytes(part)
             governor.reserve(n_bytes, where="tane.partition")
             booked[key] = n_bytes
+        if stats is not None:
+            stats["partitions_computed"] = (
+                stats.get("partitions_computed", 0) + 1)
         partitions[key] = part
 
     def free_below(cutoff: int) -> None:

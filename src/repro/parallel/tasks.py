@@ -119,6 +119,31 @@ def partition_chunk(payload):
     return [partition_of(relation, list(attrs)) for attrs in candidates]
 
 
+def reliable_subtree(payload):
+    """Reliable-FD branch-and-bound over one chunk of root subtrees.
+
+    Payload: ``(relation, jobs, mode, k, min_score, max_lhs_size)`` with
+    each job a ``(rhs_name, root_name, tail_names)`` triple naming one
+    set-enumeration subtree.  Returns ``(entries, counters)`` -- the
+    chunk's surviving scored candidates plus its work counters.  The
+    worker prunes only against its *local* top-k threshold, which is
+    admissible for the global search (a subset's k-th-best score never
+    exceeds the superset's), so merged results are bit-identical to the
+    sequential miner's for any worker count.
+    """
+    relation, jobs, mode, k, min_score, max_lhs_size = payload
+    from repro.fd.reliable import run_subtree_chunk
+
+    names = list(relation.coded.names)
+    positions = [
+        (names.index(rhs), names.index(root),
+         tuple(names.index(t) for t in tail))
+        for rhs, root, tail in jobs
+    ]
+    return run_subtree_chunk(relation, positions, mode, k, min_score,
+                             max_lhs_size)
+
+
 def aib_pairwise_block(payload):
     """Initial AIB candidate costs for one block of matrix rows.
 

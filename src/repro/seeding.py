@@ -1,0 +1,70 @@
+"""Centralized RNG seeding for every sampled code path.
+
+Sampling decisions must be a pure function of ``(seed, scope, n, ...)`` --
+never of interpreter state, worker count, or call order -- so that two runs
+with the same ``--seed`` produce byte-identical reports and a sampled stage
+re-executed after a crash/resume redraws exactly the same rows.
+
+Each sampled call site derives its own independent stream by hashing the
+user-facing seed together with a short *scope* string (``"fd.reliable"``,
+``"discovery.sample"``, ...).  Scoping keeps streams independent without
+any global draw-order coupling: adding a new sampled path can never shift
+the rows an existing path draws.
+
+The synthetic dataset generators (``repro.datasets``) intentionally keep
+their own ``random.Random(seed)`` streams: their output is golden test and
+benchmark input, and rerouting them here would silently change every
+baseline.  This module governs *sampling over an existing relation* only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "derive_rng", "sample_indices"]
+
+#: Upper bound (exclusive) for derived integer seeds; fits any RNG API.
+_SEED_SPACE = 2**63
+
+
+def derive_seed(seed: int, scope: str) -> int:
+    """Derive a deterministic sub-seed for one named sampling site.
+
+    SHA-256 over ``"{seed}:{scope}"`` -- stable across platforms, Python
+    versions, and ``PYTHONHASHSEED`` (unlike ``hash()``).
+    """
+    if not scope:
+        raise ValueError("scope must be a non-empty string")
+    digest = hashlib.sha256(f"{int(seed)}:{scope}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_SPACE
+
+
+def derive_rng(seed: int, scope: str) -> np.random.Generator:
+    """A ``numpy`` Generator owned by one sampling site.
+
+    PCG64 streams seeded this way are reproducible across numpy releases
+    (the bit-stream of a seeded ``default_rng`` is part of numpy's
+    compatibility guarantee).
+    """
+    return np.random.default_rng(derive_seed(seed, scope))
+
+
+def sample_indices(n: int, size: int, seed: int, scope: str) -> np.ndarray:
+    """Draw ``size`` distinct row indices from ``range(n)``, sorted ascending.
+
+    Sampling is without replacement; the sorted order makes the sampled
+    sub-relation's row order (and therefore its dictionary encoding) a pure
+    function of the index *set*, not of the draw order.  ``size >= n``
+    degenerates to the identity selection -- callers treat that as "exact".
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if size < 1:
+        raise ValueError("sample size must be at least 1")
+    if size >= n:
+        return np.arange(n, dtype=np.int64)
+    rng = derive_rng(seed, scope)
+    chosen = rng.choice(n, size=size, replace=False)
+    return np.sort(chosen.astype(np.int64))

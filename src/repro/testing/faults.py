@@ -50,6 +50,7 @@ FAULT_POINTS = frozenset({
     # miners and clustering hot loops
     "fd.fdep.pairs",
     "fd.tane.level",
+    "fd.reliable.node",
     "limbo.fit",
     "limbo.assign",
     # memory governance: fired with the freshly sampled RSS byte count as

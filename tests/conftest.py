@@ -1,0 +1,28 @@
+"""Shared pytest configuration: hypothesis profiles for the two CI lanes.
+
+The default ``fast`` profile keeps property suites cheap enough for the
+tier-1 run; the ``statistical`` profile (selected with
+``HYPOTHESIS_PROFILE=statistical``, as the dedicated CI job does) spends a
+much higher example count and derandomizes, so statistical claims -- score
+ranges, pruning admissibility, sampled-vs-exact agreement -- are checked
+exhaustively and reproducibly rather than on a small random slice.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "fast",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "statistical",
+    max_examples=300,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))

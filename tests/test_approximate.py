@@ -76,3 +76,46 @@ class TestMineApproximateFds:
         rel = relation_with_fd(30, 3)
         approx = mine_approximate_fds(rel, max_error=0.0, max_lhs_size=1)
         assert "g3=" in str(approx[0])
+
+
+class TestErrorPaths:
+    """Every rejected parameter, with the exact error text contract."""
+
+    def test_negative_max_error(self):
+        rel = relation_with_fd(20, 4)
+        with pytest.raises(ValueError, match="max_error"):
+            mine_approximate_fds(rel, max_error=-0.1)
+
+    def test_max_error_of_one_rejected(self):
+        rel = relation_with_fd(20, 4)
+        with pytest.raises(ValueError, match="max_error"):
+            mine_approximate_fds(rel, max_error=1.0)
+
+    def test_negative_max_lhs_size(self):
+        rel = relation_with_fd(20, 4)
+        with pytest.raises(ValueError, match="max_lhs_size"):
+            mine_approximate_fds(rel, max_lhs_size=-1)
+
+    def test_validation_precedes_relation_access(self):
+        # Bad parameters must fail fast even on degenerate inputs.
+        with pytest.raises(ValueError):
+            mine_approximate_fds(Relation(["A"], []), max_error=2.0)
+
+
+class TestDegenerateRelations:
+    def test_single_row_everything_qualifies(self):
+        rel = Relation(["A", "B"], [("x", "y")])
+        approx = mine_approximate_fds(rel, max_error=0.0)
+        assert {a.fd for a in approx} == {FD("A", "B"), FD("B", "A")}
+        assert all(a.error == 0.0 for a in approx)
+
+    def test_all_duplicate_rows(self):
+        rel = Relation(["A", "B", "C"], [("x", "y", "z")] * 10)
+        approx = mine_approximate_fds(rel, max_error=0.0, max_lhs_size=1)
+        assert approx
+        assert all(a.error == 0.0 for a in approx)
+        assert all(len(a.fd.lhs) == 1 for a in approx)
+
+    def test_single_attribute_no_candidates(self):
+        rel = Relation(["A"], [("x",), ("y",)])
+        assert mine_approximate_fds(rel) == []

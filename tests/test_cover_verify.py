@@ -143,3 +143,29 @@ class TestViolatingPairs:
     def test_limit(self):
         rel = Relation(["A", "B"], [("x", str(i)) for i in range(10)])
         assert len(violating_pairs(rel, FD("A", "B"), limit=3)) == 3
+
+
+class TestVerifyDegenerateRelations:
+    """`holds` / `g3_error` / `violating_pairs` on the empty, single-row
+    and all-duplicate instances (every dependency holds vacuously)."""
+
+    def test_empty_relation(self):
+        rel = Relation(["A", "B"], [])
+        assert holds(rel, FD("A", "B"))
+        assert holds(rel, FD(set(), {"B"}))
+        assert g3_error(rel, FD("A", "B")) == 0.0
+        assert violating_pairs(rel, FD("A", "B")) == []
+
+    def test_single_row_relation(self):
+        rel = Relation(["A", "B"], [("x", "y")])
+        for fd in (FD("A", "B"), FD("B", "A"), FD(set(), {"A"})):
+            assert holds(rel, fd)
+            assert g3_error(rel, fd) == 0.0
+        assert violating_pairs(rel, FD("A", "B")) == []
+
+    def test_all_duplicate_rows(self):
+        rel = Relation(["A", "B", "C"], [("x", "y", "z")] * 8)
+        for fd in (FD("A", "B"), FD({"A", "B"}, {"C"}), FD(set(), {"C"})):
+            assert holds(rel, fd)
+            assert g3_error(rel, fd) == 0.0
+            assert violating_pairs(rel, fd) == []
