@@ -1,0 +1,137 @@
+"""Talking to the resident discovery daemon.
+
+Walks the full client-side story of `repro serve`:
+
+1. start a daemon (here: as a subprocess on a free port, the way a test
+   rig would; in production it is already running);
+2. upload a relation in sequence-numbered chunks through the retrying
+   client -- replaying a chunk is safe, the daemon applies it exactly
+   once;
+3. mine the model and read the top-ranked dependencies;
+4. push more rows and watch queries turn *approximate*: the new rows are
+   absorbed into the model's cluster summaries without a re-run, and the
+   staleness watermark shows how far the model has drifted;
+5. assign a never-seen row to its closest tuple cluster, live.
+
+Run:  python examples/service_client.py [--port PORT]
+
+Without --port the example spawns its own daemon in a temporary
+checkpoint directory and tears it down at the end; with --port it talks
+to a daemon you already started (`repro serve --checkpoint-dir ...`).
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import ServiceClient  # noqa: E402
+
+ATTRS = ["emp_no", "dept_no", "dept_name", "mgr_no"]
+
+
+def make_rows(n, offset=0):
+    """Employees in three departments; dept_no -> dept_name, mgr_no."""
+    departments = [("A00", "SPIFFY", "000010"),
+                   ("B01", "PLANNING", "000020"),
+                   ("C01", "INFORMATION", "000030")]
+    rows = []
+    for index in range(offset, offset + n):
+        dept_no, dept_name, mgr_no = departments[index % 3]
+        rows.append([f"{(index + 1) * 10:06d}", dept_no, dept_name, mgr_no])
+    return rows
+
+
+def spawn_daemon(checkpoint_dir):
+    env = dict(os.environ, PYTHONUNBUFFERED="1")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(Path(__file__).resolve().parent.parent / "src"),
+                    env.get("PYTHONPATH")) if p)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--checkpoint-dir", str(checkpoint_dir)], env=env)
+    endpoint = Path(checkpoint_dir) / "service.json"
+    for _ in range(600):
+        if endpoint.exists():
+            port = int(json.loads(endpoint.read_text())["port"])
+            if port and ServiceClient(port=port).wait_ready(5.0):
+                return process, port
+        time.sleep(0.05)
+    raise SystemExit("daemon never became ready")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, default=None,
+                        help="talk to an already-running daemon")
+    args = parser.parse_args()
+
+    process = None
+    if args.port is None:
+        home = tempfile.mkdtemp(prefix="repro-example-")
+        print(f"Starting a daemon (checkpoint dir {home}) ...")
+        process, port = spawn_daemon(home)
+    else:
+        port = args.port
+
+    try:
+        client = ServiceClient(port=port)
+
+        print("\n1. Chunked upload (exactly-once):")
+        client.create_relation("employees", ATTRS)
+        for seq, chunk in enumerate((make_rows(20), make_rows(20, 20)), 1):
+            ack = client.append_rows("employees", chunk, seq=seq)
+            print(f"   chunk seq={seq}: {ack['n_rows']} rows resident")
+        # A retried chunk (lost response, crashed daemon) is harmless:
+        replay = client.append_rows("employees", make_rows(20, 20), seq=2)
+        print(f"   replayed seq=2: duplicate={replay['duplicate']}, "
+              f"still {replay['n_rows']} rows")
+
+        print("\n2. Mine the model:")
+        model = client.build_model("employees", top=3)
+        print(f"   model {model['model_key'][:12]}..., "
+              f"{model['dependencies_mined']} dependencies mined, "
+              f"healthy={model['healthy']}")
+        for entry in model["dependencies"][:3]:
+            lhs = " ".join(entry["lhs"])
+            rhs = " ".join(entry["rhs"])
+            print(f"   {lhs} -> {rhs}")
+
+        print("\n3. Queries are exact while nothing changed:")
+        fds = client.top_fds("employees", k=3)
+        print(f"   approximate={fds['approximate']}, "
+              f"stale_rows={fds['stale_rows']}")
+
+        print("\n4. Push more rows; queries turn approximate:")
+        client.append_rows("employees", make_rows(10, 40), seq=3)
+        fds = client.top_fds("employees", k=3)
+        print(f"   approximate={fds['approximate']}, "
+              f"stale_rows={fds['stale_rows']} "
+              "(absorbed into the cluster summaries, not yet re-mined)")
+
+        print("\n5. Assign a live row to its closest tuple cluster:")
+        verdict = client.assign("employees",
+                                ["999999", "B01", "PLANNING", "000020"])
+        print(f"   cluster {verdict['cluster']} of {verdict['clusters']} "
+              f"(approximate={verdict['approximate']})")
+
+        print("\nDaemon stats:")
+        stats = client.stats()
+        print(f"   requests={stats['requests']}, "
+              f"cache={stats['cache']['computes']} computed / "
+              f"{stats['cache']['hits']} hits")
+    finally:
+        if process is not None:
+            process.send_signal(signal.SIGTERM)
+            print(f"\nDrained daemon, exit code {process.wait(30.0)}")
+
+
+if __name__ == "__main__":
+    main()

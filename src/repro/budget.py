@@ -431,6 +431,41 @@ class Budget:
         """
         self.checkpoint(units=units, where=where)
 
+    # -- derived budgets ---------------------------------------------------------
+
+    def derive(self, deadline: float | None = None,
+               max_units: int | None = None) -> "Budget":
+        """A child budget for one unit of work inside this budget's scope.
+
+        The child's deadline is clamped to whatever allowance this budget
+        has left, so no derived task can outlive its parent; its memory
+        governance *shares* the parent's :class:`MemoryGovernor` object
+        (same cap, same accounting), because the bytes a child reserves are
+        bytes the whole process has spent.  The resident service daemon
+        uses this to mint one budget per HTTP request off its process-wide
+        budget: ``request_budget = daemon_budget.derive(deadline=30.0)``.
+
+        Unit caps do not inherit -- the parent keeps counting its own units
+        via :meth:`charge` if the caller folds child work back in.
+        """
+        remaining = self.remaining_seconds()
+        if deadline is None:
+            child_deadline = remaining
+        elif remaining is None:
+            child_deadline = deadline
+        else:
+            child_deadline = min(deadline, remaining)
+        if child_deadline is not None:
+            # A parent already past its deadline leaves epsilon allowance:
+            # the child raises at its first checkpoint instead of at
+            # construction, matching every other budget-exhaustion site.
+            child_deadline = max(child_deadline, 1e-6)
+        child = Budget(deadline=child_deadline, max_units=max_units,
+                       clock=self._clock)
+        child.max_memory_bytes = self.max_memory_bytes
+        child.memory = self.memory
+        return child
+
     # -- process portability -----------------------------------------------------
 
     def __getstate__(self):

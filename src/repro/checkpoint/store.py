@@ -38,6 +38,12 @@ Snapshot layout inside the store directory::
                                     summaries, AIB merge sequences), keyed
                                     by a digest of their exact inputs
     progress.json                   heartbeat: last stage / unit count seen
+    <kind>.<name>.ckpt              run-independent *named* snapshots: the
+                                    resident service's model cache and
+                                    relation state, content-addressed by
+                                    the caller (no run token)
+    daemon.lock                     advisory flock held by `repro serve` so
+                                    two daemons cannot share one store
     *.quarantined-N                 rejected snapshots, kept for forensics
 
 Determinism guarantee: stage results are pure functions of the relation and
@@ -76,6 +82,26 @@ DEFAULT_MAX_QUARANTINED = 8
 _MANIFEST_NAME = "manifest.json"
 _PROGRESS_NAME = "progress.json"
 _INCIDENT_NAME = "incident.json"
+_LOCK_NAME = "daemon.lock"
+
+#: Token written into named (run-independent) snapshots.  Named snapshots
+#: are content-addressed by their caller (the service keys models on the
+#: relation fingerprint + parameter digest), so unlike stage snapshots they
+#: deliberately survive across runs and process restarts.
+_SHARED_TOKEN = "shared"
+
+#: Filesystem-safe snapshot names (kind and name components).
+_NAME_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+
+def _check_name(label: str, value: str) -> str:
+    if not value or any(ch not in _NAME_SAFE for ch in value):
+        raise ValueError(
+            f"{label} must be non-empty and use only [A-Za-z0-9._-], "
+            f"got {value!r}"
+        )
+    return value
 
 
 @dataclass
@@ -220,6 +246,9 @@ class CheckpointStore:
         self.stage_saves = 0
         self.phase_loads = 0
         self.phase_saves = 0
+        self.named_loads = 0
+        self.named_saves = 0
+        self._lock_handle = None
         self._token: str | None = None
         self._resuming = False
         self._halt_stage_loads = False
@@ -361,6 +390,140 @@ class CheckpointStore:
         self.phase_loads += 1
         return payload
 
+    # -- named (run-independent) snapshots ---------------------------------------
+
+    def save_named(self, kind: str, name: str, payload) -> int | None:
+        """Snapshot a run-independent artifact; returns its payload bytes.
+
+        Unlike stage/phase snapshots these carry no run token: the caller
+        owns the addressing scheme (the resident service keys models on
+        ``relation_fingerprint + parameter digest`` and relation state on
+        the relation id), so the snapshot stays valid across daemon
+        restarts by construction.  Same durability rules as every other
+        snapshot: atomic write, checksummed, quarantined on any defect,
+        save failures degrade to "not persisted" (``None``).
+        """
+        _check_name("snapshot kind", kind)
+        _check_name("snapshot name", name)
+        path = self._named_path(kind, name)
+        before = self.events[:]
+        self._save(path, kind, name, "", payload, token=_SHARED_TOKEN)
+        if len(self.events) > len(before):
+            return None  # a save-failure event was recorded
+        self.named_saves += 1
+        try:
+            return path.stat().st_size
+        except OSError:
+            return None
+
+    def load_named(self, kind: str, name: str):
+        """Reuse a run-independent artifact, or ``None`` to recompute."""
+        _check_name("snapshot kind", kind)
+        _check_name("snapshot name", name)
+        path = self._named_path(kind, name)
+        if not path.exists():
+            return None
+        payload = self._load(path, kind, name, "", token=_SHARED_TOKEN)
+        if payload is _REJECTED:
+            return None
+        self.named_loads += 1
+        return payload
+
+    def list_named(self, kind: str) -> list[str]:
+        """Names of every stored snapshot of ``kind``, sorted."""
+        _check_name("snapshot kind", kind)
+        prefix = f"{kind}."
+        names = []
+        for entry in self.directory.glob(f"{kind}.*.ckpt"):
+            names.append(entry.name[len(prefix):-len(".ckpt")])
+        return sorted(names)
+
+    def delete_named(self, kind: str, name: str) -> None:
+        """Drop one named snapshot (best effort, never raises)."""
+        _check_name("snapshot kind", kind)
+        _check_name("snapshot name", name)
+        try:
+            os.unlink(self._named_path(kind, name))
+        except OSError:
+            pass
+
+    def _named_path(self, kind: str, name: str) -> Path:
+        return self.directory / f"{kind}.{name}.ckpt"
+
+    # -- the daemon lock ---------------------------------------------------------
+
+    def acquire_lock(self) -> None:
+        """Take the store's exclusive daemon lock, or raise.
+
+        A resident daemon must be the *only* writer of a checkpoint
+        directory -- two daemons snapshotting into the same store would
+        silently corrupt each other's model cache.  The lock is an
+        advisory ``flock`` on ``daemon.lock`` (held for the process
+        lifetime, released by the kernel even on SIGKILL, so a crashed
+        daemon never wedges its successor) with the holder's pid written
+        into the file for the error message.  Raises
+        :class:`repro.errors.CheckpointError` when another process holds
+        it; idempotent when this process already does.
+        """
+        if self._lock_handle is not None:
+            return
+        path = self.directory / _LOCK_NAME
+        try:
+            handle = open(path, "a+", encoding="utf-8")
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot open daemon lock in {self.directory}: {exc}",
+                path=self.directory,
+            ) from exc
+        try:
+            import fcntl
+
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except ImportError:  # pragma: no cover - non-POSIX fallback
+            pass
+        except OSError:
+            try:
+                handle.seek(0)
+                holder = handle.read().strip() or "unknown pid"
+            except OSError:
+                holder = "unknown pid"
+            handle.close()
+            raise CheckpointError(
+                f"checkpoint directory {self.directory} is locked by "
+                f"another daemon ({holder}); refusing to start a second "
+                f"daemon against the same store",
+                path=self.directory, holder=holder,
+            ) from None
+        try:
+            handle.seek(0)
+            handle.truncate()
+            handle.write(f"pid {os.getpid()}\n")
+            handle.flush()
+        except OSError:
+            pass  # the flock, not the pid note, is the lock
+        self._lock_handle = handle
+
+    def release_lock(self) -> None:
+        """Release the daemon lock (no-op when not held)."""
+        if self._lock_handle is None:
+            return
+        handle, self._lock_handle = self._lock_handle, None
+        try:
+            import fcntl
+
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        except (ImportError, OSError):  # pragma: no cover - best effort
+            pass
+        try:
+            handle.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+    @property
+    def locked(self) -> bool:
+        """Whether *this process* currently holds the daemon lock."""
+        return self._lock_handle is not None
+
     # -- the snapshot byte format ------------------------------------------------
 
     def _stage_path(self, stage: str) -> Path:
@@ -371,7 +534,7 @@ class CheckpointStore:
         return self.directory / f"phase.{stage}.{digest}.ckpt"
 
     def _save(self, path: Path, kind: str, stage: str, key: str,
-              payload) -> None:
+              payload, token: str | None = None) -> None:
         where = f"{kind}:{stage}"
         try:
             data = pickle.dumps(payload)
@@ -381,7 +544,7 @@ class CheckpointStore:
             return
         header = json.dumps({
             "version": SNAPSHOT_VERSION,
-            "token": self._token,
+            "token": token if token is not None else self._token,
             "kind": kind,
             "stage": stage,
             "key": key,
@@ -404,7 +567,8 @@ class CheckpointStore:
         else:
             self.phase_saves += 1
 
-    def _load(self, path: Path, kind: str, stage: str, key: str):
+    def _load(self, path: Path, kind: str, stage: str, key: str,
+              token: str | None = None):
         """Validate and unpickle one snapshot; quarantine on any defect."""
         where = f"{kind}:{stage}"
         try:
@@ -418,7 +582,8 @@ class CheckpointStore:
                     f"snapshot version {header.get('version')!r} "
                     f"!= {SNAPSHOT_VERSION}"
                 )
-            if header.get("token") != self._token:
+            expected_token = token if token is not None else self._token
+            if header.get("token") != expected_token:
                 raise ValueError("snapshot belongs to a different run")
             if (header.get("kind"), header.get("stage")) != (kind, stage):
                 raise ValueError("snapshot labelled for a different site")

@@ -7,7 +7,10 @@ Five commands cover the analyst workflow the paper describes:
                     RAD/RTR for each;
 * ``partition``  -- horizontal partitioning with the natural-k heuristic;
 * ``redesign``   -- propose a lossless vertical decomposition;
-* ``dataset``    -- emit the synthetic DB2-sample / DBLP relations as CSV.
+* ``dataset``    -- emit the synthetic DB2-sample / DBLP relations as CSV;
+* ``serve``      -- a resident HTTP daemon serving discovery over JSON,
+                    with admission control, a crash-safe model cache and
+                    graceful SIGTERM drain (see ``docs/SERVICE.md``).
 
 CSV conventions follow :mod:`repro.relation.io`: a header row, empty fields
 are NULLs.  CSV-consuming commands accept ``--on-error {strict,coerce}``
@@ -259,6 +262,51 @@ def build_parser() -> argparse.ArgumentParser:
                          help="DBLP tuple count (ignored for db2)")
     dataset.add_argument("--seed", type=int, default=7)
 
+    serve = commands.add_parser(
+        "serve", help="resident discovery daemon (HTTP, JSON)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8734,
+                       help="listen port (0 = pick a free one; the bound "
+                       "port is printed and written to service.json in the "
+                       "checkpoint dir)")
+    serve.add_argument(
+        "--checkpoint-dir", required=True, metavar="DIR",
+        help="durable home of the daemon: relation snapshots, the model "
+        "cache and the single-daemon lock all live here")
+    serve.add_argument(
+        "--max-inflight", type=int, default=4, metavar="N",
+        help="concurrent requests allowed to execute (default: 4)")
+    serve.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="requests allowed to wait for a slot before new arrivals are "
+        "shed with 429 + Retry-After (default: 16)")
+    serve.add_argument(
+        "--request-deadline", type=float, default=30.0, metavar="SECONDS",
+        help="per-request wall-clock budget threaded into every discovery "
+        "call (default: 30)")
+    serve.add_argument(
+        "--memory-limit", type=_memory_limit_arg, default=None,
+        metavar="SIZE",
+        help="cooperative memory cap shared by all requests; a quarter of "
+        "it budgets the resident model cache")
+    serve.add_argument(
+        "--grace", type=float, default=10.0, metavar="SECONDS",
+        help="seconds in-flight requests get to finish after SIGTERM "
+        "before the daemon exits anyway (default: 10)")
+    serve.add_argument(
+        "--remine-after", type=int, default=256, metavar="ROWS",
+        help="staleness watermark: rows absorbed into a relation's model "
+        "before a background re-mine is scheduled; 0 disables (default: "
+        "256)")
+    serve.add_argument(
+        "--fd-k", type=int, default=10, metavar="K",
+        help="top-k size of the reliable FD miner backing served models "
+        "(default: 10)")
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for every randomized ingredient; same seed, "
+        "byte-identical models")
+
     return parser
 
 
@@ -322,6 +370,15 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
     fd_max_lhs = getattr(args, "fd_max_lhs", None)
     if fd_max_lhs is not None:
         require(fd_max_lhs >= 0, "--fd-max-lhs must be >= 0")
+    if getattr(args, "command", None) == "serve":
+        require(0 <= args.port <= 65535, "--port must be in [0, 65535]")
+        require(args.max_inflight >= 1, "--max-inflight must be >= 1")
+        require(args.queue_depth >= 0, "--queue-depth must be >= 0")
+        require(args.request_deadline > 0,
+                "--request-deadline must be positive")
+        require(args.grace >= 0, "--grace must be >= 0")
+        require(args.remine_after >= 0, "--remine-after must be >= 0")
+        require(args.fd_k >= 1, "--fd-k must be >= 1")
 
 
 def _load_relation(args, budget: Budget | None = None):
@@ -556,6 +613,41 @@ def _cmd_dataset(args) -> int:
     return EXIT_OK
 
 
+def _cmd_serve(args) -> int:
+    from repro.checkpoint import CheckpointStore
+    from repro.errors import CheckpointError
+    from repro.service import Daemon, DiscoveryApp, run_daemon
+
+    store = CheckpointStore(args.checkpoint_dir)
+    try:
+        store.acquire_lock()
+    except CheckpointError as exc:
+        # Two daemons sharing one store would corrupt each other's model
+        # cache; refusing to start is a usage error, not a crash.
+        print(f"repro: input error: {exc}", file=sys.stderr)
+        return EXIT_INPUT
+    budget = None
+    if args.memory_limit is not None:
+        budget = Budget(max_memory_bytes=args.memory_limit)
+    app = DiscoveryApp(
+        store,
+        params={"fd_k": args.fd_k, "seed": args.seed},
+        cache_bytes=(args.memory_limit // 4
+                     if args.memory_limit is not None else 64 << 20),
+        remine_after=args.remine_after,
+    )
+    daemon = Daemon(
+        app, host=args.host, port=args.port,
+        max_inflight=args.max_inflight, queue_depth=args.queue_depth,
+        request_deadline=args.request_deadline, grace=args.grace,
+        budget=budget,
+    )
+    try:
+        return run_daemon(daemon)
+    finally:
+        store.release_lock()
+
+
 _COMMANDS = {
     "discover": _cmd_discover,
     "rank": _cmd_rank,
@@ -563,6 +655,7 @@ _COMMANDS = {
     "redesign": _cmd_redesign,
     "profile": _cmd_profile,
     "dataset": _cmd_dataset,
+    "serve": _cmd_serve,
 }
 
 

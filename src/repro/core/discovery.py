@@ -353,6 +353,56 @@ class DiscoveryReport:
         lines += [outcome.render() for outcome in self.outcomes]
         return "\n".join(lines)
 
+    def summary(self, top: int = 5) -> dict:
+        """A JSON-serializable digest of the report.
+
+        This is what the resident service daemon returns from its model
+        endpoints: stable keys, plain types, and the same deterministic
+        ordering as :meth:`render`, so two byte-identical reports summarize
+        to byte-identical JSON.
+        """
+        dependencies = []
+        for entry in self.dependencies[:top]:
+            if isinstance(entry, ReliableFD):
+                dependencies.append({
+                    "lhs": sorted(entry.fd.lhs),
+                    "rhs": sorted(entry.fd.rhs),
+                    "score": entry.score,
+                    "sampled": entry.sampled,
+                    "confidence_radius": entry.confidence_radius,
+                })
+            else:
+                dependencies.append({
+                    "lhs": sorted(entry.lhs),
+                    "rhs": sorted(entry.rhs),
+                })
+        ranked = []
+        for entry in self.ranked[:top]:
+            ranked.append({
+                "lhs": sorted(entry.fd.lhs),
+                "rhs": sorted(entry.fd.rhs),
+                "rank": None if math.isinf(entry.rank) else entry.rank,
+            })
+        return {
+            "n_tuples": len(self.relation),
+            "arity": self.relation.arity,
+            "n_values": self.relation.value_count(),
+            "duplicate_tuple_groups": len(
+                self.tuple_clustering.duplicate_groups),
+            "duplicate_value_groups": len(
+                self.value_clustering.duplicate_groups),
+            "dependencies_mined": len(self.dependencies),
+            "cover_size": len(self.cover),
+            "dependencies": dependencies,
+            "ranked": ranked,
+            "healthy": self.healthy,
+            "stages": [
+                {"stage": o.stage, "status": o.status, "detail": o.detail,
+                 "fallback": o.fallback}
+                for o in self.outcomes
+            ],
+        }
+
     # -- rendering ---------------------------------------------------------------
 
     def render(self, top: int = 5) -> str:
@@ -599,8 +649,13 @@ class StructureDiscovery:
             "max_leaf_entries": max_leaf_entries,
         }
 
-    def _manifest_params(self) -> dict:
+    def manifest_params(self) -> dict:
         """The parameters that define checkpoint validity.
+
+        Also the public cache-keying surface: the resident service daemon
+        (:mod:`repro.service`) hashes this dict together with the relation
+        fingerprint to content-address its model cache, so two requests
+        differing in any result-affecting knob can never share a model.
 
         Budget and deadline are deliberately absent: stage snapshots are
         only written along a fully-healthy prefix, whose results do not
@@ -629,6 +684,9 @@ class StructureDiscovery:
             "on_memory_pressure": self.on_memory_pressure,
             "max_leaf_entries": self.max_leaf_entries,
         }
+
+    #: Backwards-compatible private spelling (pre-service callers/tests).
+    _manifest_params = manifest_params
 
     # -- the stage guard ---------------------------------------------------------
 
@@ -757,7 +815,7 @@ class StructureDiscovery:
 
         store = self.checkpoint
         if store is not None:
-            store.open_run(relation, self._manifest_params())
+            store.open_run(relation, self.manifest_params())
             store.attach(budget)
 
         executor = None

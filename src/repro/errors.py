@@ -15,8 +15,16 @@ Hierarchy::
     ├── StageFailure            a pipeline stage died (wraps the cause)
     ├── CheckpointError         a checkpoint store is unusable (not: corrupt
     │                           snapshots, which quarantine instead of raising)
-    └── SupervisorError         a supervised run could not be driven to
-                                completion (restart budget exhausted)
+    ├── SupervisorError         a supervised run could not be driven to
+    │                           completion (restart budget exhausted)
+    └── ServiceError            a discovery-service request cannot be served
+        ├── NotFoundError       the addressed relation/model does not exist
+        ├── ServiceOverloaded   admission queue full -- retry later (HTTP 429)
+        └── ServiceUnavailable  daemon draining or not ready (HTTP 503)
+
+The service classes carry the HTTP semantics the daemon in
+:mod:`repro.service` maps them to; the mapping itself lives in
+``repro.service.app.HTTP_STATUS`` so library callers stay HTTP-free.
 
 ``InputError`` and ``SchemaError`` also subclass :class:`ValueError` so
 pre-existing ``except ValueError`` call sites keep working.
@@ -121,4 +129,56 @@ class SupervisorError(ReproError):
     classification), ``stage`` (where the child last was) and
     ``incident_path``.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for per-request failures of the discovery service.
+
+    Every subclass names one well-defined way a request can fail; the
+    daemon (:mod:`repro.service`) maps each onto an HTTP status so clients
+    can react mechanically (retry, fix the request, give up) without
+    parsing messages.
+    """
+
+
+class NotFoundError(ServiceError):
+    """The addressed relation or model does not exist (HTTP 404).
+
+    ``resource`` names what was looked up (``"relation"``, ``"model"``) and
+    ``name`` which one.
+    """
+
+    def __init__(self, message: str, resource: str = "", name: str = "",
+                 **context):
+        super().__init__(message, resource=resource or None,
+                         name=name or None, **context)
+        self.resource = resource
+        self.name = name
+
+
+class ServiceOverloaded(ServiceError):
+    """The admission queue is full and the request was shed (HTTP 429).
+
+    ``retry_after`` is the daemon's estimate, in whole seconds, of when a
+    retry has a queue slot to land in -- computed from the current queue
+    depth and the observed service time, and sent as the ``Retry-After``
+    header.
+    """
+
+    def __init__(self, message: str, retry_after: int = 1, **context):
+        super().__init__(message, retry_after=retry_after, **context)
+        self.retry_after = int(retry_after)
+
+
+class ServiceUnavailable(ServiceError):
+    """The daemon cannot take new work right now (HTTP 503).
+
+    Raised while draining after SIGTERM, before the service is ready, or
+    when a per-request deadline left no allowance to finish.  Carries the
+    same ``retry_after`` contract as :class:`ServiceOverloaded`.
+    """
+
+    def __init__(self, message: str, retry_after: int = 1, **context):
+        super().__init__(message, retry_after=retry_after, **context)
+        self.retry_after = int(retry_after)
 

@@ -1,0 +1,38 @@
+"""Discovery-as-a-service: the fault-tolerant resident daemon.
+
+``repro serve`` keeps mined structure resident between requests instead of
+recomputing it per CLI invocation.  The pieces:
+
+* :class:`~repro.service.app.DiscoveryApp` -- routes, resident relations,
+  exactly-once chunked ingest, incremental Phase-1 absorption, staleness
+  watermarks (HTTP-light, directly testable);
+* :class:`~repro.service.model_cache.ModelCache` -- content-addressed
+  models with single-flight dedup, LRU + byte-budget residency, and
+  write-through persistence for crash-safe rehydration;
+* :class:`~repro.service.admission.AdmissionController` -- bounded
+  queueing with load shedding (429 + ``Retry-After``) and drain support;
+* :class:`~repro.service.server.Daemon` -- the stdlib-asyncio HTTP front
+  end with graceful SIGTERM drain;
+* :class:`~repro.service.client.ServiceClient` -- the retrying client that
+  honors ``Retry-After`` and backs off with jitter.
+
+See ``docs/SERVICE.md`` for the endpoint reference and failure-mode table.
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.app import DiscoveryApp, HTTP_STATUS, status_for
+from repro.service.client import ServiceClient
+from repro.service.model_cache import ModelCache, model_key
+from repro.service.server import Daemon, run_daemon
+
+__all__ = [
+    "AdmissionController",
+    "Daemon",
+    "DiscoveryApp",
+    "HTTP_STATUS",
+    "ModelCache",
+    "ServiceClient",
+    "model_key",
+    "run_daemon",
+    "status_for",
+]

@@ -1,0 +1,189 @@
+"""Admission control for the resident daemon: bounded queueing, load shedding.
+
+The controller guards the daemon's worker capacity with two numbers:
+
+* ``max_inflight`` -- how many requests may execute concurrently (each one
+  occupies a worker thread running CPU-bound discovery code, so this is
+  effectively the daemon's parallelism);
+* ``queue_depth``  -- how many more may *wait* for a slot.
+
+A request that arrives when the queue is full is **shed immediately** with
+:class:`repro.errors.ServiceOverloaded` (the HTTP layer turns that into a
+429 with a ``Retry-After`` header) instead of being buffered without bound:
+unbounded buffering converts overload into latency and memory growth and
+sheds nothing until the process dies.  The retry hint is computed from the
+live queue occupancy and an exponential moving average of observed service
+times -- "how long until the backlog ahead of a retry has drained" -- so
+clients back off roughly as long as the overload actually lasts.
+
+The controller is also the drain point for graceful shutdown: after
+:meth:`AdmissionController.start_drain` every new request is refused with
+:class:`repro.errors.ServiceUnavailable` (HTTP 503) while requests already
+admitted run to completion; :meth:`AdmissionController.wait_idle` lets the
+server bound how long it waits for them.
+
+All state is mutated from the event-loop thread only (the heavy work runs
+in worker threads, but slot acquisition and release happen in coroutines),
+so no locks are needed beyond the semaphore itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from contextlib import asynccontextmanager
+
+from repro.errors import ServiceOverloaded, ServiceUnavailable
+
+#: Optimistic prior for the service-time EMA before any request completes.
+_INITIAL_SERVICE_TIME = 0.5
+
+#: Floor for the EMA so a burst of sub-millisecond health-style requests
+#: cannot drive the retry hint to zero.
+_MIN_SERVICE_TIME = 0.05
+
+
+class AdmissionController:
+    """Bounded admission with load shedding and drain support.
+
+    Parameters
+    ----------
+    max_inflight:
+        Concurrent requests allowed to execute (>= 1).
+    queue_depth:
+        Requests allowed to wait for a slot beyond the in-flight set
+        (>= 0; 0 sheds the instant all slots are busy).
+    ema_alpha:
+        Smoothing factor of the service-time EMA in (0, 1].
+    clock:
+        Injectable monotonic-seconds source for deterministic tests.
+    """
+
+    def __init__(self, max_inflight: int = 4, queue_depth: int = 16,
+                 ema_alpha: float = 0.2, clock=time.monotonic):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        if not 0.0 < ema_alpha <= 1.0:
+            raise ValueError("ema_alpha must be in (0, 1]")
+        self.max_inflight = int(max_inflight)
+        self.queue_depth = int(queue_depth)
+        self._alpha = float(ema_alpha)
+        self._clock = clock
+        self._semaphore = asyncio.Semaphore(self.max_inflight)
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.inflight = 0
+        self.waiting = 0
+        self.draining = False
+        #: Lifetime counters for ``/stats`` and tests.
+        self.admitted = 0
+        self.shed = 0
+        self.refused_draining = 0
+        self.service_time_ema = _INITIAL_SERVICE_TIME
+
+    # -- the slot ----------------------------------------------------------------
+
+    @asynccontextmanager
+    async def slot(self):
+        """Hold one execution slot for the duration of a request.
+
+        Raises :class:`ServiceUnavailable` while draining and
+        :class:`ServiceOverloaded` when both the in-flight set and the wait
+        queue are full; otherwise waits (bounded by ``queue_depth`` peers)
+        for a slot and yields.
+        """
+        if self.draining:
+            self.refused_draining += 1
+            raise ServiceUnavailable(
+                "daemon is draining; no new requests are admitted",
+                retry_after=self.retry_after(),
+            )
+        if (self.inflight >= self.max_inflight
+                and self.waiting >= self.queue_depth):
+            self.shed += 1
+            raise ServiceOverloaded(
+                f"admission queue full ({self.inflight} in flight, "
+                f"{self.waiting} waiting); request shed",
+                retry_after=self.retry_after(),
+                inflight=self.inflight, waiting=self.waiting,
+            )
+        self.waiting += 1
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self.waiting -= 1
+        if self.draining:
+            # Drain began while this request queued: refuse it rather than
+            # start new work behind the server's back.
+            self._semaphore.release()
+            self.refused_draining += 1
+            raise ServiceUnavailable(
+                "daemon is draining; no new requests are admitted",
+                retry_after=self.retry_after(),
+            )
+        self.inflight += 1
+        self.admitted += 1
+        self._idle.clear()
+        started = self._clock()
+        try:
+            yield self
+        finally:
+            self.observe(self._clock() - started)
+            self.inflight -= 1
+            self._semaphore.release()
+            if self.inflight == 0:
+                self._idle.set()
+
+    def observe(self, seconds: float) -> None:
+        """Fold one observed service time into the EMA."""
+        seconds = max(float(seconds), _MIN_SERVICE_TIME)
+        self.service_time_ema += self._alpha * (seconds
+                                                - self.service_time_ema)
+
+    def retry_after(self) -> int:
+        """Whole seconds until a retry plausibly finds a queue slot.
+
+        The backlog a retry must outlive is everything currently in the
+        system beyond the slots that can serve it immediately; the daemon
+        drains ``max_inflight`` requests per EMA service time.  Always at
+        least 1 (HTTP ``Retry-After`` is integral, and "retry now" on an
+        overloaded daemon just re-sheds).
+        """
+        backlog = max(1, self.waiting + self.inflight + 1 - self.max_inflight)
+        estimate = (backlog * max(self.service_time_ema, _MIN_SERVICE_TIME)
+                    / self.max_inflight)
+        return max(1, math.ceil(estimate))
+
+    # -- drain -------------------------------------------------------------------
+
+    def start_drain(self) -> int:
+        """Stop admitting; returns how many requests are still in flight."""
+        self.draining = True
+        return self.inflight
+
+    async def wait_idle(self, grace: float | None = None) -> bool:
+        """Wait until every admitted request finished; ``False`` on timeout."""
+        try:
+            await asyncio.wait_for(self._idle.wait(), grace)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counters for the ``/stats`` endpoint."""
+        return {
+            "max_inflight": self.max_inflight,
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight,
+            "waiting": self.waiting,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "refused_draining": self.refused_draining,
+            "draining": self.draining,
+            "service_time_ema": self.service_time_ema,
+        }

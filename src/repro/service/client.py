@@ -1,0 +1,216 @@
+"""A retrying client for the discovery service.
+
+Synchronous and stdlib-only (:mod:`http.client`), because callers are
+scripts, tests and CI drills.  The client embodies the contract the daemon
+publishes through its status codes:
+
+* **429 / 503** -- the daemon shed or refused the request; retry after the
+  server's ``Retry-After`` hint (falling back to capped exponential
+  backoff with full jitter, so a thundering herd of clients decorrelates);
+* **connection errors** -- the daemon may be restarting; same backoff;
+* **4xx** -- the request itself is wrong; re-raised immediately as the
+  matching taxonomy error (:class:`~repro.errors.InputError`,
+  :class:`~repro.errors.NotFoundError`), never retried;
+* **500** -- re-raised as :class:`~repro.errors.ServiceError` (a handler
+  crash is not known to be transient, and retrying a crashing request
+  hammers a wounded daemon).
+
+An overall ``deadline`` bounds the total time spent retrying, mirroring
+the server's per-request budget on the client side.  ``sleep`` and ``rng``
+are injectable so the backoff schedule is unit-testable without waiting.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+
+from repro.errors import (
+    InputError,
+    NotFoundError,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceUnavailable,
+)
+
+
+def _header_retry_after(headers: dict) -> float | None:
+    """The ``Retry-After`` value in seconds, or ``None`` when absent."""
+    for name, value in headers.items():
+        if name.lower() == "retry-after":
+            try:
+                return float(value)
+            except (TypeError, ValueError):
+                return 1.0
+    return None
+
+
+class ServiceClient:
+    """Talk to one daemon, absorbing overload and restarts.
+
+    Parameters
+    ----------
+    host, port:
+        Where the daemon listens.
+    timeout:
+        Per-connection socket timeout in seconds.
+    retries:
+        Attempts per logical request (>= 1).
+    backoff, max_backoff:
+        Exponential-backoff base and cap in seconds (attempt ``n`` waits
+        ``min(max_backoff, backoff * 2**n)``, jittered to 50-100%).
+    deadline:
+        Total seconds a logical request may spend including retries.
+    rng, sleep:
+        Injectable randomness and sleep for deterministic tests.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8734, *,
+                 timeout: float = 30.0, retries: int = 8,
+                 backoff: float = 0.1, max_backoff: float = 5.0,
+                 deadline: float = 120.0, rng=None, sleep=time.sleep):
+        if retries < 1:
+            raise ValueError("retries must be >= 1")
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.deadline = deadline
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        #: Lifetime counters, handy in drills and tests.
+        self.attempts = 0
+        self.retried = 0
+
+    # -- one raw attempt ---------------------------------------------------------
+
+    def request_once(self, method: str, path: str, body: dict | None = None):
+        """One HTTP exchange; returns ``(status, headers, payload)``.
+
+        Raises ``OSError`` on connection failures; never retries.
+        """
+        self.attempts += 1
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            data = (json.dumps(body).encode("utf-8")
+                    if body is not None else None)
+            headers = {"Content-Type": "application/json"} if data else {}
+            connection.request(method, path, body=data, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                payload = {"error": "BadResponse",
+                           "message": raw.decode("utf-8", "replace")}
+            return response.status, dict(response.getheaders()), payload
+        finally:
+            connection.close()
+
+    # -- the retrying call -------------------------------------------------------
+
+    def call(self, method: str, path: str, body: dict | None = None) -> dict:
+        """A logical request: retried through overload, raised on failure."""
+        started = time.monotonic()
+        last_error: Exception | None = None
+        for attempt in range(self.retries):
+            try:
+                status, headers, payload = self.request_once(
+                    method, path, body)
+            except (OSError, http.client.HTTPException) as exc:
+                last_error = ServiceUnavailable(
+                    f"cannot reach daemon at {self.host}:{self.port}: "
+                    f"{type(exc).__name__}: {exc}")
+                retry_after = None
+            else:
+                if status < 400:
+                    return payload
+                error = self._as_error(status, headers, payload)
+                if status not in (429, 503):
+                    raise error
+                last_error = error
+                # Only an explicit server hint overrides the jittered
+                # backoff; the error object's retry_after defaults to 1.
+                retry_after = _header_retry_after(headers)
+            if attempt + 1 >= self.retries:
+                break
+            wait = self._wait_before(attempt, retry_after)
+            if (self.deadline is not None
+                    and time.monotonic() - started + wait > self.deadline):
+                break
+            self.retried += 1
+            self._sleep(wait)
+        raise last_error if last_error is not None else ServiceError(
+            f"request {method} {path} failed")
+
+    def _wait_before(self, attempt: int, retry_after) -> float:
+        """Server hint if present, else capped exponential full jitter."""
+        if retry_after is not None:
+            return float(retry_after)
+        base = min(self.max_backoff, self.backoff * (2 ** attempt))
+        return base * (0.5 + self._rng.random() / 2.0)
+
+    def _as_error(self, status: int, headers: dict, payload: dict):
+        message = payload.get("message", f"HTTP {status}")
+        retry_after = _header_retry_after(headers)
+        if status == 429:
+            return ServiceOverloaded(message,
+                                     retry_after=int(retry_after or 1))
+        if status == 503:
+            return ServiceUnavailable(message,
+                                      retry_after=int(retry_after or 1))
+        if status == 404:
+            return NotFoundError(message)
+        if status == 400:
+            return InputError(message)
+        return ServiceError(f"HTTP {status}: {message}", status=status)
+
+    # -- convenience wrappers ----------------------------------------------------
+
+    def health(self) -> dict:
+        return self.call("GET", "/healthz")
+
+    def wait_ready(self, timeout: float = 30.0,
+                   poll_every: float = 0.1) -> bool:
+        """Poll ``/readyz`` until the daemon is ready (or timeout)."""
+        stop_at = time.monotonic() + timeout
+        while time.monotonic() < stop_at:
+            try:
+                status, _, _ = self.request_once("GET", "/readyz")
+            except (OSError, http.client.HTTPException):
+                status = None
+            if status == 200:
+                return True
+            self._sleep(poll_every)
+        return False
+
+    def stats(self) -> dict:
+        return self.call("GET", "/stats")
+
+    def create_relation(self, rid: str, attributes) -> dict:
+        return self.call("POST", f"/relations/{rid}",
+                         {"attributes": list(attributes)})
+
+    def append_rows(self, rid: str, rows, seq: int | None = None) -> dict:
+        body = {"rows": [list(row) for row in rows]}
+        if seq is not None:
+            body["seq"] = seq
+        return self.call("POST", f"/relations/{rid}/rows", body)
+
+    def status(self, rid: str) -> dict:
+        return self.call("GET", f"/relations/{rid}")
+
+    def build_model(self, rid: str, top: int = 5) -> dict:
+        return self.call("POST", f"/relations/{rid}/model?top={top}")
+
+    def top_fds(self, rid: str, k: int = 5) -> dict:
+        return self.call("GET", f"/relations/{rid}/fds?k={k}")
+
+    def assign(self, rid: str, row) -> dict:
+        return self.call("POST", f"/relations/{rid}/assign",
+                         {"row": list(row)})

@@ -86,6 +86,21 @@ FAULT_POINTS = frozenset({
     "supervisor.spawn",
     "supervisor.heartbeat",
     "supervisor.escalate",
+    # resident service daemon (repro.service):
+    # `service.accept` as each connection is accepted, before any bytes are
+    # parsed (value = peername; `raises` simulates an accept/parse-path
+    # crash, which must cost that connection only, never the daemon);
+    # `service.handler` at request dispatch, after admission (value =
+    # (method, path); `raises` simulates a handler crash -> mapped 500);
+    # `service.cache_load` with the raw bytes read back for a model-cache
+    # rehydration (`corrupt` simulates a rotted snapshot -> quarantine and
+    # recompute); `service.drain` once at drain start with the number of
+    # in-flight requests as value (`raises` simulates a drain-path failure,
+    # which must still exit the daemon cleanly)
+    "service.accept",
+    "service.handler",
+    "service.cache_load",
+    "service.drain",
 })
 
 #: Stack of active fault plans (dicts name -> Fault); inner-most wins last.

@@ -512,3 +512,86 @@ class TestDiscoveryWiring:
         StructureDiscovery(checkpoint=store, backend="dense").run(relation)
         assert store.stage_loads == 0
         assert any(e.kind == "manifest-mismatch" for e in store.events)
+
+
+class TestNamedSnapshots:
+    """Run-token-free snapshots: the daemon's durable cache layer."""
+
+    def test_round_trip_across_store_instances(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.save_named("model", "abc123", {"cover": [1, 2]})
+        reborn = CheckpointStore(tmp_path)
+        assert reborn.load_named("model", "abc123") == {"cover": [1, 2]}
+        assert reborn.named_loads == 1
+
+    def test_save_returns_size_and_load_missing_returns_none(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        nbytes = store.save_named("model", "k", list(range(100)))
+        assert nbytes == store._named_path("model", "k").stat().st_size
+        assert store.load_named("model", "absent") is None
+
+    def test_list_and_delete(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for name in ("b", "a", "c"):
+            store.save_named("relation", name, {"rows": name})
+        store.save_named("model", "other-kind", {})
+        assert store.list_named("relation") == ["a", "b", "c"]
+        store.delete_named("relation", "b")
+        store.delete_named("relation", "never-existed")  # must not raise
+        assert store.list_named("relation") == ["a", "c"]
+
+    def test_corrupt_named_snapshot_quarantines(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save_named("model", "k", {"cover": [1]})
+        flip_byte(store._named_path("model", "k"))
+        assert store.load_named("model", "k") is None
+        assert any(e.kind == "quarantine" for e in store.events)
+        assert not store._named_path("model", "k").exists()
+
+    def test_bad_names_are_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.save_named("model", "../escape", {})
+        with pytest.raises(ValueError):
+            store.load_named("bad kind", "k")
+
+    def test_save_failure_degrades_to_none(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with inject("checkpoint.save", raises=OSError("disk full")):
+            assert store.save_named("model", "k", {"cover": [1]}) is None
+        assert store.load_named("model", "k") is None  # nothing half-written
+
+
+class TestDaemonLock:
+    """One daemon per checkpoint directory, enforced by flock."""
+
+    def test_acquire_is_exclusive_and_idempotent(self, tmp_path):
+        first = CheckpointStore(tmp_path)
+        first.acquire_lock()
+        first.acquire_lock()  # same holder: no-op
+        assert first.locked
+        second = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError, match="locked by another daemon"):
+            second.acquire_lock()
+        assert not second.locked
+        first.release_lock()
+
+    def test_release_frees_the_directory(self, tmp_path):
+        first = CheckpointStore(tmp_path)
+        first.acquire_lock()
+        first.release_lock()
+        assert not first.locked
+        first.release_lock()  # no-op when not held
+        second = CheckpointStore(tmp_path)
+        second.acquire_lock()  # must succeed now
+        second.release_lock()
+
+    def test_conflict_message_names_the_holder_pid(self, tmp_path):
+        first = CheckpointStore(tmp_path)
+        first.acquire_lock()
+        try:
+            second = CheckpointStore(tmp_path)
+            with pytest.raises(CheckpointError, match=f"pid {os.getpid()}"):
+                second.acquire_lock()
+        finally:
+            first.release_lock()

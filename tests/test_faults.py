@@ -148,3 +148,25 @@ class TestRegistrySync:
             f"FAULT_POINTS entries absent from docs/ROBUSTNESS.md: "
             f"{sorted(undocumented)}"
         )
+
+
+class TestServicePoints:
+    """The four service.* fault points exist and are wired where claimed."""
+
+    def test_registry_covers_every_service_point(self):
+        expected = {"service.accept", "service.handler",
+                    "service.cache_load", "service.drain"}
+        assert expected <= FAULT_POINTS
+
+    def test_service_points_have_live_call_sites(self):
+        import re
+
+        sites = set()
+        for path in (self.SRC / "repro" / "service").rglob("*.py"):
+            for match in re.finditer(r"fault_point\(\s*['\"]([^'\"]+)",
+                                     path.read_text("utf-8")):
+                sites.add(match.group(1))
+        assert {"service.accept", "service.handler",
+                "service.cache_load", "service.drain"} <= sites
+
+    SRC = TestRegistrySync.SRC

@@ -1,0 +1,324 @@
+"""End-to-end HTTP tests: a real daemon on a real socket, in-process.
+
+The daemon runs its own event loop in a background thread, which keeps the
+overload and fault drills honest (real sockets, real admission control)
+while letting tests inject faults through the process-global registry and
+drain the daemon deterministically.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.checkpoint import CheckpointStore
+from repro.errors import (
+    InputError,
+    NotFoundError,
+    ServiceError,
+)
+from repro.service import Daemon, DiscoveryApp, ServiceClient
+from repro.supervisor import classify_exit
+from repro.testing import inject
+
+ATTRS = ["emp", "dept", "loc", "mgr"]
+
+
+def make_rows(n, offset=0):
+    """Deterministic rows with real FDs (dept -> loc, mgr)."""
+    rows = []
+    for index in range(offset, offset + n):
+        group = index % 3
+        rows.append([f"e{index}", f"d{group}", f"loc_{group}", f"m{group}"])
+    return rows
+
+
+class DaemonHandle:
+    """One daemon on its own event loop in a background thread."""
+
+    def __init__(self, daemon):
+        self.daemon = daemon
+        self.loop = None
+        self.started = threading.Event()
+        self.exit_code = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+
+        async def main():
+            await self.daemon.start()
+            self.started.set()
+            return await self.daemon.serve_forever()
+
+        try:
+            self.exit_code = self.loop.run_until_complete(main())
+        finally:
+            self.started.set()  # unblock start() even on startup failure
+            self.loop.close()
+
+    def start(self):
+        self.thread.start()
+        assert self.started.wait(30.0), "daemon did not start"
+        assert self.daemon.port, "daemon did not bind a port"
+        return self
+
+    def client(self, **kwargs):
+        return ServiceClient(port=self.daemon.port, **kwargs)
+
+    def drain(self, timeout=30.0):
+        future = asyncio.run_coroutine_threadsafe(
+            self.daemon.drain(reason="test"), self.loop)
+        future.result(timeout)
+        self.thread.join(timeout)
+        assert not self.thread.is_alive(), "daemon thread did not exit"
+        return self.exit_code
+
+    def stop(self):
+        if self.thread.is_alive():
+            try:
+                self.drain()
+            except Exception:
+                pass
+
+
+@pytest.fixture()
+def daemon_factory(tmp_path):
+    running = []
+
+    def make(subdir="svc", **kwargs):
+        store = CheckpointStore(tmp_path / subdir)
+        store.acquire_lock()
+        app_kwargs = kwargs.pop("app_kwargs", {})
+        app_kwargs.setdefault("params", {"fd_k": 5, "seed": 0})
+        app = DiscoveryApp(store, **app_kwargs)
+        handle = DaemonHandle(Daemon(app, port=0, **kwargs)).start()
+        running.append((handle, store))
+        return handle
+
+    yield make
+    for handle, store in running:
+        handle.stop()
+        store.release_lock()
+
+
+class TestServiceFlow:
+    def test_full_lifecycle(self, daemon_factory):
+        handle = daemon_factory()
+        client = handle.client()
+        assert client.health() == {"status": "ok"}
+        assert client.wait_ready(10.0)
+
+        created = client.create_relation("emp", ATTRS)
+        assert created == {"existing": False, "n_rows": 0, "relation": "emp"}
+        # Creation is idempotent with matching attributes.
+        assert client.create_relation("emp", ATTRS)["existing"] is True
+
+        ack = client.append_rows("emp", make_rows(30), seq=1)
+        assert ack["applied_seq"] == 1
+        assert ack["n_rows"] == 30
+
+        model = client.build_model("emp", top=3)
+        assert model["relation"] == "emp"
+        assert model["n_tuples"] == 30
+        assert model["healthy"] is True
+        assert model["model_key"]
+
+        fds = client.top_fds("emp", k=3)
+        assert fds["model_key"] == model["model_key"]
+        assert fds["approximate"] is False
+        assert fds["dependencies"]
+
+        verdict = client.assign("emp", make_rows(1, offset=100)[0])
+        assert 0 <= verdict["cluster"] < verdict["clusters"]
+        assert verdict["approximate"] is False
+
+    def test_exactly_once_ingest(self, daemon_factory):
+        client = daemon_factory().client()
+        client.create_relation("emp", ATTRS)
+        client.append_rows("emp", make_rows(10), seq=1)
+        # A replayed chunk is acknowledged, never re-applied.
+        dup = client.append_rows("emp", make_rows(10), seq=1)
+        assert dup["duplicate"] is True
+        assert dup["n_rows"] == 10
+        # An out-of-order chunk is a client bug, not an overload.
+        with pytest.raises(InputError, match="out-of-order"):
+            client.append_rows("emp", make_rows(10), seq=5)
+        assert client.append_rows("emp", make_rows(10, 10),
+                                  seq=2)["n_rows"] == 20
+
+    def test_incremental_rows_flag_queries_approximate(self, daemon_factory):
+        handle = daemon_factory(
+            app_kwargs={"remine_after": 0,  # keep staleness visible
+                        "params": {"fd_k": 5, "seed": 0}})
+        client = handle.client()
+        client.create_relation("emp", ATTRS)
+        client.append_rows("emp", make_rows(20), seq=1)
+        client.build_model("emp")
+        client.append_rows("emp", make_rows(5, offset=20), seq=2)
+        fds = client.top_fds("emp")
+        assert fds["stale_rows"] == 5
+        assert fds["approximate"] is True
+        verdict = client.assign("emp", make_rows(1, offset=50)[0])
+        assert verdict["approximate"] is True  # absorbed rows drifted it
+
+    def test_error_mapping(self, daemon_factory):
+        client = daemon_factory().client()
+        with pytest.raises(NotFoundError, match="does not exist"):
+            client.status("nope")
+        with pytest.raises(NotFoundError, match="no route"):
+            client.call("GET", "/bogus")
+        client.create_relation("emp", ATTRS)
+        with pytest.raises(InputError, match="arity"):
+            client.append_rows("emp", [["just-one-cell"]], seq=1)
+        with pytest.raises(InputError, match="invalid relation id"):
+            client.create_relation("bad.id", ATTRS)
+        with pytest.raises(NotFoundError, match="model"):
+            client.top_fds("emp")  # no model built yet
+
+    def test_background_remine_heals_staleness(self, daemon_factory):
+        handle = daemon_factory(
+            app_kwargs={"remine_after": 4,
+                        "params": {"fd_k": 5, "seed": 0}})
+        client = handle.client()
+        client.create_relation("grow", ATTRS)
+        client.append_rows("grow", make_rows(20), seq=1)
+        first = client.build_model("grow")
+        ack = client.append_rows("grow", make_rows(6, offset=20), seq=2)
+        assert ack["needs_remine"] is True
+        stop_at = time.monotonic() + 30.0
+        while time.monotonic() < stop_at:
+            status = client.status("grow")
+            if status["stale_rows"] == 0 and status["remines"] >= 2:
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail("background re-mine did not converge")
+        assert status["model_key"] != first["model_key"]
+        assert client.top_fds("grow")["approximate"] is False
+
+
+class TestServiceFaults:
+    def test_handler_crash_is_one_500(self, daemon_factory):
+        client = daemon_factory().client()
+        with inject("service.handler", raises=RuntimeError("boom"),
+                    limit=1) as fault:
+            status, _, payload = client.request_once("GET", "/stats")
+        assert status == 500
+        assert fault.fired == 1
+        assert "boom" in payload["message"]
+        # The crash cost that request only; the daemon answers the next.
+        assert client.health() == {"status": "ok"}
+
+    def test_handler_crash_raises_service_error_through_client(
+            self, daemon_factory):
+        client = daemon_factory().client()
+        with inject("service.handler", raises=RuntimeError("boom"), limit=1):
+            with pytest.raises(ServiceError):
+                client.stats()  # 500 is never retried
+        assert client.attempts == 1
+
+    def test_accept_fault_costs_one_connection(self, daemon_factory):
+        client = daemon_factory().client()
+        with inject("service.accept", raises=RuntimeError("accept died"),
+                    limit=1) as fault:
+            status, _, _ = client.request_once("GET", "/healthz")
+        assert status == 500
+        assert fault.fired == 1
+        assert client.health() == {"status": "ok"}
+
+    def test_drain_fault_still_exits_zero(self, daemon_factory):
+        handle = daemon_factory()
+        assert handle.client().wait_ready(10.0)
+        with inject("service.drain",
+                    raises=RuntimeError("drain hook died")) as fault:
+            assert handle.drain() == 0
+        assert fault.fired == 1
+        assert classify_exit(0) == "completed"
+
+
+class TestOverload:
+    def test_flood_sheds_cleanly_and_retries_succeed(self, daemon_factory):
+        handle = daemon_factory(max_inflight=2, queue_depth=4)
+        client = handle.client()
+        assert client.wait_ready(10.0)
+        client.create_relation("flood", ["a", "b"])
+        client.append_rows("flood", [["x", "y"]], seq=1)
+
+        # Phase 1: 32 concurrent raw requests against capacity 2+4.  Every
+        # response is a clean 200 or 429, and every 429 names a retry time.
+        results = []
+        barrier = threading.Barrier(32)
+
+        def probe():
+            probe_client = handle.client()
+            barrier.wait()
+            status, headers, _ = probe_client.request_once(
+                "GET", "/relations/flood")
+            results.append((status, headers))
+
+        with inject("service.handler", delay=0.15):
+            threads = [threading.Thread(target=probe) for _ in range(32)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30.0)
+
+        assert len(results) == 32
+        statuses = {status for status, _ in results}
+        assert statuses <= {200, 429}, f"unclean statuses: {statuses}"
+        assert 429 in statuses, "nothing was shed at 16x capacity"
+        for status, headers in results:
+            if status == 429:
+                hints = [value for name, value in headers.items()
+                         if name.lower() == "retry-after"]
+                assert hints and int(hints[0]) >= 1
+
+        # Phase 2: the same flood through retrying clients all completes.
+        outcomes = []
+
+        def retrier():
+            retry_client = handle.client(retries=40, deadline=90.0)
+            outcomes.append(
+                retry_client.call("GET", "/relations/flood")["relation"])
+
+        with inject("service.handler", delay=0.05):
+            threads = [threading.Thread(target=retrier) for _ in range(32)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(120.0)
+        assert outcomes == ["flood"] * 32
+
+    def test_drain_refuses_new_requests_then_exits_zero(self,
+                                                        daemon_factory):
+        handle = daemon_factory()
+        client = handle.client()
+        assert client.wait_ready(10.0)
+        assert handle.drain() == 0
+        with pytest.raises(OSError):
+            client.request_once("GET", "/healthz")
+
+
+class TestRestart:
+    def test_restart_rehydrates_and_serves_identically(self, daemon_factory):
+        handle = daemon_factory(subdir="durable")
+        client = handle.client()
+        client.create_relation("emp", ATTRS)
+        client.append_rows("emp", make_rows(30), seq=1)
+        client.build_model("emp")
+        before = client.top_fds("emp", k=5)
+        assert handle.drain() == 0
+
+        reborn = daemon_factory(subdir="durable")  # lock was released
+        client2 = reborn.client()
+        assert client2.wait_ready(10.0)
+        after = client2.top_fds("emp", k=5)
+        assert after == before  # bit-identical across the restart
+        # ... and it came from the durable cache, not a re-mine.
+        assert client2.stats()["cache"]["computes"] == 0
+        # The ingest stream resumes exactly where it left off.
+        dup = client2.append_rows("emp", make_rows(30), seq=1)
+        assert dup["duplicate"] is True

@@ -1,0 +1,203 @@
+"""Process-level lifecycle drills: `repro serve` as a real subprocess.
+
+These tests exercise what the in-process harness cannot: real signals
+(SIGTERM drain, SIGKILL crash), real process exit codes, the daemon lock
+between two genuine processes, and crash-restart rehydration with
+bit-identical answers.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient
+from repro.supervisor import classify_exit
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+ATTRS = ["emp", "dept", "loc", "mgr"]
+
+
+def make_rows(n, offset=0):
+    return [[f"e{i}", f"d{i % 3}", f"loc_{i % 3}", f"m{i % 3}"]
+            for i in range(offset, offset + n)]
+
+
+def spawn_daemon(checkpoint_dir, *extra):
+    env = dict(os.environ, PYTHONPATH=str(SRC), PYTHONUNBUFFERED="1")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--checkpoint-dir", os.fspath(checkpoint_dir), *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env)
+
+
+def wait_for_port(checkpoint_dir, process, timeout=30.0) -> int:
+    """The daemon publishes its bound port in service.json; poll for it."""
+    endpoint = Path(checkpoint_dir) / "service.json"
+    stop_at = time.monotonic() + timeout
+    while time.monotonic() < stop_at:
+        if process.poll() is not None:
+            out, err = process.communicate()
+            raise AssertionError(
+                f"daemon died during startup (rc {process.returncode}): "
+                f"{err.decode(errors='replace')}")
+        if endpoint.exists():
+            try:
+                port = int(json.loads(endpoint.read_text())["port"])
+            except (ValueError, KeyError):
+                port = 0
+            if port:
+                client = ServiceClient(port=port)
+                if client.wait_ready(timeout=5.0):
+                    return port
+        time.sleep(0.05)
+    raise AssertionError("daemon never became ready")
+
+
+def reap(process, timeout=30.0) -> int:
+    try:
+        return process.wait(timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait(10.0)
+        raise
+
+
+class DaemonDir:
+    """A checkpoint directory plus the daemons spawned against it."""
+
+    def __init__(self, directory):
+        self.directory = directory
+        self.spawned = []
+
+    def __fspath__(self):
+        return str(self.directory)
+
+    def __truediv__(self, other):
+        return self.directory / other
+
+    def spawn(self, *extra):
+        process = spawn_daemon(self.directory, *extra)
+        self.spawned.append(process)
+        return process
+
+
+@pytest.fixture()
+def daemon_dir(tmp_path):
+    home = DaemonDir(tmp_path / "daemon")
+    yield home
+    for process in home.spawned:
+        if process.poll() is None:
+            process.kill()
+            process.wait(10.0)
+
+
+class TestGracefulDrain:
+    def test_sigterm_drains_and_exits_completed(self, daemon_dir):
+        process = daemon_dir.spawn()
+        port = wait_for_port(daemon_dir, process)
+        client = ServiceClient(port=port)
+        client.create_relation("emp", ATTRS)
+        client.append_rows("emp", make_rows(20), seq=1)
+
+        process.send_signal(signal.SIGTERM)
+        assert reap(process) == 0
+        # A drained daemon is indistinguishable from a finished batch run.
+        assert classify_exit(process.returncode) == "completed"
+        out = process.stdout.read().decode()
+        assert "draining on SIGTERM" in out
+        # The lock was released: a successor starts immediately ...
+        successor = daemon_dir.spawn()
+        port = wait_for_port(daemon_dir, successor)
+        # ... with every acknowledged row intact.
+        status = ServiceClient(port=port).status("emp")
+        assert status["n_rows"] == 20
+        assert status["applied_seq"] == 1
+
+    def test_sigterm_during_inflight_model_build(self, daemon_dir):
+        process = daemon_dir.spawn("--grace", "60")
+        port = wait_for_port(daemon_dir, process)
+        client = ServiceClient(port=port)
+        client.create_relation("emp", ATTRS)
+        client.append_rows("emp", make_rows(40), seq=1)
+
+        # Start a model build, then SIGTERM while it is (likely) in flight.
+        import threading
+
+        outcome = {}
+
+        def build():
+            try:
+                outcome["model"] = client.build_model("emp")
+            except Exception as exc:  # pragma: no cover - timing-dependent
+                outcome["error"] = exc
+
+        builder = threading.Thread(target=build)
+        builder.start()
+        time.sleep(0.05)
+        process.send_signal(signal.SIGTERM)
+        builder.join(60.0)
+        assert reap(process, 60.0) == 0
+        assert classify_exit(process.returncode) == "completed"
+        # The admitted request ran to completion through the drain.
+        assert "model" in outcome, outcome.get("error")
+        assert outcome["model"]["n_tuples"] == 40
+
+
+class TestDaemonLockCli:
+    def test_second_daemon_refused_with_exit_2(self, daemon_dir):
+        process = daemon_dir.spawn()
+        wait_for_port(daemon_dir, process)
+        second = spawn_daemon(daemon_dir)
+        rc = reap(second, 30.0)
+        err = second.stderr.read().decode()
+        assert rc == 2
+        assert "locked by another daemon" in err
+        assert f"pid {process.pid}" in err
+        # The refusal did not disturb the holder.
+        process.send_signal(signal.SIGTERM)
+        assert reap(process) == 0
+
+
+class TestCrashRestart:
+    def test_sigkill_mid_ingest_restart_is_bit_identical(self, daemon_dir):
+        process = daemon_dir.spawn()
+        port = wait_for_port(daemon_dir, process)
+        client = ServiceClient(port=port)
+        client.create_relation("emp", ATTRS)
+        client.append_rows("emp", make_rows(30), seq=1)
+        client.build_model("emp")
+        before = client.top_fds("emp", k=5)
+        client.append_rows("emp", make_rows(10, offset=30), seq=2)
+
+        process.kill()  # SIGKILL: no drain, no goodbye
+        process.wait(30.0)
+        assert classify_exit(process.returncode) != "completed"
+
+        reborn = daemon_dir.spawn()
+        port = wait_for_port(daemon_dir, reborn)
+        client = ServiceClient(port=port)
+        # Every acknowledged chunk survived the crash ...
+        status = client.status("emp")
+        assert status["n_rows"] == 40
+        assert status["applied_seq"] == 2
+        # ... replaying one is acknowledged as a duplicate ...
+        assert client.append_rows("emp", make_rows(10, offset=30),
+                                  seq=2)["duplicate"] is True
+        # ... the next chunk applies ...
+        assert client.append_rows("emp", make_rows(5, offset=40),
+                                  seq=3)["applied_seq"] == 3
+        # ... and the mined model answers bit-identically (stale counts
+        # differ because more rows arrived; the model itself must not).
+        after = client.top_fds("emp", k=5)
+        assert after["model_key"] == before["model_key"]
+        assert after["dependencies"] == before["dependencies"]
+        assert after["ranked"] == before["ranked"]
+        reborn.send_signal(signal.SIGTERM)
+        assert reap(reborn) == 0
