@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Chaos campaign driver: fault-matrix drills with contract assertions.
+
+Runs the :mod:`repro.audit.chaos` drill matrix -- every registered fault
+point crossed with its applicable injection modes -- and asserts the
+global robustness contract cell by cell:
+
+* failures are always *classified* (a mapped :class:`repro.errors.ReproError`
+  subclass, never a bare traceback);
+* any output that diverges from the fault-free baseline is flagged
+  degraded (``report.healthy`` is false and the health log says why);
+* checkpoints are never poisoned -- a clean resume over a store touched
+  by a faulted run is bit-identical to the fault-free baseline;
+* every report that survives a drill passes the independent
+  :class:`repro.audit.Auditor` re-certification.
+
+Before running anything the script asserts -- programmatically, not by
+convention -- that the drill registry covers 100% of
+``repro.testing.FAULT_POINTS``, so a new fault point without a drill
+fails CI immediately.
+
+Exit codes: 0 all cells pass; 1 at least one contract violation or
+failed cell; 2 bad usage (unknown point/mode).  Stdlib + the repro
+package only.
+"""
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.audit.chaos import (  # noqa: E402
+    CHAOS_MODES,
+    ChaosCampaign,
+    ChaosContractViolation,
+    campaign_cells,
+    drill_registry,
+)
+from repro.testing import FAULT_POINTS  # noqa: E402
+
+
+def assert_full_coverage() -> None:
+    """Every fault point has a drill; every drill targets a real point."""
+    registry = drill_registry()
+    covered = set(registry)
+    missing = FAULT_POINTS - covered
+    if missing:
+        raise AssertionError(
+            "fault points without a chaos drill: %s" % ", ".join(sorted(missing)))
+    orphaned = covered - FAULT_POINTS
+    if orphaned:
+        raise AssertionError(
+            "chaos drills targeting unregistered fault points: %s"
+            % ", ".join(sorted(orphaned)))
+    for point, drill in registry.items():
+        bad = [m for m in drill.modes if m not in CHAOS_MODES]
+        if bad:
+            raise AssertionError(
+                "drill %s declares unknown modes: %s" % (point, bad))
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="chaos_sweep",
+        description="run the fault-matrix chaos campaign")
+    parser.add_argument(
+        "--points", nargs="*", default=None, metavar="POINT",
+        help="restrict to these fault points (default: all)")
+    parser.add_argument(
+        "--modes", nargs="*", default=None, metavar="MODE",
+        choices=CHAOS_MODES, help="restrict to these injection modes")
+    parser.add_argument(
+        "--subset", type=int, default=None, metavar="N",
+        help="run a seeded random subset of N cells (for per-PR CI)")
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed (subset choice and pipeline seeds)")
+    parser.add_argument(
+        "--list", action="store_true", dest="list_cells",
+        help="print the cell matrix and exit without running")
+    parser.add_argument(
+        "--base-dir", default=None, metavar="DIR",
+        help="scratch directory (default: a fresh temp dir)")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    try:
+        assert_full_coverage()
+    except AssertionError as exc:
+        print("coverage check failed: %s" % exc, file=sys.stderr)
+        return 1
+    print("registry covers all %d fault points" % len(FAULT_POINTS))
+
+    if args.points:
+        unknown = set(args.points) - FAULT_POINTS
+        if unknown:
+            print("unknown fault points: %s" % ", ".join(sorted(unknown)),
+                  file=sys.stderr)
+            return 2
+
+    cells = campaign_cells(points=args.points, modes=args.modes,
+                           sample=args.subset, seed=args.seed)
+    if args.list_cells:
+        for point, mode in cells:
+            print("%-28s %s" % (point, mode))
+        print("%d cells" % len(cells))
+        return 0
+
+    failures = 0
+    started = time.monotonic()
+    with tempfile.TemporaryDirectory(prefix="chaos-sweep-") as scratch:
+        base_dir = Path(args.base_dir) if args.base_dir else Path(scratch)
+        campaign = ChaosCampaign(base_dir=base_dir, seed=args.seed)
+        try:
+            for index, (point, mode) in enumerate(cells, start=1):
+                try:
+                    cell = campaign.run_cell(point, mode)
+                except ChaosContractViolation as exc:
+                    failures += 1
+                    print("[%2d/%d] FAIL %-28s %-8s %s"
+                          % (index, len(cells), point, mode, exc),
+                          file=sys.stderr)
+                    continue
+                ok = cell.status in ("ok", "skipped")
+                failures += 0 if ok else 1
+                stream = sys.stdout if ok else sys.stderr
+                print("[%2d/%d] %s" % (index, len(cells), cell.render()),
+                      file=stream)
+                stream.flush()
+        finally:
+            campaign.close()
+    elapsed = time.monotonic() - started
+    verdict = "PASS" if failures == 0 else "FAIL"
+    print("%s: %d/%d cells ok in %.1fs"
+          % (verdict, len(cells) - failures, len(cells), elapsed))
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@ Quickstart::
     print(StructureDiscovery().run(r).render())
 """
 
+from repro.audit import AuditCertificate, Auditor, audit_json_report
 from repro.budget import Budget, MemoryGovernor
 from repro.checkpoint import CheckpointStore
 from repro.clustering import AIBResult, DCF, DCFTree, Dendrogram, Limbo, aib
@@ -91,6 +92,8 @@ __all__ = [
     "AIBResult",
     "Attribute",
     "AttributeGroupingResult",
+    "AuditCertificate",
+    "Auditor",
     "Budget",
     "CheckpointError",
     "CheckpointStore",
@@ -124,6 +127,7 @@ __all__ = [
     "ValueClusteringResult",
     "ValueGroup",
     "aib",
+    "audit_json_report",
     "build_matrix_f",
     "build_tuple_view",
     "build_value_view",

@@ -1,0 +1,55 @@
+"""Independent result auditing and chaos drills.
+
+The discovery pipeline survives faults by degrading and flagging; this
+package closes the remaining trust gap by *re-deriving* every artifact a
+report claims through cheap paths that share no code with the miners:
+
+- exact FDs re-checked by partition refinement over coded columns,
+- reliable/approximate FDs re-scored against an independently computed
+  fraction of information (one-sided within the stated confidence radius
+  for sampled entries),
+- cluster assignments re-scored against the DCF summaries with a from-
+  scratch merge-cost implementation,
+- dendrogram structure and merge-loss monotonicity,
+- distribution normalization / entropy-range invariants, and
+- checkpoint / model-cache digest cross-checks.
+
+:mod:`repro.audit.chaos` then drives the whole resilience stack through
+the fault matrix (every ``FAULT_POINTS`` entry x injection mode) and
+asserts the global robustness contract, with every surviving report also
+passing the :class:`Auditor`.
+"""
+
+from repro.audit.auditor import (
+    AUDIT_VERSION,
+    AuditCertificate,
+    Auditor,
+    CheckResult,
+    Violation,
+    audit_json_report,
+)
+from repro.audit.chaos import (
+    CHAOS_MODES,
+    ChaosCell,
+    ChaosContractViolation,
+    campaign_cells,
+    drill_registry,
+    run_campaign,
+    run_cell,
+)
+
+__all__ = [
+    "AUDIT_VERSION",
+    "AuditCertificate",
+    "Auditor",
+    "CHAOS_MODES",
+    "ChaosCell",
+    "ChaosContractViolation",
+    "CheckResult",
+    "Violation",
+    "audit_json_report",
+    "campaign_cells",
+    "drill_registry",
+    "run_campaign",
+    "run_cell",
+]

@@ -10,7 +10,20 @@ Five commands cover the analyst workflow the paper describes:
 * ``dataset``    -- emit the synthetic DB2-sample / DBLP relations as CSV;
 * ``serve``      -- a resident HTTP daemon serving discovery over JSON,
                     with admission control, a crash-safe model cache and
-                    graceful SIGTERM drain (see ``docs/SERVICE.md``).
+                    graceful SIGTERM drain (see ``docs/SERVICE.md``);
+* ``audit``      -- independently re-certify a ``discover --out-json``
+                    report against its source CSV: exact FDs by partition
+                    refinement, reliable scores against a re-derived
+                    fraction of information, cluster assignments against
+                    the DCF summaries, dendrogram monotonicity (see
+                    ``docs/ROBUSTNESS.md``); exits 1 naming the offending
+                    artifact when anything fails.
+
+``discover --verify`` runs the same auditor in-process over the freshly
+mined report (adding a ``verification`` health entry and, with
+``--checkpoint-dir``, an ``audit.json`` next to the snapshots); a failed
+verification exits 1.  ``--out-json`` writes the machine-readable report
+the standalone ``audit`` command consumes.
 
 CSV conventions follow :mod:`repro.relation.io`: a header row, empty fields
 are NULLs.  CSV-consuming commands accept ``--on-error {strict,coerce}``
@@ -155,11 +168,15 @@ def _add_csv_argument(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Information-theoretic database structure mining "
         "(Andritsos, Miller & Tsaparas, SIGMOD 2004).",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
     discover = commands.add_parser("discover", help="full structure report")
@@ -220,8 +237,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="space-bounded LIMBO: cap Phase-1 DCF-tree leaf entries at N, "
         "escalating the merge threshold when the buffer overflows",
     )
+    discover.add_argument(
+        "--verify", action="store_true",
+        help="independently re-certify every artifact of the report "
+        "(exact FDs by partition refinement, reliable scores, cluster "
+        "assignments, dendrogram monotonicity); violations exit 1 and "
+        "name the offending artifact",
+    )
+    discover.add_argument(
+        "--out-json", default=None, metavar="PATH",
+        help="also write the machine-readable report (summary + full "
+        "artifacts) to PATH; 'repro audit PATH data.csv' re-certifies it "
+        "offline",
+    )
     _add_workers_argument(discover)
     _add_fd_mode_arguments(discover)
+
+    audit = commands.add_parser(
+        "audit", help="re-certify a discover --out-json report")
+    audit.add_argument("report", help="report JSON written by "
+                       "'discover --out-json'")
+    audit.add_argument("csv", help="the source relation the report claims "
+                       "to describe (headered CSV; empty field = NULL)")
+    audit.add_argument(
+        "--on-error", choices=("strict", "coerce"), default="strict",
+        help="malformed CSV policy while re-reading the source relation",
+    )
+    audit.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the auditor's sampling choices (which tuples / "
+        "dependencies get re-derived)",
+    )
 
     rank = commands.add_parser("rank", help="rank mined dependencies")
     _add_csv_argument(rank)
@@ -492,9 +538,51 @@ def _cmd_discover(args) -> int:
         backend=args.backend, checkpoint=checkpoint,
         on_memory_pressure=args.on_memory_pressure,
         max_leaf_entries=args.max_leaf_entries,
-        supervise=supervise,
+        supervise=supervise, verify=args.verify,
     ).run(relation, budget=budget)
     print(report.render(top=args.top))
+    if args.out_json:
+        import json
+
+        from repro.relation.io import atomic_write
+
+        with atomic_write(args.out_json) as handle:
+            json.dump(report.to_json(top=args.top), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"repro: report JSON written to {args.out_json}",
+              file=sys.stderr)
+    certificate = report.audit_certificate
+    if args.verify and certificate is not None and not certificate.ok:
+        for violation in certificate.violations:
+            print(f"repro: audit violation: {violation}", file=sys.stderr)
+        return EXIT_ERROR
+    return EXIT_OK
+
+
+def _cmd_audit(args) -> int:
+    import json
+
+    from repro.audit import audit_json_report
+
+    try:
+        with open(args.report, encoding="utf-8") as handle:
+            blob = json.load(handle)
+    except OSError as exc:
+        raise InputError(f"cannot read report {args.report!r}: {exc}")
+    except ValueError as exc:
+        raise InputError(f"report {args.report!r} is not JSON: {exc}")
+    if not isinstance(blob, dict):
+        raise InputError(f"report {args.report!r} is not a JSON object")
+    relation, ingest = load_csv(args.csv, on_error=args.on_error)
+    if not ingest.clean:
+        print(f"repro: {ingest.summary()}", file=sys.stderr)
+    certificate = audit_json_report(blob, relation, seed=args.seed)
+    print(certificate.render())
+    if not certificate.ok:
+        for violation in certificate.violations:
+            print(f"repro: audit violation: {violation}", file=sys.stderr)
+        return EXIT_ERROR
     return EXIT_OK
 
 
@@ -649,6 +737,7 @@ def _cmd_serve(args) -> int:
 
 
 _COMMANDS = {
+    "audit": _cmd_audit,
     "discover": _cmd_discover,
     "rank": _cmd_rank,
     "partition": _cmd_partition,

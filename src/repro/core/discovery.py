@@ -325,6 +325,9 @@ class DiscoveryReport:
     cover: list
     ranked: list
     outcomes: list = field(default_factory=list)
+    #: Set by ``StructureDiscovery(verify=True)``: the independent
+    #: :class:`repro.audit.AuditCertificate` over this report's artifacts.
+    audit_certificate: object = None
 
     def top_dependencies(self, count: int = 5) -> list[RankedFD]:
         """The ``count`` best-ranked dependencies."""
@@ -449,7 +452,76 @@ class DiscoveryReport:
                     measures = "RAD=? RTR=?"
                 lines.append(f"  {ranked.fd}  rank={rank} {measures}")
         lines += ["", self.health()]
+        if self.audit_certificate is not None:
+            lines += ["", self.audit_certificate.render()]
         return "\n".join(lines)
+
+    def to_json(self, top: int = 5) -> dict:
+        """The :meth:`summary` digest plus a full ``artifacts`` section.
+
+        The ``artifacts`` block carries everything the standalone auditor
+        (``repro audit <report> <data>``) needs to re-certify the report
+        without the live Python objects: the relation fingerprint, the
+        complete dependency/cover/ranking lists, the tuple-cluster
+        assignment with its DCF summaries (weight + sparse joint masses),
+        and the attribute dendrogram's merge sequence.
+        """
+        from repro.checkpoint import relation_fingerprint
+
+        data = self.summary(top)
+        dependencies = []
+        for entry in self.dependencies:
+            if isinstance(entry, ReliableFD):
+                dependencies.append({
+                    "kind": "reliable",
+                    "lhs": sorted(entry.fd.lhs),
+                    "rhs": sorted(entry.fd.rhs),
+                    "score": entry.score,
+                    "information": entry.information,
+                    "sampled": entry.sampled,
+                    "confidence_radius": entry.confidence_radius,
+                })
+            else:
+                dependencies.append({
+                    "kind": "exact",
+                    "lhs": sorted(entry.lhs),
+                    "rhs": sorted(entry.rhs),
+                })
+        artifacts = {
+            "fingerprint": relation_fingerprint(self.relation),
+            "healthy": self.healthy,
+            "cover": [{"lhs": sorted(fd.lhs), "rhs": sorted(fd.rhs)}
+                      for fd in self.cover],
+            "dependencies": dependencies,
+            "ranked": [
+                {"lhs": sorted(entry.fd.lhs), "rhs": sorted(entry.fd.rhs),
+                 "rank": None if math.isinf(entry.rank) else entry.rank}
+                for entry in self.ranked
+            ],
+        }
+        clustering = self.tuple_clustering
+        view = getattr(clustering, "view", None)
+        limbo = getattr(clustering, "limbo", None)
+        if view is not None and limbo is not None and limbo.summaries:
+            artifacts["value_scope"] = view.catalog.scope
+            artifacts["assignment"] = [int(a) for a in clustering.assignment]
+            artifacts["summaries"] = [
+                {"weight": dcf.weight,
+                 "mass": {str(k): m for k, m in sorted(dcf.mass.items())}}
+                for dcf in limbo.summaries
+            ]
+        if self.attribute_grouping is not None:
+            dendrogram = self.attribute_grouping.dendrogram
+            artifacts["n_leaves"] = dendrogram.n_leaves
+            artifacts["merges"] = [
+                {"left": merge.left, "right": merge.right,
+                 "parent": merge.parent, "loss": merge.loss}
+                for merge in dendrogram.merges
+            ]
+        data["artifacts"] = artifacts
+        if self.audit_certificate is not None:
+            data["verification"] = self.audit_certificate.to_json()
+        return data
 
 
 class StructureDiscovery:
@@ -572,6 +644,7 @@ class StructureDiscovery:
         on_memory_pressure: str = "degrade",
         max_leaf_entries: int | None = None,
         supervise=None,
+        verify: bool = False,
     ):
         if miner not in ("auto", "fdep", "tane"):
             raise ValueError("miner must be 'auto', 'fdep' or 'tane'")
@@ -615,6 +688,7 @@ class StructureDiscovery:
         self.memory_limit = memory_limit
         self.on_memory_pressure = on_memory_pressure
         self.max_leaf_entries = max_leaf_entries
+        self.verify = bool(verify)
         if checkpoint is not None and not isinstance(checkpoint, CheckpointStore):
             checkpoint = CheckpointStore(checkpoint, resume=True)
         self.checkpoint = checkpoint
@@ -800,9 +874,10 @@ class StructureDiscovery:
         if self.supervise is not None:
             from repro.supervisor import Supervisor
 
-            return Supervisor(self, config=self.supervise).run(
+            report = Supervisor(self, config=self.supervise).run(
                 relation, budget=budget
             )
+            return self._verified(report, relation)
         budget = budget if budget is not None else self.budget
         if self.memory_limit is not None:
             if budget is None:
@@ -875,6 +950,39 @@ class StructureDiscovery:
             # ``memory`` entry: ungoverned reports stay byte-identical to
             # the pre-governance implementation.
             outcomes.append(self._memory_outcome(governor, ladder, report))
+        return self._verified(report, relation)
+
+    def _verified(self, report: DiscoveryReport, source_relation: Relation
+                  ) -> DiscoveryReport:
+        """Run the independent auditor over the finished report.
+
+        Appends a ``verification`` entry to the health section (``ok`` when
+        every artifact re-certified, ``failed`` otherwise, which also flips
+        :attr:`DiscoveryReport.healthy`) and, when the run is checkpointed,
+        drops the machine-readable certificate next to the snapshots as
+        ``audit.json``.  No-op unless ``verify=True``.
+        """
+        if not self.verify:
+            return report
+        from repro.audit import Auditor
+
+        store = self.checkpoint
+        certificate = Auditor(seed=self.seed).audit(
+            report, source_relation=source_relation, store=store,
+            expected_params=self.manifest_params() if store is not None
+            else None,
+        )
+        report.audit_certificate = certificate
+        report.outcomes.append(StageOutcome(
+            stage="verification",
+            status="ok" if certificate.ok else "failed",
+            detail=certificate.describe(),
+        ))
+        if store is not None:
+            try:
+                certificate.write(store.directory / "audit.json")
+            except OSError:
+                pass  # the certificate is advisory; never fail the run
         return report
 
     def _memory_outcome(self, governor, ladder, report) -> StageOutcome:

@@ -20,7 +20,13 @@ from repro.fd.reliable import (
     reliable_score,
 )
 from repro.fd.tane import tane
-from repro.fd.verify import g3_error, holds, violating_pairs
+from repro.fd.verify import (
+    g3_error,
+    g3_error_coded,
+    holds,
+    holds_coded,
+    violating_pairs,
+)
 
 __all__ = [
     "ApproximateFD",
@@ -34,7 +40,9 @@ __all__ = [
     "fdep",
     "fraction_of_information",
     "g3_error",
+    "g3_error_coded",
     "holds",
+    "holds_coded",
     "implies",
     "is_trivial",
     "minimum_cover",

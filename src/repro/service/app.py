@@ -330,6 +330,8 @@ class DiscoveryApp:
                                          budget=budget)
             if action == "assign" and method == "POST":
                 return 200, self.assign(rid, body, budget=budget)
+            if action == "verify" and method == "GET":
+                return 200, self.verify(rid, budget=budget)
         raise NotFoundError(
             f"no route for {method} /relations/{'/'.join(parts)}",
             resource="route", name="/".join(parts))
@@ -571,6 +573,40 @@ class DiscoveryApp:
 
     # -- reporting ---------------------------------------------------------------
 
+    def verify(self, rid: str, budget: Budget | None = None) -> dict:
+        """Independently re-certify the model currently served for ``rid``.
+
+        Cross-checks the cache key against a re-derived
+        ``model_key(relation_fingerprint, params)`` (so a cache that served
+        the wrong snapshot is caught), then runs the full
+        :class:`repro.audit.Auditor` over the served report.
+        """
+        from repro.audit import Auditor
+
+        relation = self._relation(rid)
+        key, report = self._model_for(relation, budget)
+        certificate = Auditor(
+            seed=int(self.params.get("seed", 0))).audit(report)
+        expected_key = model_key(
+            relation_fingerprint(report.relation), self.params)
+        key_ok = key == expected_key
+        violations = [v.to_json() for v in certificate.violations]
+        if not key_ok:
+            violations.insert(0, {
+                "check": "digests", "artifact": f"model_key:{rid}",
+                "detail": f"served key {key} != re-derived {expected_key}",
+            })
+        with relation.lock:
+            stale = relation.stale_rows
+        return {
+            "relation": rid,
+            "model_key": key,
+            "stale_rows": stale,
+            "ok": certificate.ok and key_ok,
+            "verification": certificate.to_json(),
+            "violations": violations,
+        }
+
     def stats(self) -> dict:
         with self._relations_lock:
             relations = {
@@ -580,7 +616,10 @@ class DiscoveryApp:
                       "model_built": rel.model_key is not None}
                 for rid, rel in self.relations.items()
             }
+        from repro import __version__
+
         return {
+            "version": __version__,
             "ready": self.ready,
             "draining": self.draining,
             "requests": self.requests,

@@ -42,11 +42,39 @@ RESULT_NAME = "result.pkl"
 #: JSON record of a deliberate child failure (class name + message).
 ERROR_NAME = "error.json"
 
+#: Faulthandler stack dump of a hung (or crashed) child, written on
+#: SIGUSR1 from the supervisor just before the reap.
+HANG_DUMP_NAME = "hang-traceback.txt"
+
 _EXIT_INTERRUPT = 130
 
 
 def _sigterm_to_interrupt(signum, frame):
     raise KeyboardInterrupt()
+
+
+def _arm_hang_dump(directory: Path):
+    """Journal all-thread stacks on SIGUSR1 (and on fatal signals).
+
+    The supervisor sends SIGUSR1 to a child it is about to reap as hung;
+    :mod:`faulthandler` then writes every thread's stack to
+    ``hang-traceback.txt`` in the store directory, which the supervisor
+    folds into ``incident.json`` -- so a hang kill still says *where* the
+    child was stuck.  The handle must stay referenced for the lifetime of
+    the process (faulthandler keeps only the fd).  No-op where SIGUSR1
+    does not exist (Windows) or the journal cannot be opened.
+    """
+    if not hasattr(signal, "SIGUSR1"):
+        return None
+    try:
+        import faulthandler
+
+        handle = open(directory / HANG_DUMP_NAME, "w", encoding="utf-8")
+        faulthandler.enable(file=handle, all_threads=True)
+        faulthandler.register(signal.SIGUSR1, file=handle, all_threads=True)
+        return handle
+    except Exception:
+        return None
 
 
 def _write_error(directory: Path, exc: ReproError) -> None:
@@ -80,6 +108,7 @@ def run_child(spec: dict, relation, directory, cadence: int, resume: bool,
     # to KeyboardInterrupt so stages unwind through their ordinary
     # interrupt paths (executor pools close, exit code 130 is preserved).
     signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
+    dump_handle = _arm_hang_dump(directory)  # noqa: F841 - keep fd alive
     from repro.core.discovery import StructureDiscovery
 
     try:
@@ -129,7 +158,7 @@ def load_error(directory) -> dict | None:
 
 def clear_attempt_artifacts(directory) -> None:
     """Remove stale result/error files before a (re)spawn."""
-    for name in (RESULT_NAME, ERROR_NAME):
+    for name in (RESULT_NAME, ERROR_NAME, HANG_DUMP_NAME):
         try:
             os.unlink(Path(directory) / name)
         except OSError:

@@ -56,6 +56,7 @@ from repro.errors import (
 )
 from repro.relation.io import atomic_write
 from repro.supervisor.child import (
+    HANG_DUMP_NAME,
     clear_attempt_artifacts,
     load_error,
     load_result,
@@ -246,6 +247,35 @@ class Supervisor:
 
     # -- child lifecycle ---------------------------------------------------------
 
+    def _request_stack_dump(self, proc, directory) -> None:
+        """SIGUSR1 a child about to be reaped as hung, and give its
+        faulthandler a moment to journal every thread's stack."""
+        if not hasattr(signal, "SIGUSR1") or proc.exitcode is not None:
+            return
+        dump_path = Path(directory) / HANG_DUMP_NAME
+        try:
+            os.kill(proc.pid, signal.SIGUSR1)
+        except OSError:
+            return
+        deadline = time.monotonic() + min(1.0, self.config.term_grace)
+        while time.monotonic() < deadline:
+            try:
+                if dump_path.stat().st_size > 0:
+                    return
+            except OSError:
+                pass
+            time.sleep(0.02)
+
+    @staticmethod
+    def _read_hang_dump(directory, limit: int = 8000):
+        """The journaled faulthandler dump, tail-truncated, or ``None``."""
+        try:
+            text = (Path(directory) / HANG_DUMP_NAME).read_text("utf-8")
+        except OSError:
+            return None
+        text = text.strip()
+        return text[-limit:] if text else None
+
     def _reap(self, proc) -> None:
         """SIGTERM, grace, then SIGKILL a child that must die now."""
         if proc.exitcode is None:
@@ -363,6 +393,9 @@ class Supervisor:
                     if hung:
                         record["failure_class"] = "hang"
                         record["detail"] = status.describe()
+                        dump = self._read_hang_dump(directory)
+                        if dump:
+                            record["hang_traceback"] = dump
                     else:
                         oom_after = cgroup_oom_kills()
                         delta = ((oom_after - oom_before)
@@ -491,6 +524,7 @@ class Supervisor:
                 last_marker = marker
                 last_progress = now
             elif now - last_progress > config.hang_timeout:
+                self._request_stack_dump(proc, store.directory)
                 self._reap(proc)
                 return True
 

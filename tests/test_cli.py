@@ -124,3 +124,51 @@ class TestPartitionWithoutOut:
         write_csv(rel, path)
         assert main(["partition", str(path), "--k", "2"]) == 0
         assert not list(tmp_path.glob("*.part*.csv"))
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        from repro import __version__
+
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+class TestDiscoverVerifyAndAudit:
+    def test_verify_certifies_and_audit_round_trips(
+        self, db2_csv, tmp_path, capsys
+    ):
+        report_path = str(tmp_path / "report.json")
+        assert main([
+            "discover", db2_csv, "--verify", "--out-json", report_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "verification" in out and "certified" in out
+        assert main(["audit", report_path, db2_csv]) == 0
+        assert "certified" in capsys.readouterr().out
+
+    def test_audit_rejects_tampered_report_naming_artifact(
+        self, db2_csv, tmp_path, capsys
+    ):
+        import json
+
+        report_path = tmp_path / "report.json"
+        assert main([
+            "discover", db2_csv, "--out-json", str(report_path),
+        ]) == 0
+        capsys.readouterr()
+        blob = json.loads(report_path.read_text("utf-8"))
+        fd = blob["artifacts"]["cover"][0]
+        fd["lhs"], fd["rhs"] = fd["rhs"], fd["lhs"]  # flip the dependency
+        report_path.write_text(json.dumps(blob), "utf-8")
+        assert main(["audit", str(report_path), db2_csv]) == 1
+        captured = capsys.readouterr()
+        assert "REJECTED" in captured.out
+        assert "dependencies" in captured.err
+
+    def test_audit_unreadable_report_is_input_error(self, db2_csv, tmp_path):
+        bogus = tmp_path / "nope.json"
+        bogus.write_text("not json", "utf-8")
+        assert main(["audit", str(bogus), db2_csv]) == 2

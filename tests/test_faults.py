@@ -141,6 +141,17 @@ class TestRegistrySync:
             f"{sorted(orphaned)}"
         )
 
+    def test_every_registered_name_has_a_chaos_drill(self):
+        from repro.audit.chaos import CHAOS_MODES, drill_registry
+
+        registry = drill_registry()
+        assert set(registry) == FAULT_POINTS, (
+            "every fault point needs a chaos drill (and vice versa); "
+            "see repro.audit.chaos._DRILLS"
+        )
+        for point, drill in registry.items():
+            assert set(drill.modes) <= set(CHAOS_MODES), point
+
     def test_every_registered_name_is_documented(self):
         docs = self.DOCS.read_text("utf-8")
         undocumented = {name for name in FAULT_POINTS if name not in docs}

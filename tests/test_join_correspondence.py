@@ -1,0 +1,158 @@
+"""Edge-case tests for joins and cross-relation correspondences.
+
+The happy paths (the Section 8 DB2 integration, property-based
+self-joins, the Bellman-style profile walkthrough) live elsewhere; this
+file pins down the corners: empty inputs, key-merge semantics, name
+disambiguation, and the correspondence filters.
+"""
+
+import pytest
+
+from repro.relation import (
+    NULL,
+    Attribute,
+    Relation,
+    Schema,
+    equi_join,
+    find_correspondences,
+    natural_join,
+)
+
+
+@pytest.fixture
+def employees():
+    return Relation(
+        ["EmpNo", "Name", "WorkDepNo"],
+        [("e1", "Pat", "d1"), ("e2", "Sal", "d1"), ("e3", "Lee", "d2")],
+    )
+
+
+@pytest.fixture
+def departments():
+    return Relation(
+        ["DepNo", "DepName"],
+        [("d1", "Sales"), ("d2", "Eng"), ("d3", "Legal")],
+    )
+
+
+class TestEquiJoin:
+    def test_merge_key_drops_right_key_column(self, employees, departments):
+        joined = equi_join(employees, departments, "WorkDepNo", "DepNo")
+        assert joined.schema.names == ("EmpNo", "Name", "WorkDepNo", "DepName")
+        assert ("e1", "Pat", "d1", "Sales") in joined.rows
+        assert len(joined.rows) == 3
+
+    def test_merge_key_false_keeps_both_keys(self, employees, departments):
+        joined = equi_join(
+            employees, departments, "WorkDepNo", "DepNo", merge_key=False
+        )
+        assert joined.schema.names == (
+            "EmpNo", "Name", "WorkDepNo", "DepNo", "DepName",
+        )
+        for row in joined.rows:
+            assert row[2] == row[3]  # the two key copies agree
+
+    def test_unmatched_keys_are_dropped(self, employees, departments):
+        joined = equi_join(employees, departments, "WorkDepNo", "DepNo")
+        assert "Legal" not in {row[-1] for row in joined.rows}
+
+    def test_empty_left_yields_empty_result(self, departments):
+        empty = Relation(["EmpNo", "WorkDepNo"], [])
+        joined = equi_join(empty, departments, "WorkDepNo", "DepNo")
+        assert list(joined.rows) == []
+        assert joined.schema.names == ("EmpNo", "WorkDepNo", "DepName")
+
+    def test_empty_right_yields_empty_result(self, employees):
+        empty = Relation(["DepNo", "DepName"], [])
+        joined = equi_join(employees, empty, "WorkDepNo", "DepNo")
+        assert list(joined.rows) == []
+
+    def test_duplicate_names_disambiguated_by_source(self, employees):
+        other = Relation(
+            Schema([Attribute("DepNo", "D"), Attribute("Name", "D")]),
+            [("d1", "Sales"), ("d2", "Eng")],
+        )
+        joined = equi_join(employees, other, "WorkDepNo", "DepNo")
+        assert joined.schema.names == ("EmpNo", "Name", "WorkDepNo", "D.Name")
+
+    def test_unresolvable_duplicate_name_raises(self):
+        left = Relation(["K", "X", "right.X"], [("k", 1, 2)])
+        right = Relation(
+            Schema([Attribute("K"), Attribute("X")]), [("k", 3)]
+        )
+        with pytest.raises(ValueError, match="cannot disambiguate"):
+            equi_join(left, right, "K", "K")
+
+
+class TestNaturalJoin:
+    def test_requires_shared_attribute(self):
+        left = Relation(["A"], [("x",)])
+        right = Relation(["B"], [("y",)])
+        with pytest.raises(ValueError, match="shared attribute"):
+            natural_join(left, right)
+
+    def test_multi_attribute_key(self):
+        left = Relation(
+            ["City", "Zip", "Pop"],
+            [("Boston", "02139", 10), ("Boston", "02138", 20)],
+        )
+        right = Relation(
+            ["City", "Zip", "Mayor"],
+            [("Boston", "02139", "Wu"), ("Austin", "02139", "Watson")],
+        )
+        joined = natural_join(left, right)
+        assert joined.schema.names == ("City", "Zip", "Pop", "Mayor")
+        assert list(joined.rows) == [("Boston", "02139", 10, "Wu")]
+
+    def test_single_shared_attribute_matches_equi_join(
+        self, employees, departments
+    ):
+        renamed = departments.rename({"DepNo": "WorkDepNo"})
+        natural = natural_join(employees, renamed)
+        equi = equi_join(employees, renamed, "WorkDepNo", "WorkDepNo")
+        assert natural.schema.names == equi.schema.names
+        assert sorted(natural.rows) == sorted(equi.rows)
+
+
+class TestFindCorrespondences:
+    def test_requires_two_relations(self, employees):
+        with pytest.raises(ValueError, match="at least two"):
+            find_correspondences({"E": employees})
+
+    def test_finds_foreign_key_containment(self, employees, departments):
+        found = find_correspondences({"E": employees, "D": departments})
+        pairs = {
+            (c.left_relation, c.left_attribute,
+             c.right_relation, c.right_attribute)
+            for c in found
+        }
+        assert ("D", "DepNo", "E", "WorkDepNo") in pairs
+        best = found[0]
+        assert best.containment == 1.0  # every WorkDepNo is a DepNo
+        assert best.shared_values == 2
+
+    def test_nulls_are_not_evidence(self):
+        left = Relation(["A"], [(NULL,), (NULL,), ("x",)])
+        right = Relation(["B"], [(NULL,), (NULL,), ("y",)])
+        assert find_correspondences(
+            {"L": left, "R": right}, min_shared=1
+        ) == []
+
+    def test_min_shared_filters_tiny_overlaps(self):
+        left = Relation(["A"], [("x",)])
+        right = Relation(["B"], [("x",)])
+        tables = {"L": left, "R": right}
+        assert find_correspondences(tables, min_shared=2) == []
+        assert len(find_correspondences(tables, min_shared=1)) == 1
+
+    def test_sorted_by_containment_then_jaccard(self, departments):
+        partial = Relation(
+            ["Ref", "Half"],
+            [("d1", "d1"), ("d2", "x"), ("d9", "y")],
+        )
+        found = find_correspondences(
+            {"D": departments, "P": partial}, min_containment=0.0,
+            min_shared=1,
+        )
+        scores = [(c.containment, c.jaccard) for c in found]
+        assert scores == sorted(scores, reverse=True)
